@@ -1,0 +1,2 @@
+"""Benchmark suite: one module per paper artefact (Table 1, Figures 1-7,
+plus ablations).  Run with ``pytest benchmarks/ --benchmark-only``."""

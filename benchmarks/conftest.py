@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's artefacts (Table 1 or a
+figure).  The regenerated rows/series are attached to the benchmark
+record via ``benchmark.extra_info`` and printed, so
+``pytest benchmarks/ --benchmark-only -s`` shows the same tables the
+paper reports.  Heavy constructions run exactly once via
+``benchmark.pedantic(rounds=1)`` -- the interesting output is the
+series, not nanosecond timing stability.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run a heavyweight benchmark body exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit(title: str, rows) -> str:
+    """Format and print a series table; returns the text."""
+    lines = [f"\n=== {title} ==="]
+    for row in rows:
+        lines.append("  " + " | ".join(str(cell) for cell in row))
+    text = "\n".join(lines)
+    print(text)
+    return text

@@ -1,0 +1,71 @@
+"""Ablation A2: remove the decide relay from Figure 5.
+
+The paper (Section 4.2, difference (3)) adds decide messages so that a
+correct process sharing its identifier with a Byzantine process can
+terminate without waiting for a phase its own identifier leads.  The
+relay is a liveness/latency mechanism: without it each process decides
+only on its own leader/ack path, so decisions arrive as a staircase --
+one process per leader rotation -- and the last-decider latency
+stretches from O(1) good phases to ~ell phases.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.core.identity import balanced_assignment
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+from repro.psync.ablations import no_decide_relay_factory
+from repro.psync.dls_homonyms import (
+    ROUNDS_PER_PHASE,
+    dls_factory,
+    dls_horizon,
+)
+from repro.sim.runner import run_agreement
+
+
+def run_variant(factory_maker, extra_rounds=0):
+    params = SystemParams(
+        n=7, ell=6, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+    )
+    byz = (6,)
+    return run_agreement(
+        params=params,
+        assignment=balanced_assignment(7, 6),
+        factory=factory_maker(params, BINARY),
+        proposals={k: k % 2 for k in range(6)},
+        byzantine=byz,
+        max_rounds=dls_horizon(params, 0) + extra_rounds,
+    )
+
+
+def test_ablation_decide_relay_latency(benchmark):
+    def body():
+        full = run_variant(dls_factory)
+        ablated = run_variant(no_decide_relay_factory, extra_rounds=48)
+        return full, ablated
+
+    full, ablated = run_once(benchmark, body)
+    full_rounds = dict(sorted(full.verdict.decision_rounds.items()))
+    ablated_rounds = dict(sorted(ablated.verdict.decision_rounds.items()))
+    emit("Ablation A2: decide relay vs per-process decision rounds", [
+        ("full Figure 5", full_rounds),
+        ("no-relay variant", ablated_rounds),
+    ])
+    benchmark.extra_info["full_last"] = full.verdict.last_decision_round
+    benchmark.extra_info["ablated_last"] = ablated.verdict.last_decision_round
+    assert full.verdict.ok and ablated.verdict.ok
+
+    # With the relay, everyone decides within one phase of the first
+    # deciding leader; without it decisions form a staircase one leader
+    # rotation apart, stretching the tail by several phases.
+    spread_full = (max(full_rounds.values()) - min(full_rounds.values()))
+    spread_ablated = (
+        max(ablated_rounds.values()) - min(ablated_rounds.values())
+    )
+    assert spread_ablated >= spread_full + 2 * ROUNDS_PER_PHASE
+    assert (ablated.verdict.last_decision_round
+            > full.verdict.last_decision_round)
+
+    # The staircase: consecutive deciders one phase (8 rounds) apart.
+    staircase = sorted(ablated_rounds.values())
+    gaps = {b - a for a, b in zip(staircase, staircase[1:])}
+    assert ROUNDS_PER_PHASE in gaps

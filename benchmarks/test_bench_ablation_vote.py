@@ -1,0 +1,53 @@
+"""Ablation A1: remove the voting superround from Figure 5.
+
+The paper (Section 4.2, difference (2)) adds a voting superround to DLS
+because a phase can have *several* leaders -- homonyms or a Byzantine
+process sharing the leader identifier -- asking processes to lock
+different values.  This bench removes the superround and shows the
+predicted failure: a lock-split Byzantine leader permanently divides
+the correct processes' lock sets, no propose quorum ever forms again,
+and the run deadlocks (termination violated).  The intact algorithm
+shrugs the same attack off.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.core.identity import balanced_assignment
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+from repro.psync.ablations import LockSplitAdversary, no_vote_factory
+from repro.psync.dls_homonyms import dls_factory, dls_horizon
+from repro.sim.runner import run_agreement
+
+
+def run_variant(factory_maker):
+    params = SystemParams(
+        n=7, ell=6, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+    )
+    byz = (1,)  # identifier 2: leads phase 1, after proper sets merge
+    return run_agreement(
+        params=params,
+        assignment=balanced_assignment(7, 6),
+        factory=factory_maker(params, BINARY),
+        proposals={k: k % 2 for k in range(7) if k not in byz},
+        byzantine=byz,
+        adversary=LockSplitAdversary(),
+        max_rounds=dls_horizon(params, 0),
+    )
+
+
+def test_ablation_vote_superround(benchmark):
+    def body():
+        full = run_variant(dls_factory)
+        ablated = run_variant(no_vote_factory)
+        return full, ablated
+
+    full, ablated = run_once(benchmark, body)
+    emit("Ablation A1: voting superround vs lock-split leader", [
+        ("full Figure 5", full.verdict.summary().splitlines()[0]),
+        ("no-vote variant", ablated.verdict.summary().splitlines()[0]),
+    ])
+    benchmark.extra_info["full_ok"] = full.verdict.ok
+    benchmark.extra_info["ablated_ok"] = ablated.verdict.ok
+    assert full.verdict.ok
+    assert not ablated.verdict.ok
+    assert ablated.verdict.violated("termination")

@@ -1,0 +1,58 @@
+"""Benchmark F1: the Figure 1 scenario system (Proposition 1).
+
+Regenerates the paper's synchronous lower-bound construction: for
+``ell = 3t`` the 2n-process reference system forces a contradiction
+between the three overlapping views.  The series shows, per (n, t),
+which view's requirement broke when a real algorithm -- T(EIG) built
+for ``ell = 3t`` -- is run inside the construction.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.adversaries.scenario import run_scenario
+from repro.classic.eig import EIGSpec
+from repro.core.problem import BINARY
+from repro.homonyms.transform import transform_factory, transform_horizon
+
+CASES = [(3, 1), (4, 1), (5, 1), (6, 1), (7, 2), (8, 2)]
+
+
+@pytest.mark.parametrize("n,t", CASES, ids=[f"n{n}-t{t}" for n, t in CASES])
+def test_fig1_scenario_contradiction(benchmark, n, t):
+    spec = EIGSpec(3 * t, t, BINARY, unchecked=True)
+    factory = transform_factory(spec, unchecked=True)
+    horizon = transform_horizon(spec)
+
+    def body():
+        return run_scenario(n, t, factory, max_rounds=horizon)
+
+    outcome = run_once(benchmark, body)
+    broken = [v.name for v in outcome.views if not v.satisfied]
+    benchmark.extra_info["broken_views"] = broken
+    emit(
+        f"Figure 1 scenario n={n}, t={t} (ell=3t={3*t}, big system {2*n} procs)",
+        [(v.name, v.requirement, "ok" if v.satisfied else "VIOLATED", v.detail)
+         for v in outcome.views],
+    )
+    assert outcome.contradiction_exhibited
+
+
+def test_fig1_series_over_n(benchmark):
+    """Sweep n at t=1: the contradiction must be exhibited everywhere."""
+
+    def body():
+        rows = []
+        spec = EIGSpec(3, 1, BINARY, unchecked=True)
+        factory = transform_factory(spec, unchecked=True)
+        for n in range(3, 9):
+            outcome = run_scenario(n, 1, factory,
+                                   max_rounds=transform_horizon(spec))
+            broken = [v.name for v in outcome.views if not v.satisfied]
+            rows.append((n, 2 * n, ",".join(broken) or "none"))
+        return rows
+
+    rows = run_once(benchmark, body)
+    emit("Figure 1 contradiction sweep (t=1)",
+         [("n", "big-system size", "violated views")] + rows)
+    assert all(row[2] != "none" for row in rows)

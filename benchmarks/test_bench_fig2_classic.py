@@ -1,0 +1,96 @@
+"""Benchmark F2: the classic unique-identifier baselines (Figure 2).
+
+The paper's Figure 2 is the functional form of "any synchronous BA
+algorithm with unique identifiers".  This bench characterises our two
+instantiations -- EIG (n > 3t, t+1 rounds, exponential payloads) and
+Phase-King (n > 4t, 2(t+1) rounds, constant payloads) -- reporting
+decision rounds and message bytes across (ell, t), under a silent and a
+chaotic adversary.  These are the baselines the Figure 3 transformation
+is benchmarked against.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.adversaries.generic import RandomByzantineAdversary
+from repro.classic.eig import EIGSpec
+from repro.classic.phase_king import PhaseKingSpec
+from repro.classic.runner import classic_factory
+from repro.core.identity import balanced_assignment
+from repro.core.params import SystemParams
+from repro.core.problem import BINARY
+from repro.sim.runner import run_agreement
+
+
+def run_classic(spec, adversary=None):
+    ell, t = spec.ell, spec.t
+    params = SystemParams(n=ell, ell=ell, t=t)
+    byz = tuple(range(ell - t, ell))
+    return run_agreement(
+        params=params,
+        assignment=balanced_assignment(ell, ell),
+        factory=classic_factory(spec),
+        proposals={k: k % 2 for k in range(ell - t)},
+        byzantine=byz,
+        adversary=adversary,
+        max_rounds=spec.max_rounds + 2,
+    )
+
+
+EIG_CASES = [(4, 1), (5, 1), (7, 2), (10, 3)]
+PK_CASES = [(5, 1), (9, 2), (13, 3)]
+
+
+@pytest.mark.parametrize("ell,t", EIG_CASES,
+                         ids=[f"eig-l{l}-t{t}" for l, t in EIG_CASES])
+def test_fig2_eig_baseline(benchmark, ell, t):
+    spec = EIGSpec(ell, t, BINARY)
+
+    def body():
+        return run_classic(spec, RandomByzantineAdversary(seed=1))
+
+    result = run_once(benchmark, body)
+    benchmark.extra_info["rounds"] = result.verdict.last_decision_round
+    benchmark.extra_info["bytes"] = result.metrics.payload_bytes
+    assert result.verdict.ok
+    assert result.verdict.last_decision_round == t  # t+1 paper rounds, 0-indexed
+
+
+@pytest.mark.parametrize("ell,t", PK_CASES,
+                         ids=[f"pk-l{l}-t{t}" for l, t in PK_CASES])
+def test_fig2_phase_king_baseline(benchmark, ell, t):
+    spec = PhaseKingSpec(ell, t, BINARY)
+
+    def body():
+        return run_classic(spec, RandomByzantineAdversary(seed=1))
+
+    result = run_once(benchmark, body)
+    benchmark.extra_info["rounds"] = result.verdict.last_decision_round
+    benchmark.extra_info["bytes"] = result.metrics.payload_bytes
+    assert result.verdict.ok
+
+
+def test_fig2_cost_comparison(benchmark):
+    """EIG's exponential payloads vs Phase-King's constant ones."""
+
+    def body():
+        rows = []
+        for t in (1, 2, 3):
+            eig = EIGSpec(3 * t + 1, t, BINARY)
+            r_eig = run_classic(eig)
+            pk = PhaseKingSpec(4 * t + 1, t, BINARY)
+            r_pk = run_classic(pk)
+            rows.append((
+                t,
+                f"EIG(l={eig.ell}): {r_eig.metrics.rounds} rounds, "
+                f"{r_eig.metrics.payload_bytes} B",
+                f"PK(l={pk.ell}): {r_pk.metrics.rounds} rounds, "
+                f"{r_pk.metrics.payload_bytes} B",
+            ))
+        return rows
+
+    rows = run_once(benchmark, body)
+    emit("Figure 2 baselines: EIG vs Phase-King cost",
+         [("t", "EIG", "Phase-King")] + rows)
+    # EIG payload bytes must grow much faster than Phase-King's.
+    assert len(rows) == 3

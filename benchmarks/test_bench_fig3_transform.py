@@ -1,0 +1,124 @@
+"""Benchmark F3: the Figure 3 transformation T(A).
+
+Regenerates the transformation's characteristic behaviour: exactly
+three engine rounds per simulated round of ``A`` plus one deciding
+round of latency, independence from the homonym pattern, and the cost
+of the simulation relative to running ``A`` natively on a unique-
+identifier system.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.adversaries.generic import RandomByzantineAdversary
+from repro.classic.eig import EIGSpec
+from repro.classic.runner import classic_factory
+from repro.core.identity import (
+    balanced_assignment,
+    random_assignment,
+    stacked_assignment,
+)
+from repro.core.params import SystemParams
+from repro.core.problem import BINARY
+from repro.homonyms.transform import (
+    ROUNDS_PER_PHASE,
+    transform_factory,
+    transform_horizon,
+)
+from repro.sim.runner import run_agreement
+
+
+def run_transform(n, ell, t, assignment, byz, adversary=None):
+    spec = EIGSpec(ell, t, BINARY)
+    params = SystemParams(n=n, ell=ell, t=t)
+    result = run_agreement(
+        params=params,
+        assignment=assignment,
+        factory=transform_factory(spec),
+        proposals={k: k % 2 for k in range(n) if k not in byz},
+        byzantine=byz,
+        adversary=adversary,
+        max_rounds=transform_horizon(spec),
+    )
+    return result, spec
+
+
+ASSIGNMENT_CASES = [
+    ("classical", 4, lambda: balanced_assignment(4, 4)),
+    ("balanced", 7, lambda: balanced_assignment(7, 4)),
+    ("stacked", 8, lambda: stacked_assignment(8, 4)),
+    ("random", 10, lambda: random_assignment(10, 4, seed=5)),
+]
+
+
+@pytest.mark.parametrize("name,n,make", ASSIGNMENT_CASES,
+                         ids=[c[0] for c in ASSIGNMENT_CASES])
+def test_fig3_latency_independent_of_homonym_pattern(benchmark, name, n, make):
+    """T(A)'s decision round depends only on A, not on how the n
+    processes share the ell identifiers."""
+
+    def body():
+        return run_transform(n, 4, 1, make(), byz=(n - 1,))
+
+    result, spec = run_once(benchmark, body)
+    expected = ROUNDS_PER_PHASE * spec.max_rounds + 1
+    benchmark.extra_info["decision_round"] = result.verdict.last_decision_round
+    assert result.verdict.ok
+    assert result.verdict.last_decision_round == expected
+
+
+def test_fig3_overhead_series(benchmark):
+    """The 3x round overhead of the simulation, across t."""
+
+    def body():
+        rows = []
+        for t in (1, 2):
+            ell = 3 * t + 1
+            n = ell + 3
+            # Native A on a unique-identifier system.
+            spec = EIGSpec(ell, t, BINARY)
+            native = run_agreement(
+                params=SystemParams(n=ell, ell=ell, t=t),
+                assignment=balanced_assignment(ell, ell),
+                factory=classic_factory(spec),
+                proposals={k: k % 2 for k in range(ell - t)},
+                byzantine=tuple(range(ell - t, ell)),
+                max_rounds=spec.max_rounds + 2,
+            )
+            # T(A) on a homonymous system.
+            transformed, _ = run_transform(
+                n, ell, t, balanced_assignment(n, ell),
+                byz=tuple(range(n - t, n)),
+            )
+            native_rounds = native.verdict.last_decision_round + 1
+            trans_rounds = transformed.verdict.last_decision_round + 1
+            rows.append((t, ell, n, native_rounds, trans_rounds,
+                         f"{trans_rounds / native_rounds:.1f}x"))
+        return rows
+
+    rows = run_once(benchmark, body)
+    emit("Figure 3 transformation overhead",
+         [("t", "ell", "n", "A rounds", "T(A) rounds", "overhead")] + rows)
+    for _t, _ell, _n, native_rounds, trans_rounds, _ in rows:
+        # Three rounds per simulated round, plus the deciding round of
+        # the following phase (counts are 1-based: last index 3k+1 ->
+        # 3k+2 rounds).
+        assert trans_rounds == 3 * native_rounds + 2
+
+
+def test_fig3_byzantine_in_group_latency(benchmark):
+    """A poisoned group's correct member decides via the deciding round
+    in the same phase as everyone else -- the relay adds no phases."""
+
+    def body():
+        a = balanced_assignment(7, 4)  # identifier 1 held by slots 0, 4
+        return run_transform(
+            7, 4, 1, a, byz=(0,),
+            adversary=RandomByzantineAdversary(seed=3),
+        )
+
+    result, spec = run_once(benchmark, body)
+    assert result.verdict.ok
+    rounds = result.verdict.decision_rounds
+    benchmark.extra_info["decision_rounds"] = dict(sorted(rounds.items()))
+    assert max(rounds.values()) - min(rounds.values()) <= ROUNDS_PER_PHASE

@@ -1,0 +1,87 @@
+"""Benchmark F4: the Figure 4 partition attack (Proposition 4).
+
+Regenerates the partially synchronous lower bound: for every
+configuration with ``3t < ell`` and ``2*ell <= n + 3t`` the three-
+execution construction drives the Figure 5 algorithm (built unchecked)
+into an agreement violation -- wing W0 decides 0, wing W1 decides 1.
+The same construction is *infeasible* one process below the boundary,
+and the algorithm provably survives there (cross-checked by the
+Figure 5 bench).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.adversaries.partition import (
+    partition_attack_feasible,
+    run_partition_attack,
+)
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+from repro.psync.dls_homonyms import DLSHomonymProcess, dls_horizon
+
+CASES = [
+    (9, 6, 1),   # exactly at the bound: 2*ell = n + 3t
+    (10, 6, 1),  # one past it
+    (12, 7, 1),
+    (16, 11, 2),
+]
+
+
+def make_factory(n, ell, t):
+    params = SystemParams(
+        n=n, ell=ell, t=t, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+    )
+
+    def factory(ident, value):
+        return DLSHomonymProcess(params, BINARY, ident, value, unchecked=True)
+
+    return factory, params
+
+
+@pytest.mark.parametrize("n,ell,t", CASES,
+                         ids=[f"n{n}-l{l}-t{t}" for n, l, t in CASES])
+def test_fig4_partition_attack(benchmark, n, ell, t):
+    factory, params = make_factory(n, ell, t)
+
+    def body():
+        return run_partition_attack(
+            n, ell, t, factory, reference_rounds=dls_horizon(params, 0)
+        )
+
+    outcome = run_once(benchmark, body)
+    gamma = outcome.gamma
+    w0_decisions = {gamma.processes[k].decision for k in outcome.w0}
+    w1_decisions = {gamma.processes[k].decision for k in outcome.w1}
+    benchmark.extra_info["w0"] = sorted(map(repr, w0_decisions))
+    benchmark.extra_info["w1"] = sorted(map(repr, w1_decisions))
+    emit(f"Figure 4 partition n={n} ell={ell} t={t}", [
+        ("alpha", outcome.alpha.verdict.summary()),
+        ("beta", outcome.beta.verdict.summary()),
+        ("gamma W0 decisions", sorted(map(repr, w0_decisions))),
+        ("gamma W1 decisions", sorted(map(repr, w1_decisions))),
+    ])
+    assert outcome.alpha.verdict.ok and outcome.beta.verdict.ok
+    assert outcome.attack_succeeded
+    assert gamma.verdict.violated("agreement")
+    assert w0_decisions == {0} and w1_decisions == {1}
+
+
+def test_fig4_feasibility_boundary(benchmark):
+    """The construction exists exactly below the Theorem 13 boundary."""
+
+    def body():
+        rows = []
+        t = 1
+        ell = 6
+        for n in range(6, 14):
+            feasible = partition_attack_feasible(n, ell, t)
+            solvable_side = 2 * ell > n + 3 * t
+            rows.append((n, ell, t, feasible, solvable_side))
+        return rows
+
+    rows = run_once(benchmark, body)
+    emit("Figure 4 feasibility boundary (ell=6, t=1)",
+         [("n", "ell", "t", "attack feasible", "predicted solvable")] + rows)
+    for _n, _ell, _t, feasible, solvable_side in rows:
+        assert feasible == (not solvable_side)

@@ -1,0 +1,124 @@
+"""Benchmark F6: the Figure 6 multiplicity authenticated broadcast.
+
+Regenerates the primitive's specification behaviour as measurable
+series: multiplicity accuracy (alpha' between the correct-broadcaster
+count and that count plus f_i -- the Correctness and Unforgeability
+window), accept latency within the broadcast superround after
+stabilisation, and the relay bound.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.broadcast.multiplicity import ECHO_TAG, MultiplicityBroadcast
+from repro.core.identity import stacked_assignment
+from repro.core.params import SystemParams
+from repro.core.problem import BINARY
+from repro.sim.adversary import Adversary
+from repro.sim.network import RoundEngine
+
+from tests.test_multiplicity_broadcast import MultiplicityHost
+
+
+def run_broadcast_system(n, ell, t, byz=(), adversary=None, rounds=8):
+    params = SystemParams(n=n, ell=ell, t=t, numerate=True, restricted=True)
+    assignment = stacked_assignment(n, ell)
+    processes = [
+        None if k in byz else MultiplicityHost(
+            assignment.identifier_of(k),
+            assignment.identifier_of(k) == 1,  # identifier 1 broadcasts
+            n, t,
+        )
+        for k in range(n)
+    ]
+    engine = RoundEngine(
+        params=params, assignment=assignment, processes=processes,
+        byzantine=byz, adversary=adversary,
+    )
+    for _ in range(rounds):
+        engine.step()
+    return [p for p in processes if p is not None], assignment
+
+
+class CountInflator(Adversary):
+    """Byzantine holder of identifier 1 echoing an absurd multiplicity."""
+
+    def emissions(self, view):
+        payload = ("mb", ((ECHO_TAG, 1, 10_000, "m", 0),))
+        return {
+            b: {q: (payload,) for q in range(view.params.n)}
+            for b in view.byzantine
+        }
+
+
+SIZES = [(5, 3, 1), (7, 3, 1), (9, 4, 2), (13, 4, 3)]
+
+
+@pytest.mark.parametrize("n,ell,t", SIZES,
+                         ids=[f"n{n}-l{l}-t{t}" for n, l, t in SIZES])
+def test_fig6_multiplicity_accuracy(benchmark, n, ell, t):
+    """All-correct system: reported multiplicity >= broadcaster count,
+    accepted within the broadcast superround."""
+
+    def body():
+        return run_broadcast_system(n, ell, t)
+
+    procs, assignment = run_once(benchmark, body)
+    alpha = len(assignment.group(1))
+    benchmark.extra_info["broadcasters"] = alpha
+    for p in procs:
+        mine = [a for a in p.accepts if a.ident == 1 and a.message == "m"]
+        assert mine
+        assert mine[0].accepted_superround == 0  # same-superround accept
+        assert mine[0].multiplicity >= alpha
+
+
+def test_fig6_unforgeability_window(benchmark):
+    """With f_1 Byzantine holders of identifier 1 inflating counts, every
+    accepted multiplicity stays within [correct, correct + f_1]."""
+
+    def body():
+        assignment = stacked_assignment(8, 4)  # identifier 1 x 5
+        group = assignment.group(1)
+        byz = (group[3], group[4])  # f_1 = 2
+        procs, _ = run_broadcast_system(
+            8, 4, 2, byz=byz, adversary=CountInflator(), rounds=10
+        )
+        return procs, len(group) - len(byz), len(byz)
+
+    procs, correct_count, f_1 = run_once(benchmark, body)
+    observed = set()
+    for p in procs:
+        for a in p.accepts:
+            if a.ident == 1 and a.message == "m":
+                observed.add(a.multiplicity)
+                assert correct_count <= a.multiplicity <= correct_count + f_1
+    emit("Figure 6 unforgeability window",
+         [("correct broadcasters", correct_count),
+          ("f_1", f_1),
+          ("observed multiplicities", sorted(observed))])
+    assert observed  # the broadcast did go through
+
+
+def test_fig6_accept_latency_series(benchmark):
+    """Accepts recur every superround (the relay invariant) and the
+    first accept lands in the broadcast superround."""
+
+    def body():
+        procs, _ = run_broadcast_system(6, 3, 1, rounds=12)
+        rows = []
+        for p in procs:
+            superrounds = sorted(
+                a.accepted_superround for a in p.accepts
+                if a.ident == 1 and a.message == "m"
+            )
+            rows.append((p.identifier, superrounds[:6]))
+        return rows
+
+    rows = run_once(benchmark, body)
+    emit("Figure 6 accept superrounds per process (first six)",
+         [("identifier", "accept superrounds")] + rows)
+    for _ident, superrounds in rows:
+        assert superrounds[0] == 0
+        # Echo persistence re-triggers accepts every superround.
+        assert superrounds == list(range(len(superrounds)))

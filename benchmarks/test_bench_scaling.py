@@ -1,0 +1,103 @@
+"""Scaling benchmark: the protocols as n grows.
+
+Not a paper artefact (the paper leaves complexity open) but a release
+requirement: users need the cost curve.  The series report decision
+rounds and message counts as the system grows along two paper-relevant
+trajectories:
+
+* Figure 5 at the minimal solvable identifier count for each ``n``
+  (``ell = floor((n + 3t)/2) + 1``);
+* Figure 7 pinned at ``ell = t + 1`` while ``n`` grows -- the identifier
+  count is *constant* in n, the whole point of the restricted model.
+
+The cost-model bounds of :mod:`repro.analysis.complexity` are asserted
+along the way, so the printed curves are guaranteed, not incidental.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis.complexity import (
+    dls_all_decided_bound,
+    restricted_all_decided_bound,
+)
+from repro.core.identity import balanced_assignment
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+from repro.psync.dls_homonyms import dls_factory
+from repro.psync.restricted import restricted_factory
+from repro.sim.runner import run_agreement
+
+PSYNC = Synchrony.PARTIALLY_SYNCHRONOUS
+
+
+def run_fig5(n, t=1):
+    ell = (n + 3 * t) // 2 + 1
+    params = SystemParams(n=n, ell=ell, t=t, synchrony=PSYNC)
+    byz = tuple(range(n - t, n))
+    result = run_agreement(
+        params=params,
+        assignment=balanced_assignment(n, ell),
+        factory=dls_factory(params, BINARY),
+        proposals={k: k % 2 for k in range(n - t)},
+        byzantine=byz,
+        max_rounds=dls_all_decided_bound(params, 0) + 8,
+    )
+    return params, result
+
+
+def run_fig7(n, t=1):
+    ell = t + 1
+    params = SystemParams(n=n, ell=ell, t=t, synchrony=PSYNC,
+                          numerate=True, restricted=True)
+    byz = tuple(range(n - t, n))
+    result = run_agreement(
+        params=params,
+        assignment=balanced_assignment(n, ell),
+        factory=restricted_factory(params, BINARY),
+        proposals={k: k % 2 for k in range(n - t)},
+        byzantine=byz,
+        max_rounds=restricted_all_decided_bound(params, 0) + 8,
+    )
+    return params, result
+
+
+def test_scaling_fig5(benchmark):
+    def body():
+        rows = []
+        for n in (6, 8, 10, 12, 14):
+            params, result = run_fig5(n)
+            assert result.verdict.ok
+            assert result.verdict.last_decision_round <= \
+                dls_all_decided_bound(params, 0)
+            rows.append((n, params.ell,
+                         result.verdict.last_decision_round,
+                         result.metrics.total_messages))
+        return rows
+
+    rows = run_once(benchmark, body)
+    emit("Figure 5 scaling at minimal ell (t=1)",
+         [("n", "ell", "last decision round", "messages")] + rows)
+    # Identifier demand grows with n -- the unrestricted model's tax.
+    ells = [row[1] for row in rows]
+    assert ells == sorted(ells) and ells[-1] > ells[0]
+
+
+def test_scaling_fig7(benchmark):
+    def body():
+        rows = []
+        for n in (4, 6, 8, 10, 12):
+            params, result = run_fig7(n)
+            assert result.verdict.ok
+            assert result.verdict.last_decision_round <= \
+                restricted_all_decided_bound(params, 0)
+            rows.append((n, params.ell,
+                         result.verdict.last_decision_round,
+                         result.metrics.total_messages))
+        return rows
+
+    rows = run_once(benchmark, body)
+    emit("Figure 7 scaling at ell = t + 1 (t=1)",
+         [("n", "ell", "last decision round", "messages")] + rows)
+    # Identifier demand is constant in n -- the restricted dividend.
+    assert {row[1] for row in rows} == {2}

@@ -1,0 +1,78 @@
+"""Benchmark T1: regenerate Table 1 -- the solvability matrix.
+
+For each of the four model families of Table 1 we validate one cell on
+each side of the predicted boundary: solvable cells must survive the
+(quick) workload battery, unsolvable cells must yield the paper's
+constructive demonstration.  The printed grid is the empirical Table 1.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis.bounds import solvable
+from repro.analysis.tables import table1_text
+from repro.core.params import SystemParams, Synchrony
+from repro.experiments.harness import evaluate_cell
+from repro.experiments.report import cell_grid_report
+
+PSYNC = Synchrony.PARTIALLY_SYNCHRONOUS
+
+#: One cell per (model family, side of the boundary).
+TABLE1_CELLS = [
+    # -- synchronous, unrestricted (Theorem 3: ell > 3t) ----------------
+    ("sync solvable", SystemParams(n=5, ell=4, t=1)),
+    ("sync unsolvable", SystemParams(n=5, ell=3, t=1)),
+    # -- synchronous, restricted + innumerate (Theorem 19: still 3t) ----
+    ("sync-restricted-innum solvable",
+     SystemParams(n=5, ell=4, t=1, restricted=True)),
+    ("sync-restricted-innum unsolvable",
+     SystemParams(n=5, ell=3, t=1, restricted=True)),
+    # -- partially synchronous, unrestricted (Theorem 13) ---------------
+    ("psync solvable", SystemParams(n=7, ell=6, t=1, synchrony=PSYNC)),
+    ("psync unsolvable", SystemParams(n=9, ell=6, t=1, synchrony=PSYNC)),
+    # -- restricted + numerate (Theorems 14/15: ell > t) ----------------
+    ("restricted-numerate solvable",
+     SystemParams(n=4, ell=2, t=1, synchrony=PSYNC,
+                  numerate=True, restricted=True)),
+    ("restricted-numerate unsolvable",
+     SystemParams(n=4, ell=1, t=1, synchrony=PSYNC,
+                  numerate=True, restricted=True)),
+]
+
+
+@pytest.mark.parametrize("label,params", TABLE1_CELLS,
+                         ids=[c[0] for c in TABLE1_CELLS])
+def test_table1_cell(benchmark, label, params):
+    """Each Table 1 cell: prediction == empirical outcome."""
+
+    def body():
+        return evaluate_cell(params, quick=True)
+
+    cell = run_once(benchmark, body)
+    benchmark.extra_info["cell"] = cell.summary()
+    emit(f"Table 1 cell: {label}", [
+        ("params", params.describe()),
+        ("predicted", "solvable" if cell.predicted_solvable else "unsolvable"),
+        ("runs", len(cell.runs)),
+        ("demonstration", cell.demonstration or "-"),
+        ("consistent", cell.empirically_consistent),
+    ])
+    assert cell.empirically_consistent, cell.summary()
+    assert cell.predicted_solvable == solvable(params)
+
+
+def test_table1_grid_report(benchmark):
+    """The assembled empirical Table 1 (all eight cells)."""
+
+    def body():
+        return [evaluate_cell(p, quick=True) for _, p in TABLE1_CELLS]
+
+    cells = run_once(benchmark, body)
+    report = cell_grid_report(cells)
+    print("\n" + table1_text())
+    print(report)
+    benchmark.extra_info["consistent_cells"] = sum(
+        1 for c in cells if c.empirically_consistent
+    )
+    assert all(c.empirically_consistent for c in cells)
+    assert f"{len(cells)}/{len(cells)} cells consistent" in report

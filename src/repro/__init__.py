@@ -1,0 +1,58 @@
+"""Byzantine Agreement with Homonyms -- a full reproduction.
+
+Reproduces Delporte-Gallet, Fauconnier, Guerraoui, Kermarrec, Ruppert,
+Tran-The: *Byzantine Agreement with Homonyms*, PODC 2011: a round-based
+simulator for homonymous message-passing systems, all four algorithm
+families of the paper, executable versions of every lower-bound
+construction, and the analysis/benchmark layer regenerating Table 1 and
+Figures 1-7.
+
+Quick tour (see ``examples/quickstart.py`` for a runnable version)::
+
+    from repro.core import BINARY, SystemParams, Synchrony, balanced_assignment
+    from repro.psync import dls_factory, dls_horizon
+    from repro.sim import SilenceUntil, run_agreement
+
+    params = SystemParams(n=7, ell=6, t=1,
+                          synchrony=Synchrony.PARTIALLY_SYNCHRONOUS)
+    result = run_agreement(
+        params=params,
+        assignment=balanced_assignment(7, 6),
+        factory=dls_factory(params, BINARY),
+        proposals={k: k % 2 for k in range(6)},
+        byzantine=(6,),
+        drop_schedule=SilenceUntil(16),
+        max_rounds=dls_horizon(params, 16),
+    )
+    assert result.verdict.ok
+
+Package layout:
+
+* :mod:`repro.core` -- parameters, identities, messages, problem spec;
+* :mod:`repro.sim` -- the round engine, synchrony models, adversary API;
+* :mod:`repro.classic` -- unique-identifier baselines (EIG, Phase-King)
+  in the Figure 2 functional form;
+* :mod:`repro.homonyms` -- the Figure 3 transformation ``T(A)``;
+* :mod:`repro.broadcast` -- authenticated broadcast (Proposition 6) and
+  its multiplicity variant (Figure 6);
+* :mod:`repro.psync` -- the partially synchronous protocols (Figures 5
+  and 7) and proper-set maintenance;
+* :mod:`repro.adversaries` -- generic attacks plus the Figure 1 / Figure
+  4 / Lemma 17 lower-bound constructions;
+* :mod:`repro.analysis` -- solvability predicates, quorum lemmas, Table 1;
+* :mod:`repro.experiments` -- the cell-validation harness and reports.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "adversaries",
+    "analysis",
+    "broadcast",
+    "classic",
+    "core",
+    "experiments",
+    "homonyms",
+    "psync",
+    "sim",
+]

@@ -1,0 +1,271 @@
+"""Lemma 17 / Proposition 16: the mirror adversary (``ell <= t``).
+
+Against *restricted* Byzantine processes with *numerate* receivers the
+paper shows ``ell > t`` is necessary by a valency argument whose engine
+is Lemma 17: fix one Byzantine process per identifier (possible when
+``ell <= t``).  If two configurations ``C`` and ``C'`` differ in the
+state of a single correct process ``p`` (identifier ``i``), then the
+Byzantine process ``b`` holding identifier ``i`` can *mirror* ``p``:
+
+* from ``C``, ``b`` runs ``p``'s algorithm starting from ``p``'s state
+  in ``C'`` (all other Byzantine processes silent);
+* from ``C'``, ``b`` runs it from ``p``'s state in ``C``.
+
+Every correct process other than ``p`` then receives identical message
+*multisets* in both executions -- ``p`` and ``b`` have the same
+identifier and simply swap roles -- so it must decide the same value.
+Chaining configurations that flip one input at a time from all-0 to
+all-1 yields a multivalent configuration, and iterating the argument
+an execution that never decides: agreement with ``ell <= t`` is
+impossible.
+
+This module makes the lemma executable:
+
+* :class:`MirrorAdversary` -- one Byzantine slot runs the correct
+  algorithm with a *mirror input*, the rest stay silent;
+* :func:`run_mirror_pair` -- runs the two adjacent executions and
+  reports whether non-``p`` correct processes were indeed unable to
+  distinguish them (their decisions match);
+* :func:`mirror_chain_scan` -- walks the whole input chain for an
+  algorithm under test and returns the violation that the theorem
+  guarantees must exist somewhere along it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from repro.adversaries.generic import SimulatedCorrectAdversary
+from repro.core.errors import ConfigurationError
+from repro.core.identity import IdentityAssignment
+from repro.core.params import SystemParams
+from repro.sim.adversary import Emission
+from repro.sim.process import Process
+from repro.sim.runner import ExecutionResult, run_execution
+
+AlgorithmFactory = Callable[[int, Hashable], Process]
+
+
+class MirrorAdversary(SimulatedCorrectAdversary):
+    """One Byzantine slot faithfully runs the algorithm with another input.
+
+    ``mirror_slot`` is the Byzantine slot that mirrors; ``mirror_input``
+    is the input it pretends to have.  All other Byzantine slots stay
+    silent.  The mirror is protocol-compliant, hence legal even in the
+    restricted model.
+    """
+
+    def __init__(
+        self,
+        factory: AlgorithmFactory,
+        mirror_slot: int,
+        mirror_input: Hashable,
+    ) -> None:
+        super().__init__(factory)
+        self.mirror_slot = int(mirror_slot)
+        self.mirror_input = mirror_input
+
+    def instance_plan(self, slot: int, ident: int) -> Sequence[Hashable]:
+        if slot == self.mirror_slot:
+            return (self.mirror_input,)
+        return ()
+
+    def route(self, view, slot, payloads) -> Emission:
+        if slot != self.mirror_slot or not payloads or payloads[0] is None:
+            return {}
+        return {q: (payloads[0],) for q in range(view.params.n)}
+
+
+@dataclass(frozen=True)
+class MirrorPairReport:
+    """Result of running two Lemma 17-adjacent executions."""
+
+    flipped_slot: int  # the correct process whose input differs
+    mirror_slot: int  # the Byzantine homonym that mirrors it
+    run_low: ExecutionResult  # flipped slot has input 0, mirror input 1
+    run_high: ExecutionResult  # flipped slot has input 1, mirror input 0
+    indistinguishable: bool  # non-flipped correct processes agree across runs
+
+    def summary(self) -> str:
+        status = "indistinguishable" if self.indistinguishable else "DIVERGED"
+        return (
+            f"mirror pair (flip p{self.flipped_slot} / mirror b{self.mirror_slot}): "
+            f"{status}; low={self.run_low.verdict.decisions} "
+            f"high={self.run_high.verdict.decisions}"
+        )
+
+
+def _chain_setup(n: int, ell: int, t: int) -> tuple[IdentityAssignment, list[int], list[int]]:
+    """Fixed Byzantine set: one process per identifier; correct rest.
+
+    Returns ``(assignment, byzantine slots, correct slots)``; the
+    Byzantine slot with identifier ``i`` is slot ``i - 1``; correct
+    slots follow in identifier round-robin so every identifier also has
+    at least one correct holder.
+    """
+    if ell > t:
+        raise ConfigurationError(
+            f"the mirror construction needs ell <= t, got ell={ell}, t={t}"
+        )
+    if n <= ell:
+        raise ConfigurationError("need at least one correct process (n > ell)")
+    ids = list(range(1, ell + 1))  # Byzantine slots, one per identifier
+    correct_count = n - ell
+    ids.extend((j % ell) + 1 for j in range(correct_count))
+    assignment = IdentityAssignment(ell, tuple(ids))
+    byzantine = list(range(ell))
+    correct = list(range(ell, n))
+    return assignment, byzantine, correct
+
+
+def run_mirror_pair(
+    params: SystemParams,
+    factory: AlgorithmFactory,
+    flip_position: int,
+    max_rounds: int,
+) -> MirrorPairReport:
+    """Run the two executions of Lemma 17 around one input flip.
+
+    Configuration ``j`` gives input 1 to the first ``j`` correct slots
+    and 0 to the rest; this runs configurations ``flip_position`` and
+    ``flip_position + 1``, with the mirror Byzantine process running the
+    flipped process's algorithm from the *other* configuration's input.
+    """
+    assignment, byzantine, correct = _chain_setup(params.n, params.ell, params.t)
+    flipped_slot = correct[flip_position]
+    flipped_ident = assignment.identifier_of(flipped_slot)
+    mirror_slot = flipped_ident - 1  # the Byzantine holder of that identifier
+
+    def run_one(flip_value: Hashable) -> ExecutionResult:
+        processes: list[Process | None] = [None] * params.n
+        for pos, slot in enumerate(correct):
+            value = 1 if pos < flip_position else 0
+            if slot == flipped_slot:
+                value = flip_value
+            processes[slot] = factory(assignment.identifier_of(slot), value)
+        adversary = MirrorAdversary(
+            factory, mirror_slot, mirror_input=1 if flip_value == 0 else 0
+        )
+        return run_execution(
+            params=params,
+            assignment=assignment,
+            processes=processes,
+            byzantine=byzantine,
+            adversary=adversary,
+            max_rounds=max_rounds,
+            stop_when_all_decided=True,
+            require_termination=True,
+        )
+
+    run_low = run_one(0)
+    run_high = run_one(1)
+
+    others = [slot for slot in correct if slot != flipped_slot]
+    indistinguishable = all(
+        run_low.processes[slot].decision == run_high.processes[slot].decision
+        for slot in others
+    )
+    return MirrorPairReport(
+        flipped_slot=flipped_slot,
+        mirror_slot=mirror_slot,
+        run_low=run_low,
+        run_high=run_high,
+        indistinguishable=indistinguishable,
+    )
+
+
+@dataclass(frozen=True)
+class ChainScanOutcome:
+    """Aggregate of a full Lemma 21-style configuration-chain scan.
+
+    Two kinds of evidence can surface, matching the two stages of the
+    Proposition 16 proof:
+
+    * ``violation_found`` -- a single execution broke validity,
+      agreement or termination outright;
+    * ``multivalence_witnessed`` -- some *initial configuration* was
+      driven to different decision values by the two mirror variants,
+      which is exactly how Lemma 21 establishes the existence of a
+      multivalent initial configuration (the adversary invisibly
+      controls the outcome).  The remainder of the paper's argument --
+      extending multivalence forever to kill termination -- is
+      non-constructive and not exhibited by finite runs.
+    """
+
+    reports: tuple[MirrorPairReport, ...]
+    violation_found: bool
+    multivalence_witnessed: bool
+    detail: str
+
+    @property
+    def impossibility_evidence(self) -> bool:
+        """True when the scan produced either kind of evidence."""
+        return self.violation_found or self.multivalence_witnessed
+
+    def summary(self) -> str:
+        lines = [
+            "mirror chain scan: "
+            f"violation={self.violation_found} "
+            f"multivalence={self.multivalence_witnessed} ({self.detail})"
+        ]
+        lines.extend("  " + r.summary() for r in self.reports)
+        return "\n".join(lines)
+
+
+def mirror_chain_scan(
+    params: SystemParams, factory: AlgorithmFactory, max_rounds: int
+) -> ChainScanOutcome:
+    """Walk the all-0 -> all-1 input chain and surface the contradiction.
+
+    Configuration ``j`` gives input 1 to the first ``j`` correct slots.
+    Each adjacent pair ``(C_j, C_{j+1})`` is run with the Lemma 17
+    mirror adversaries.  Configuration ``C_j`` (for ``0 < j < last``)
+    therefore executes twice -- once with the mirror pretending input 1
+    (as the *low* run of pair ``j``) and once pretending input 0 (as the
+    *high* run of pair ``j - 1``).  If those two executions decide
+    different values, ``C_j`` is multivalent: Lemma 21 exhibited.
+    Outright property violations in any run are reported too.
+    """
+    _assignment, _byz, correct = _chain_setup(params.n, params.ell, params.t)
+    reports: list[MirrorPairReport] = []
+    violation = False
+    detail_parts: list[str] = []
+    #: config index -> set of unanimous decision values observed.
+    outcomes: dict[int, set] = {}
+
+    def note_outcome(config_index: int, run: ExecutionResult) -> None:
+        values = {repr(v) for v in run.verdict.decisions.values()}
+        if len(values) == 1:
+            outcomes.setdefault(config_index, set()).update(values)
+
+    for position in range(len(correct)):
+        report = run_mirror_pair(params, factory, position, max_rounds)
+        reports.append(report)
+        # Pair `position` runs configuration `position` (low, flip=0)
+        # and configuration `position + 1` (high, flip=1).
+        note_outcome(position, report.run_low)
+        note_outcome(position + 1, report.run_high)
+        for name, run in (("low", report.run_low), ("high", report.run_high)):
+            if not run.verdict.ok:
+                violation = True
+                detail_parts.append(
+                    f"pair {position} ({name}): "
+                    + "; ".join(str(v) for v in run.verdict.violations)
+                )
+
+    multivalent = {j for j, values in outcomes.items() if len(values) > 1}
+    if multivalent:
+        detail_parts.append(
+            "multivalent initial configurations (adversary steers the "
+            f"decision): {sorted(multivalent)}"
+        )
+    detail = "; ".join(detail_parts) if detail_parts else (
+        "no evidence found (unexpected for ell <= t)"
+    )
+    return ChainScanOutcome(
+        reports=tuple(reports),
+        violation_found=violation,
+        multivalence_witnessed=bool(multivalent),
+        detail=detail,
+    )

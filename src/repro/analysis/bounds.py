@@ -1,0 +1,158 @@
+"""Closed-form solvability predicates: the content of Table 1.
+
+The paper's complete characterisation of Byzantine agreement with
+homonyms, as predicates over ``(n, ell, t)`` and the model flags.
+Everywhere ``n > 3t`` is required (Pease--Shostak--Lamport); on top of
+that:
+
+=====================  ============================  =======================
+model                  unrestricted Byzantine        restricted Byzantine
+=====================  ============================  =======================
+synchronous            ``ell > 3t``                  numerate: ``ell > t``
+                                                     innumerate: ``ell > 3t``
+partially synchronous  ``2*ell > n + 3t``            numerate: ``ell > t``
+                                                     innumerate: ``2*ell > n + 3t``
+=====================  ============================  =======================
+
+The predicates drive the Table 1 benchmark (each cell's prediction is
+validated empirically) and double as executable documentation of the
+paper's headline curiosities, which have their own helpers here:
+
+* :func:`partial_synchrony_gap` -- configurations solvable synchronously
+  but not partially synchronously;
+* :func:`more_correct_processes_hurt` -- adding correct processes
+  (increasing ``n`` at fixed ``ell, t``) can cross the partially
+  synchronous bound;
+* :func:`restriction_gain` -- how far the restricted+numerate model
+  lowers the identifier requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.params import Synchrony, SystemParams
+
+
+def psl_bound(n: int, t: int) -> bool:
+    """The universal requirement ``n > 3t`` (holds for every cell)."""
+    return n > 3 * t
+
+
+def sync_bound(ell: int, t: int) -> bool:
+    """Theorem 3: synchronous solvability iff ``ell > 3t``."""
+    return ell > 3 * t
+
+
+def psync_bound(n: int, ell: int, t: int) -> bool:
+    """Theorem 13: partially synchronous solvability iff ``2*ell > n + 3t``."""
+    return 2 * ell > n + 3 * t
+
+
+def restricted_numerate_bound(ell: int, t: int) -> bool:
+    """Theorems 14/15: restricted Byzantine + numerate iff ``ell > t``."""
+    return ell > t
+
+
+def solvable(params: SystemParams) -> bool:
+    """The full Table 1 predicate for one parameterised model."""
+    n, ell, t = params.n, params.ell, params.t
+    if t == 0:
+        return True  # no faults: trivially solvable in every model here
+    if not psl_bound(n, t):
+        return False
+    if params.restricted and params.numerate:
+        # Theorems 14/15: the same condition in both synchrony models.
+        return restricted_numerate_bound(ell, t)
+    if params.synchrony is Synchrony.SYNCHRONOUS:
+        # Theorem 3 (unrestricted) and Theorem 19 (restricted innumerate).
+        return sync_bound(ell, t)
+    # Theorem 13 (unrestricted) and Theorem 20 (restricted innumerate).
+    return psync_bound(n, ell, t)
+
+
+def min_identifiers(
+    n: int, t: int, synchrony: Synchrony, numerate: bool, restricted: bool
+) -> int | None:
+    """Smallest ``ell`` (``<= n``) making the configuration solvable.
+
+    Returns ``None`` when no ``ell <= n`` works (i.e. ``n <= 3t``, where
+    even unique identifiers do not help).
+    """
+    for ell in range(1, n + 1):
+        params = SystemParams(
+            n=n, ell=ell, t=t,
+            synchrony=synchrony, numerate=numerate, restricted=restricted,
+        )
+        if solvable(params):
+            return ell
+    return None
+
+
+@dataclass(frozen=True)
+class GapExample:
+    """A configuration illustrating one of the paper's surprises."""
+
+    n: int
+    ell: int
+    t: int
+    description: str
+
+
+def partial_synchrony_gap(max_n: int = 20) -> Iterator[GapExample]:
+    """Configurations solvable synchronously but not partially synchronously.
+
+    The paper highlights that, unlike the classical ``ell = n`` world,
+    relaxing synchrony changes the solvability condition; every yielded
+    example satisfies ``ell > 3t`` but ``2*ell <= n + 3t``.
+    """
+    for t in range(1, max_n // 3 + 1):
+        for n in range(3 * t + 1, max_n + 1):
+            for ell in range(1, n + 1):
+                if sync_bound(ell, t) and not psync_bound(n, ell, t):
+                    yield GapExample(
+                        n=n, ell=ell, t=t,
+                        description=(
+                            f"sync solvable (ell={ell} > 3t={3 * t}) but psync "
+                            f"unsolvable (2*ell={2 * ell} <= n+3t={n + 3 * t})"
+                        ),
+                    )
+
+
+def more_correct_processes_hurt(ell: int, t: int) -> GapExample | None:
+    """The paper's ``t=1, ell=4`` curiosity, generalised.
+
+    At fixed ``(ell, t)`` with ``ell > 3t``, partially synchronous
+    agreement is solvable for ``n = ell`` but becomes unsolvable once
+    ``n >= 2*ell - 3t`` -- adding *correct* processes breaks it.  Returns
+    the smallest such ``n`` as an example, or ``None`` if the premise
+    fails.
+    """
+    if not sync_bound(ell, t):
+        return None
+    n_bad = 2 * ell - 3 * t
+    if n_bad <= ell:  # cannot happen when ell > 3t
+        return None
+    return GapExample(
+        n=n_bad, ell=ell, t=t,
+        description=(
+            f"with ell={ell}, t={t}: solvable for ell <= n <= {n_bad - 1}, "
+            f"unsolvable from n={n_bad} although the extra processes are correct"
+        ),
+    )
+
+
+def restriction_gain(n: int, t: int) -> tuple[int | None, int | None]:
+    """Identifier requirements (psync, numerate): unrestricted vs restricted.
+
+    Returns ``(min ell unrestricted, min ell restricted)`` -- the paper's
+    headline drop from ``> (n + 3t)/2`` to ``> t``.
+    """
+    unrestricted = min_identifiers(
+        n, t, Synchrony.PARTIALLY_SYNCHRONOUS, numerate=True, restricted=False
+    )
+    restricted = min_identifiers(
+        n, t, Synchrony.PARTIALLY_SYNCHRONOUS, numerate=True, restricted=True
+    )
+    return unrestricted, restricted

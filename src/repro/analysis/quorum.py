@@ -1,0 +1,109 @@
+"""Quorum-intersection arithmetic: Lemmas 7, 30 and 31 made executable.
+
+The safety of both partially synchronous protocols reduces to counting
+arguments about overlapping quorums.  This module states them as pure
+functions and provides exhaustive small-case verifiers used by the
+property-based test-suite.
+
+* **Lemma 7** (Figure 5): with ``2*ell > n + 3t``, any two sets of
+  ``ell - t`` *identifiers* intersect in an identifier held by exactly
+  one process, which is correct.
+* **Lemma 30** (Figure 7): ``n - t`` witnesses for a broadcast imply at
+  least ``n - t - f`` correct broadcasters (``f`` = actual Byzantine
+  count), via the unforgeability bound ``alpha_i <= correct_i + f_i``.
+* **Lemma 31** (Figure 7): two ``n - t``-witnessed broadcasts share a
+  correct broadcaster (``(n-t-f) + (n-t-f) - (n-f) = n - 2t - f >=
+  n - 3t > 0``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.core.identity import IdentityAssignment
+
+
+def lemma7_holds(n: int, ell: int, t: int) -> bool:
+    """Arithmetic form of Lemma 7.
+
+    Any two identifier sets of size ``ell - t`` intersect in at least
+    ``2*(ell - t) - ell = ell - 2t`` identifiers; at most ``n - ell``
+    identifiers are shared by several processes and at most ``t`` belong
+    to Byzantine processes, so a sole-owner correct identifier exists in
+    the intersection whenever ``ell - 2t > (n - ell) + t``, i.e.
+    ``2*ell > n + 3t``.
+    """
+    return (ell - 2 * t) > (n - ell) + t
+
+
+def quorum_intersection_size(ell: int, quorum: int) -> int:
+    """Minimum intersection of two quorums out of ``ell`` identifiers."""
+    return max(0, 2 * quorum - ell)
+
+
+def sole_owner_correct_in_intersection(
+    assignment: IdentityAssignment,
+    byzantine: Sequence[int],
+    quorum_a: Iterable[int],
+    quorum_b: Iterable[int],
+) -> tuple[int, ...]:
+    """Identifiers in ``A ∩ B`` held by exactly one process, none Byzantine.
+
+    This is the *conclusion* of Lemma 7 for two concrete quorums; the
+    test-suite checks it is non-empty for every pair of ``ell - t``-sized
+    quorums whenever ``2*ell > n + 3t``.
+    """
+    byz_ids = {assignment.identifier_of(b) for b in byzantine}
+    result = []
+    for ident in set(quorum_a) & set(quorum_b):
+        if len(assignment.group(ident)) == 1 and ident not in byz_ids:
+            result.append(ident)
+    return tuple(sorted(result))
+
+
+def lemma7_exhaustive_check(
+    assignment: IdentityAssignment, t: int, byzantine: Sequence[int]
+) -> bool:
+    """Check Lemma 7's conclusion over *all* quorum pairs of one system.
+
+    Exponential in ``ell``; intended for ``ell <= 8``.
+    """
+    ell = assignment.ell
+    quorum = ell - t
+    identifiers = list(range(1, ell + 1))
+    for qa in itertools.combinations(identifiers, quorum):
+        for qb in itertools.combinations(identifiers, quorum):
+            if not sole_owner_correct_in_intersection(
+                assignment, byzantine, qa, qb
+            ):
+                return False
+    return True
+
+
+def lemma30_min_correct_broadcasters(n: int, t: int, f: int, witnesses: int) -> int:
+    """Lemma 30: lower bound on correct broadcasters given a witness total."""
+    return max(0, witnesses - f)
+
+
+def lemma31_shared_broadcaster_guaranteed(n: int, t: int, f: int) -> bool:
+    """Lemma 31: do two ``n - t``-witnessed broadcasts share a correct sender?
+
+    ``|A ∩ B| >= (n-t-f) + (n-t-f) - (n-f) = n - 2t - f``; with ``f <= t``
+    and ``n > 3t`` this is positive.
+    """
+    return (n - 2 * t - f) > 0
+
+
+def witness_bounds(
+    correct_broadcasters: int, f_i_by_ident: dict[int, int]
+) -> tuple[int, int]:
+    """Range of witness totals the Figure 6 primitive can legally report.
+
+    Correctness gives the lower end (every correct broadcast counted);
+    unforgeability caps each identifier's multiplicity at
+    ``correct_i + f_i``, so the total is at most
+    ``correct + sum(f_i)``.
+    """
+    total_f = sum(f_i_by_ident.values())
+    return correct_broadcasters, correct_broadcasters + total_f

@@ -1,0 +1,26 @@
+"""Authenticated broadcast primitives (Proposition 6, Figure 6) and the
+reliable-broadcast extension."""
+
+from repro.broadcast.authenticated import (
+    Accept,
+    AuthenticatedBroadcast,
+    parse_broadcast_items,
+)
+from repro.broadcast.multiplicity import (
+    MultiplicityAccept,
+    MultiplicityBroadcast,
+)
+from repro.broadcast.reliable import (
+    ReliableBroadcastProcess,
+    reliable_broadcast_factory,
+)
+
+__all__ = [
+    "Accept",
+    "AuthenticatedBroadcast",
+    "MultiplicityAccept",
+    "MultiplicityBroadcast",
+    "ReliableBroadcastProcess",
+    "parse_broadcast_items",
+    "reliable_broadcast_factory",
+]

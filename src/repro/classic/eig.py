@@ -1,0 +1,181 @@
+"""Exponential Information Gathering (EIG) Byzantine agreement.
+
+The classic unique-identifier synchronous algorithm of Pease, Shostak
+and Lamport [17] / Lamport, Shostak and Pease [13], in the tree-based
+"exponential information gathering" formulation: tolerates ``t``
+Byzantine faults among ``ell`` processes whenever ``ell > 3t``, deciding
+after exactly ``t + 1`` rounds.  This is the reproduction's stand-in for
+the paper's "any synchronous Byzantine agreement algorithm ... such
+algorithms exist when ell = n > 3t, e.g. [13]".
+
+Each process maintains a tree of values indexed by *paths* -- sequences
+of distinct identifiers.  ``tree[(j1, ..., jk)] = v`` means "``jk`` told
+me that ``jk-1`` told it that ... ``j1``'s input is ``v``".  In round
+``r`` every process relays all level ``r-1`` nodes whose path does not
+contain its own identifier; after round ``t+1`` the tree is resolved
+bottom-up by majority, and the root's resolved value is the decision.
+
+The state is a frozen dataclass whose tree is a *sorted tuple* of
+``(path, value)`` pairs, giving the canonical ``repr`` that the
+Figure 3 transformation requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from repro.classic.spec import ClassicSpec, majority_value
+from repro.core.problem import AgreementProblem
+
+
+Path = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class EIGState:
+    """EIG process state: identity, progress and the information tree."""
+
+    ident: int
+    rounds_done: int
+    tree: tuple[tuple[Path, Hashable], ...]  # sorted by (len(path), path)
+
+    def tree_dict(self) -> dict[Path, Hashable]:
+        return dict(self.tree)
+
+
+def _canonical_tree(entries: Mapping[Path, Hashable]) -> tuple[tuple[Path, Hashable], ...]:
+    return tuple(sorted(entries.items(), key=lambda kv: (len(kv[0]), kv[0])))
+
+
+class EIGSpec(ClassicSpec):
+    """EIG agreement for ``ell`` processes, ``ell > 3t``, ``t + 1`` rounds."""
+
+    def __init__(
+        self, ell: int, t: int, problem: AgreementProblem, unchecked: bool = False
+    ) -> None:
+        super().__init__(ell, t, problem, unchecked=unchecked)
+        self.require_bound(3)
+
+    # ------------------------------------------------------------------
+    # Figure 2 interface
+    # ------------------------------------------------------------------
+    def init(self, ident: int, value: Hashable) -> EIGState:
+        value = self.problem.validate_value(value)
+        return EIGState(
+            ident=int(ident),
+            rounds_done=0,
+            tree=_canonical_tree({(): value}),
+        )
+
+    def message(self, state: EIGState, round_no: int) -> Hashable:
+        """Relay all level ``round_no - 1`` nodes not involving ``ident``."""
+        if round_no > self.t + 1:
+            return None  # algorithm is finished; stay silent
+        level = round_no - 1
+        entries = tuple(
+            (path, value)
+            for path, value in state.tree
+            if len(path) == level and state.ident not in path
+        )
+        return ("eig", round_no, entries)
+
+    def transition(
+        self, state: EIGState, round_no: int, received: Mapping[int, Hashable]
+    ) -> EIGState:
+        if round_no > self.t + 1:
+            return state
+        tree = state.tree_dict()
+        level = round_no - 1
+        for sender in sorted(received):
+            payload = received[sender]
+            for path, value in self._payload_entries(payload, round_no):
+                if len(path) != level or sender in path:
+                    continue  # malformed or misattributed relay: ignore
+                extended = path + (sender,)
+                # First write wins; a correct sender never sends a path twice
+                # in a round (payloads are de-duplicated tuples).
+                tree.setdefault(extended, value)
+        return EIGState(
+            ident=state.ident,
+            rounds_done=round_no,
+            tree=_canonical_tree(tree),
+        )
+
+    def decide(self, state: EIGState) -> Hashable:
+        if state.rounds_done < self.t + 1:
+            return None
+        return self._resolve(state.tree_dict(), ())
+
+    # ------------------------------------------------------------------
+    # Robustness / metadata
+    # ------------------------------------------------------------------
+    def is_state(self, obj: Hashable) -> bool:
+        if not isinstance(obj, EIGState):
+            return False
+        if not 1 <= obj.ident <= self.ell:
+            return False
+        if not 0 <= obj.rounds_done <= self.t + 1:
+            return False
+        if not isinstance(obj.tree, tuple):
+            return False
+        for entry in obj.tree:
+            if not (isinstance(entry, tuple) and len(entry) == 2):
+                return False
+            path, _value = entry
+            if not isinstance(path, tuple) or len(path) > self.t + 1:
+                return False
+            if not all(isinstance(j, int) and 1 <= j <= self.ell for j in path):
+                return False
+            if len(set(path)) != len(path):
+                return False
+        return True
+
+    @property
+    def max_rounds(self) -> int:
+        return self.t + 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _payload_entries(
+        self, payload: Hashable, round_no: int
+    ) -> Iterable[tuple[Path, Hashable]]:
+        """Parse a round payload defensively; malformed parts are skipped."""
+        if not (isinstance(payload, tuple) and len(payload) == 3):
+            return
+        tag, r, entries = payload
+        if tag != "eig" or r != round_no or not isinstance(entries, tuple):
+            return
+        seen: set[Path] = set()
+        for entry in entries:
+            if not (isinstance(entry, tuple) and len(entry) == 2):
+                continue
+            path, value = entry
+            if not isinstance(path, tuple):
+                continue
+            if not all(isinstance(j, int) and 1 <= j <= self.ell for j in path):
+                continue
+            if len(set(path)) != len(path) or path in seen:
+                continue
+            seen.add(path)
+            yield path, value
+
+    def _resolve(self, tree: Mapping[Path, Hashable], path: Path) -> Hashable:
+        """Bottom-up majority resolution; missing values fall to the default."""
+        default = self.problem.default
+        if len(path) == self.t + 1:
+            value = tree.get(path, default)
+            return value if value in self.problem.domain else default
+        counts: dict[Hashable, int] = {}
+        for j in range(1, self.ell + 1):
+            if j in path:
+                continue
+            child = self._resolve(tree, path + (j,))
+            counts[child] = counts.get(child, 0) + 1
+        total = sum(counts.values())
+        value, count = majority_value(counts, default)
+        # Strict majority; ties and fragmentation resolve to the default.
+        if 2 * count > total:
+            return value
+        return default

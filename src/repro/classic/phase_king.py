@@ -1,0 +1,147 @@
+"""Phase-King Byzantine agreement (Berman--Garay--Perry).
+
+A polynomial-message classic baseline: ``ell`` uniquely-identified
+processes tolerate ``t`` Byzantine faults whenever ``ell > 4t``, using
+``t + 1`` phases of two rounds each.  Messages are constant-size, which
+makes Phase-King the cheap baseline next to EIG's exponential trees in
+the Figure 2 benchmark.
+
+Phase ``k`` (``k = 1..t+1``):
+
+* round ``2k - 1``: every process broadcasts its current preference;
+  each receiver computes the plurality value ``maj`` and its count
+  ``mult`` over the ``ell`` received preferences;
+* round ``2k``: the *king* of the phase -- the process whose identifier
+  is ``k`` -- broadcasts its own ``maj`` as a tie-break; every process
+  keeps ``maj`` if ``mult > ell/2 + t`` (a count no Byzantine coalition
+  can fake) and otherwise adopts the king's value.
+
+After phase ``t + 1`` at least one phase had a correct king, which
+forces all correct preferences equal; ``ell > 4t`` makes the threshold
+sticky, so the common preference survives to the end and is decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.classic.spec import ClassicSpec, majority_value
+from repro.core.problem import AgreementProblem
+
+
+@dataclass(frozen=True)
+class PhaseKingState:
+    """Phase-King process state."""
+
+    ident: int
+    rounds_done: int
+    pref: Hashable
+    maj: Hashable  # plurality value from the last round-1 tally
+    mult: int      # its count
+
+
+class PhaseKingSpec(ClassicSpec):
+    """Phase-King agreement for ``ell`` processes, ``ell > 4t``."""
+
+    def __init__(
+        self, ell: int, t: int, problem: AgreementProblem, unchecked: bool = False
+    ) -> None:
+        super().__init__(ell, t, problem, unchecked=unchecked)
+        self.require_bound(4)
+
+    # ------------------------------------------------------------------
+    # Figure 2 interface
+    # ------------------------------------------------------------------
+    def init(self, ident: int, value: Hashable) -> PhaseKingState:
+        value = self.problem.validate_value(value)
+        return PhaseKingState(
+            ident=int(ident), rounds_done=0, pref=value,
+            maj=value, mult=0,
+        )
+
+    def message(self, state: PhaseKingState, round_no: int) -> Hashable:
+        if round_no > self.max_rounds:
+            return None
+        if round_no % 2 == 1:  # preference round
+            return ("pk-pref", round_no, state.pref)
+        king = round_no // 2
+        if state.ident == king:  # king round: only the king speaks
+            return ("pk-king", round_no, state.maj)
+        return None
+
+    def transition(
+        self, state: PhaseKingState, round_no: int, received: Mapping[int, Hashable]
+    ) -> PhaseKingState:
+        if round_no > self.max_rounds:
+            return state
+        if round_no % 2 == 1:
+            return self._tally_preferences(state, round_no, received)
+        return self._apply_king(state, round_no, received)
+
+    def decide(self, state: PhaseKingState) -> Hashable:
+        if state.rounds_done < self.max_rounds:
+            return None
+        return state.pref
+
+    # ------------------------------------------------------------------
+    # Robustness / metadata
+    # ------------------------------------------------------------------
+    def is_state(self, obj: Hashable) -> bool:
+        return (
+            isinstance(obj, PhaseKingState)
+            and isinstance(obj.ident, int)
+            and 1 <= obj.ident <= self.ell
+            and isinstance(obj.rounds_done, int)
+            and 0 <= obj.rounds_done <= self.max_rounds
+            and obj.pref in self.problem.domain
+            and obj.maj in self.problem.domain
+            and isinstance(obj.mult, int)
+            and 0 <= obj.mult <= self.ell
+        )
+
+    @property
+    def max_rounds(self) -> int:
+        return 2 * (self.t + 1)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _tally_preferences(
+        self, state: PhaseKingState, round_no: int, received: Mapping[int, Hashable]
+    ) -> PhaseKingState:
+        counts: dict[Hashable, int] = {}
+        for sender in received:
+            value = self._extract(received[sender], "pk-pref", round_no)
+            if value is not None:
+                counts[value] = counts.get(value, 0) + 1
+        maj, mult = majority_value(counts, self.problem.default)
+        return PhaseKingState(
+            ident=state.ident, rounds_done=round_no,
+            pref=state.pref, maj=maj, mult=mult,
+        )
+
+    def _apply_king(
+        self, state: PhaseKingState, round_no: int, received: Mapping[int, Hashable]
+    ) -> PhaseKingState:
+        king = round_no // 2
+        king_value = self._extract(received.get(king), "pk-king", round_no)
+        if king_value is None:
+            king_value = self.problem.default
+        if state.mult > self.ell / 2 + self.t:
+            pref = state.maj
+        else:
+            pref = king_value
+        return PhaseKingState(
+            ident=state.ident, rounds_done=round_no,
+            pref=pref, maj=state.maj, mult=state.mult,
+        )
+
+    def _extract(self, payload: Hashable, tag: str, round_no: int) -> Hashable:
+        """Pull a domain value out of a tagged payload; ``None`` if malformed."""
+        if not (isinstance(payload, tuple) and len(payload) == 3):
+            return None
+        got_tag, r, value = payload
+        if got_tag != tag or r != round_no or value not in self.problem.domain:
+            return None
+        return value

@@ -1,0 +1,52 @@
+"""Run a Figure 2 spec directly as simulator processes.
+
+In the classical setting (``ell = n``, unique identifiers) a
+:class:`~repro.classic.spec.ClassicSpec` *is* an algorithm for the
+simulator; :class:`ClassicProcess` adapts the functional form to the
+engine's ``compose``/``deliver`` interface.  This is how the Figure 2
+baselines are benchmarked, and it doubles as the reference behaviour
+that the Figure 3 transformation must reproduce (the simulation proof
+of Proposition 2 equates ``T(A)`` executions with executions of these
+processes).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.classic.spec import ClassicSpec, filter_equivocators
+from repro.core.messages import Inbox
+from repro.sim.process import Process
+
+
+class ClassicProcess(Process):
+    """One uniquely-identified process executing a Figure 2 spec.
+
+    Engine rounds are 0-indexed; the paper's Figure 2 rounds are
+    1-indexed.  Round ``R`` of the engine executes round ``R + 1`` of
+    the spec.
+    """
+
+    def __init__(self, spec: ClassicSpec, identifier: int, proposal: Hashable) -> None:
+        super().__init__(identifier, proposal)
+        self.spec = spec
+        self.state = spec.init(identifier, proposal)
+
+    def compose(self, round_no: int) -> Hashable:
+        return self.spec.message(self.state, round_no + 1)
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        received = filter_equivocators(inbox)
+        self.state = self.spec.transition(self.state, round_no + 1, received)
+        decision = self.spec.decide(self.state)
+        if decision is not None:
+            self.record_decision(decision, round_no)
+
+
+def classic_factory(spec: ClassicSpec):
+    """Process factory for :func:`repro.sim.runner.run_agreement`."""
+
+    def factory(identifier: int, proposal: Hashable) -> ClassicProcess:
+        return ClassicProcess(spec, identifier, proposal)
+
+    return factory

@@ -1,0 +1,257 @@
+"""Command-line interface: explore the paper from a shell.
+
+Subcommands:
+
+* ``table1`` -- print the symbolic Table 1 and a per-ell boundary map;
+* ``check N ELL T`` -- classify one configuration in all four model
+  families, with the relevant theorem for each verdict;
+* ``run`` -- execute one agreement instance (model, assignment, attack
+  and drop schedule selectable) and print the verdict, optionally with
+  the ASCII execution timeline;
+* ``attack`` -- run a lower-bound construction (``fig1``/``fig4``/
+  ``mirror``) and print the machine-checked violation.
+
+Examples::
+
+    python -m repro table1 --n 8 --t 1
+    python -m repro check 9 6 1
+    python -m repro run --n 7 --ell 6 --t 1 --model psync --gst 16 --timeline
+    python -m repro attack fig4 --n 9 --ell 6 --t 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.adversaries.generic import (
+    EquivocatorAdversary,
+    RandomByzantineAdversary,
+)
+from repro.adversaries.mirror import mirror_chain_scan
+from repro.adversaries.partition import run_partition_attack
+from repro.adversaries.scenario import run_scenario
+from repro.analysis.bounds import solvable
+from repro.analysis.tables import boundary_map, table1_text
+from repro.classic.eig import EIGSpec
+from repro.core.identity import balanced_assignment, random_assignment
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+from repro.experiments.harness import algorithm_for
+from repro.homonyms.transform import transform_factory, transform_horizon
+from repro.psync.dls_homonyms import DLSHomonymProcess, dls_horizon
+from repro.psync.restricted import restricted_factory, restricted_horizon
+from repro.sim.partial import RandomDrops, SilenceUntil
+from repro.sim.render import render_decision_summary, render_timeline
+from repro.sim.runner import run_agreement
+
+
+def _params(args, synchrony=None) -> SystemParams:
+    if synchrony is None:
+        synchrony = (
+            Synchrony.PARTIALLY_SYNCHRONOUS
+            if getattr(args, "model", "psync") == "psync"
+            else Synchrony.SYNCHRONOUS
+        )
+    return SystemParams(
+        n=args.n, ell=args.ell, t=args.t,
+        synchrony=synchrony,
+        numerate=getattr(args, "numerate", False),
+        restricted=getattr(args, "restricted", False),
+    )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_table1(args) -> int:
+    print(table1_text())
+    if args.n is not None:
+        print()
+        print(boundary_map(args.n, args.t))
+    return 0
+
+
+def cmd_check(args) -> int:
+    n, ell, t = args.n, args.ell, args.t
+    rows = [
+        ("synchronous, unrestricted", Synchrony.SYNCHRONOUS, False, False,
+         "Theorem 3: ell > 3t"),
+        ("synchronous, restricted+numerate", Synchrony.SYNCHRONOUS, True,
+         True, "Theorem 14: ell > t"),
+        ("partially synchronous, unrestricted",
+         Synchrony.PARTIALLY_SYNCHRONOUS, False, False,
+         "Theorem 13: 2*ell > n + 3t"),
+        ("partially synchronous, restricted+numerate",
+         Synchrony.PARTIALLY_SYNCHRONOUS, True, True,
+         "Theorem 15: ell > t"),
+    ]
+    print(f"n={n}, ell={ell}, t={t} (PSL bound n > 3t: "
+          f"{'met' if n > 3 * t else 'VIOLATED'})")
+    for name, synchrony, numerate, restricted, theorem in rows:
+        params = SystemParams(n=n, ell=ell, t=t, synchrony=synchrony,
+                              numerate=numerate, restricted=restricted)
+        verdict = "solvable" if solvable(params) else "unsolvable"
+        print(f"  {name:<44} {verdict:<11} ({theorem})")
+    return 0
+
+
+def cmd_run(args) -> int:
+    params = _params(args)
+    problem = BINARY
+    if not solvable(params):
+        print(f"{params.describe()} is UNSOLVABLE per the paper "
+              f"(see `python -m repro check {params.n} {params.ell} "
+              f"{params.t}`); try `python -m repro attack` to watch the "
+              f"matching lower-bound construction break it.")
+        return 2
+    name, factory, horizon = algorithm_for(params, problem)
+    if args.gst:
+        horizon = max(horizon, args.gst + horizon)
+
+    assignment = (
+        random_assignment(params.n, params.ell, args.seed)
+        if args.assignment == "random"
+        else balanced_assignment(params.n, params.ell)
+    )
+    byzantine = tuple(range(params.n - params.t, params.n))
+    proposals = {
+        k: k % 2 for k in range(params.n) if k not in byzantine
+    }
+    adversary = {
+        "silent": None,
+        "chaos": RandomByzantineAdversary(seed=args.seed),
+        "equivocate": EquivocatorAdversary(factory),
+    }[args.attack]
+    schedule = None
+    if args.gst and args.drops == "silence":
+        schedule = SilenceUntil(args.gst)
+    elif args.gst:
+        schedule = RandomDrops(gst=args.gst, p=0.5, seed=args.seed)
+
+    print(f"algorithm: {name} on {params.describe()}")
+    print(f"assignment: {assignment.describe()}  byzantine: {byzantine}")
+    result = run_agreement(
+        params=params,
+        assignment=assignment,
+        factory=factory,
+        proposals=proposals,
+        byzantine=byzantine,
+        adversary=adversary,
+        drop_schedule=schedule,
+        max_rounds=horizon,
+    )
+    print()
+    print(result.verdict.summary())
+    print(result.metrics.summary())
+    if args.timeline:
+        print()
+        print(render_timeline(result.trace, assignment, byzantine,
+                              rounds_per_phase=args.phase_ruler))
+        print()
+        print(render_decision_summary(result.trace, proposals))
+    return 0 if result.verdict.ok else 1
+
+
+def cmd_attack(args) -> int:
+    n, ell, t = args.n, args.ell, args.t
+    if args.construction == "fig1":
+        spec = EIGSpec(3 * t, t, BINARY, unchecked=True)
+        outcome = run_scenario(
+            n, t, transform_factory(spec, unchecked=True),
+            max_rounds=transform_horizon(spec),
+        )
+        print(outcome.summary())
+        return 0 if outcome.contradiction_exhibited else 1
+    if args.construction == "fig4":
+        params = _params(args, Synchrony.PARTIALLY_SYNCHRONOUS)
+
+        def factory(ident, value):
+            return DLSHomonymProcess(params, BINARY, ident, value,
+                                     unchecked=True)
+
+        outcome = run_partition_attack(
+            n, ell, t, factory, reference_rounds=dls_horizon(params, 0)
+        )
+        print(outcome.summary())
+        return 0 if outcome.attack_succeeded else 1
+    # mirror
+    params = SystemParams(
+        n=n, ell=ell, t=t, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+        numerate=True, restricted=True,
+    )
+    outcome = mirror_chain_scan(
+        params,
+        restricted_factory(params, BINARY, unchecked=True),
+        max_rounds=restricted_horizon(params, 0),
+    )
+    print(outcome.summary())
+    return 0 if outcome.impossibility_evidence else 1
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Byzantine Agreement with Homonyms (PODC 2011) "
+                    "-- reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="print Table 1 and a boundary map")
+    p.add_argument("--n", type=int, default=None,
+                   help="also print the per-ell map for this n")
+    p.add_argument("--t", type=int, default=1)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("check", help="classify one (n, ell, t)")
+    p.add_argument("n", type=int)
+    p.add_argument("ell", type=int)
+    p.add_argument("t", type=int)
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("run", help="execute one agreement instance")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--ell", type=int, required=True)
+    p.add_argument("--t", type=int, required=True)
+    p.add_argument("--model", choices=("sync", "psync"), default="psync")
+    p.add_argument("--numerate", action="store_true")
+    p.add_argument("--restricted", action="store_true")
+    p.add_argument("--assignment", choices=("balanced", "random"),
+                   default="balanced")
+    p.add_argument("--attack", choices=("silent", "chaos", "equivocate"),
+                   default="chaos")
+    p.add_argument("--gst", type=int, default=0,
+                   help="drop messages before this round")
+    p.add_argument("--drops", choices=("random", "silence"), default="random")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeline", action="store_true",
+                   help="render the ASCII execution timeline")
+    p.add_argument("--phase-ruler", type=int, default=8,
+                   help="rounds per phase for the timeline ruler")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("attack", help="run a lower-bound construction")
+    p.add_argument("construction", choices=("fig1", "fig4", "mirror"))
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--ell", type=int, default=0)
+    p.add_argument("--t", type=int, required=True)
+    p.set_defaults(func=cmd_attack)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `python -m repro ... | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the homonyms reproduction.
+
+All exceptions raised by this package derive from :class:`ReproError`
+so that callers can catch package failures with a single except clause
+while letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A system configuration violates a structural requirement.
+
+    Examples: ``n < ell``, an identifier with no process assigned to it,
+    a Byzantine set larger than ``t``.
+    """
+
+
+class BoundViolation(ConfigurationError):
+    """An algorithm was instantiated outside its solvability bound.
+
+    Algorithms raise this *eagerly* at construction time when the
+    supplied ``(n, ell, t)`` triple falls outside the region in which the
+    paper proves them correct (e.g. constructing the Figure 5 algorithm
+    with ``2*ell <= n + 3*t``).  Lower-bound demonstrations deliberately
+    bypass the check via ``unchecked=True``.
+    """
+
+
+class AdversaryViolation(ReproError):
+    """The adversary attempted something the model forbids.
+
+    Raised by the network engine when a Byzantine strategy tries to
+    forge an identifier it does not own, or sends more than one message
+    per recipient per round under the *restricted* Byzantine model.
+    """
+
+
+class ProtocolViolation(ReproError):
+    """A correct-process implementation broke an internal invariant.
+
+    This signals a bug in an algorithm implementation (e.g. a correct
+    process attempting to send two different payloads in one round), not
+    adversarial behaviour.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine itself hit an inconsistent state."""
+
+
+class ReplayError(ReproError):
+    """A replay adversary was asked for a round missing from its trace."""

@@ -1,0 +1,221 @@
+"""Identifier assignment: mapping ``n`` processes onto ``ell`` identifiers.
+
+The defining feature of the homonym model is that several processes may
+share an authenticated identifier.  An :class:`IdentityAssignment` maps
+process *indices* ``0..n-1`` (simulation-level names, invisible to the
+algorithms, mirroring the paper's convention that proofs may name
+processes ``p`` while algorithms cannot) onto identifiers ``1..ell``.
+
+The module also provides the assignment generators used by the
+experiment harness: balanced, skewed, single-stack (the ``n - ell + 1``
+clone worst case used throughout the paper's lower bounds), and seeded
+random assignments.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IdentityAssignment:
+    """An assignment of identifiers to processes.
+
+    ``ids[k]`` is the identifier of the process with simulation index
+    ``k``.  Identifiers are integers ``1..ell``; the constructor checks
+    that every identifier in that range is assigned to at least one
+    process (the paper requires each identifier to be held by at least
+    one process).
+    """
+
+    ell: int
+    ids: tuple[int, ...]
+    _groups: Mapping[int, tuple[int, ...]] = field(
+        init=False, repr=False, compare=False, hash=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        if self.ell < 1:
+            raise ConfigurationError(f"ell must be >= 1, got {self.ell}")
+        if len(self.ids) < self.ell:
+            raise ConfigurationError(
+                f"{len(self.ids)} processes cannot cover {self.ell} identifiers"
+            )
+        seen = set(self.ids)
+        expected = set(range(1, self.ell + 1))
+        if not seen <= expected:
+            raise ConfigurationError(
+                f"identifiers out of range 1..{self.ell}: {sorted(seen - expected)}"
+            )
+        if seen != expected:
+            raise ConfigurationError(
+                f"unassigned identifiers: {sorted(expected - seen)}"
+            )
+        groups: dict[int, list[int]] = {i: [] for i in range(1, self.ell + 1)}
+        for index, ident in enumerate(self.ids):
+            groups[ident].append(index)
+        object.__setattr__(
+            self,
+            "_groups",
+            {i: tuple(members) for i, members in groups.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return len(self.ids)
+
+    def identifier_of(self, index: int) -> int:
+        """Identifier of the process with simulation index ``index``."""
+        return self.ids[index]
+
+    def group(self, ident: int) -> tuple[int, ...]:
+        """Indices of all processes holding identifier ``ident``.
+
+        The paper calls this set ``G(i)``.
+        """
+        if ident not in self._groups:
+            raise ConfigurationError(f"unknown identifier {ident}")
+        return self._groups[ident]
+
+    def groups(self) -> Mapping[int, tuple[int, ...]]:
+        """Mapping ``identifier -> process indices`` for all groups."""
+        return dict(self._groups)
+
+    def group_sizes(self) -> dict[int, int]:
+        """Mapping ``identifier -> number of holders``."""
+        return {i: len(members) for i, members in self._groups.items()}
+
+    def sole_owner_ids(self) -> tuple[int, ...]:
+        """Identifiers held by exactly one process (non-homonyms)."""
+        return tuple(
+            ident
+            for ident, members in sorted(self._groups.items())
+            if len(members) == 1
+        )
+
+    def homonym_ids(self) -> tuple[int, ...]:
+        """Identifiers shared by two or more processes."""
+        return tuple(
+            ident
+            for ident, members in sorted(self._groups.items())
+            if len(members) > 1
+        )
+
+    def counts(self) -> Counter:
+        """Multiset of identifiers as a :class:`collections.Counter`."""
+        return Counter(self.ids)
+
+    def describe(self) -> str:
+        sizes = self.group_sizes()
+        parts = [f"{ident}x{sizes[ident]}" for ident in sorted(sizes)]
+        return f"n={self.n} ell={self.ell} [" + " ".join(parts) + "]"
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def balanced_assignment(n: int, ell: int) -> IdentityAssignment:
+    """Spread ``n`` processes over ``ell`` identifiers as evenly as possible.
+
+    Process ``k`` receives identifier ``(k mod ell) + 1``, so group sizes
+    differ by at most one.
+    """
+    if n < ell:
+        raise ConfigurationError(f"need n >= ell, got n={n}, ell={ell}")
+    return IdentityAssignment(ell, tuple((k % ell) + 1 for k in range(n)))
+
+
+def stacked_assignment(n: int, ell: int, stacked_id: int = 1) -> IdentityAssignment:
+    """All excess processes pile onto one identifier.
+
+    Identifier ``stacked_id`` is held by ``n - ell + 1`` processes and
+    every other identifier by exactly one.  This is the worst case used
+    by the clone arguments (Theorem 19) and the partition construction
+    (Proposition 4): a maximal stack of homonyms.
+    """
+    if n < ell:
+        raise ConfigurationError(f"need n >= ell, got n={n}, ell={ell}")
+    if not 1 <= stacked_id <= ell:
+        raise ConfigurationError(f"stacked_id out of range: {stacked_id}")
+    singles = [ident for ident in range(1, ell + 1) if ident != stacked_id]
+    ids = [stacked_id] * (n - ell + 1) + singles
+    return IdentityAssignment(ell, tuple(ids))
+
+
+def assignment_from_sizes(sizes: Mapping[int, int]) -> IdentityAssignment:
+    """Build an assignment from explicit group sizes.
+
+    ``sizes`` maps each identifier (which must form the contiguous range
+    ``1..ell``) to the number of processes holding it.  Processes are
+    indexed group by group in identifier order.
+    """
+    ell = len(sizes)
+    if set(sizes) != set(range(1, ell + 1)):
+        raise ConfigurationError(
+            f"sizes must cover identifiers 1..{ell}, got {sorted(sizes)}"
+        )
+    ids: list[int] = []
+    for ident in range(1, ell + 1):
+        count = sizes[ident]
+        if count < 1:
+            raise ConfigurationError(
+                f"identifier {ident} must have at least one process"
+            )
+        ids.extend([ident] * count)
+    return IdentityAssignment(ell, tuple(ids))
+
+
+def random_assignment(
+    n: int, ell: int, seed: int | random.Random = 0
+) -> IdentityAssignment:
+    """Seeded random assignment: cover ``1..ell`` then assign the rest uniformly."""
+    if n < ell:
+        raise ConfigurationError(f"need n >= ell, got n={n}, ell={ell}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    ids = list(range(1, ell + 1))
+    ids.extend(rng.randrange(1, ell + 1) for _ in range(n - ell))
+    rng.shuffle(ids)
+    return IdentityAssignment(ell, tuple(ids))
+
+
+def all_assignments(n: int, ell: int) -> Iterable[IdentityAssignment]:
+    """Enumerate all assignments of ``n`` processes to ``ell`` identifiers.
+
+    Exponential in ``n``; intended for exhaustive small-case testing
+    (``n <= 8`` or so).  Assignments that do not cover every identifier
+    are skipped.
+    """
+    def rec(prefix: list[int]) -> Iterable[tuple[int, ...]]:
+        if len(prefix) == n:
+            if set(prefix) == set(range(1, ell + 1)):
+                yield tuple(prefix)
+            return
+        remaining = n - len(prefix)
+        missing = set(range(1, ell + 1)) - set(prefix)
+        if len(missing) > remaining:
+            return
+        for ident in range(1, ell + 1):
+            prefix.append(ident)
+            yield from rec(prefix)
+            prefix.pop()
+
+    for ids in rec([]):
+        yield IdentityAssignment(ell, ids)
+
+
+def byzantine_sets(
+    assignment: IdentityAssignment, t: int, seed: int | random.Random = 0
+) -> tuple[int, ...]:
+    """Pick a seeded random set of at most ``t`` Byzantine process indices."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    count = min(t, assignment.n)
+    return tuple(sorted(rng.sample(range(assignment.n), count)))

@@ -1,0 +1,167 @@
+"""System parameters: the model space of the paper.
+
+The paper characterises Byzantine agreement over a 2x2x2 model space:
+
+* synchrony: synchronous vs partially synchronous (DLS basic model);
+* numeracy: numerate (inboxes are multisets -- copies of identical
+  messages can be counted) vs innumerate (inboxes are sets);
+* Byzantine restriction: unrestricted (a Byzantine process may send any
+  number of messages to one recipient per round) vs restricted (at most
+  one message per recipient per round).
+
+:class:`SystemParams` bundles the numeric triple ``(n, ell, t)`` with
+the model flags, validates the structural requirements shared by every
+result in the paper (``n > 3t``, ``n >= ell >= 1``), and exposes the
+derived quantities the algorithms and proofs use (quorum sizes, number
+of guaranteed sole-owner identifiers, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.core.errors import ConfigurationError
+
+
+class Synchrony(enum.Enum):
+    """Timing model of the network."""
+
+    SYNCHRONOUS = "synchronous"
+    PARTIALLY_SYNCHRONOUS = "partially_synchronous"
+
+    @property
+    def short(self) -> str:
+        return "sync" if self is Synchrony.SYNCHRONOUS else "psync"
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Parameters of one system in the paper's model space.
+
+    Attributes
+    ----------
+    n:
+        Total number of processes (``n >= 2``).
+    ell:
+        Number of distinct authenticated identifiers actually assigned
+        (``1 <= ell <= n``).  Identifiers are ``1..ell``; every
+        identifier is held by at least one process.
+    t:
+        Maximum number of Byzantine processes tolerated (``0 <= t``).
+        The paper only considers ``n > 3t``; we allow constructing
+        parameter objects outside that region (the impossibility
+        demonstrations need them) but :meth:`validate` reports it.
+    synchrony:
+        Timing model.
+    numerate:
+        Whether correct processes receive round inboxes as multisets
+        (``True``) or sets (``False``).
+    restricted:
+        Whether Byzantine processes are restricted to at most one
+        message per recipient per round.
+    """
+
+    n: int
+    ell: int
+    t: int
+    synchrony: Synchrony = Synchrony.SYNCHRONOUS
+    numerate: bool = False
+    restricted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if not 1 <= self.ell <= self.n:
+            raise ConfigurationError(
+                f"need 1 <= ell <= n, got ell={self.ell}, n={self.n}"
+            )
+        if self.t < 0:
+            raise ConfigurationError(f"t must be >= 0, got {self.t}")
+
+    # ------------------------------------------------------------------
+    # Structural predicates
+    # ------------------------------------------------------------------
+    @property
+    def classical(self) -> bool:
+        """True when every process has a unique identifier (``ell == n``)."""
+        return self.ell == self.n
+
+    @property
+    def anonymous(self) -> bool:
+        """True when all processes share one identifier (``ell == 1``)."""
+        return self.ell == 1
+
+    @property
+    def meets_psl_bound(self) -> bool:
+        """Classical Pease--Shostak--Lamport requirement ``n > 3t``."""
+        return self.n > 3 * self.t
+
+    @property
+    def identifiers(self) -> range:
+        """The identifier space ``1..ell`` (inclusive), as the paper numbers it."""
+        return range(1, self.ell + 1)
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the algorithms
+    # ------------------------------------------------------------------
+    @property
+    def id_quorum(self) -> int:
+        """Identifier-quorum size ``ell - t`` used by the Figure 5 algorithm."""
+        return self.ell - self.t
+
+    @property
+    def process_quorum(self) -> int:
+        """Process-count quorum ``n - t`` used by the Figure 7 algorithm."""
+        return self.n - self.t
+
+    @property
+    def min_sole_owner_ids(self) -> int:
+        """Lower bound on identifiers owned by exactly one process.
+
+        At most ``n - ell`` identifiers can be shared, so at least
+        ``ell - (n - ell) = 2*ell - n`` identifiers are *sole-owner*.
+        The Figure 5 termination argument relies on there being at least
+        ``2t + 1`` sole-owner correct processes when ``2*ell > n + 3t``.
+        """
+        return max(0, 2 * self.ell - self.n)
+
+    def with_model(
+        self,
+        synchrony: Synchrony | None = None,
+        numerate: bool | None = None,
+        restricted: bool | None = None,
+    ) -> "SystemParams":
+        """Return a copy with some model flags replaced."""
+        return replace(
+            self,
+            synchrony=self.synchrony if synchrony is None else synchrony,
+            numerate=self.numerate if numerate is None else numerate,
+            restricted=self.restricted if restricted is None else restricted,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        num = "numerate" if self.numerate else "innumerate"
+        res = "restricted" if self.restricted else "unrestricted"
+        return (
+            f"n={self.n} ell={self.ell} t={self.t} "
+            f"[{self.synchrony.short}, {num}, {res} Byzantine]"
+        )
+
+
+def model_space() -> Iterator[tuple[Synchrony, bool, bool]]:
+    """Enumerate the paper's 2x2x2 model space.
+
+    Yields ``(synchrony, numerate, restricted)`` triples in a fixed
+    deterministic order (synchronous first, innumerate first,
+    unrestricted first) matching the layout of Table 1.
+    """
+    for synchrony, numerate, restricted in itertools.product(
+        (Synchrony.SYNCHRONOUS, Synchrony.PARTIALLY_SYNCHRONOUS),
+        (False, True),
+        (False, True),
+    ):
+        yield synchrony, numerate, restricted

@@ -1,0 +1,199 @@
+"""The Byzantine agreement problem: specification and verdict checking.
+
+The paper's Section 2 defines Byzantine agreement by three properties:
+
+1. **Validity** -- if all correct processes propose the same value ``v``,
+   no correct process decides a value different from ``v``.
+2. **Agreement** -- no two correct processes decide differently.
+3. **Termination** -- eventually every correct process decides.
+
+This module checks those properties over a finished simulation and
+produces a structured :class:`Verdict`.  Termination is necessarily
+checked against a round horizon: a simulation that ran ``R`` rounds
+without some correct process deciding reports a termination *timeout*
+(which is a genuine violation only when ``R`` comfortably exceeds the
+algorithm's worst-case decision bound -- callers pick the horizon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single property violation with a human-readable explanation."""
+
+    prop: str  # "validity" | "agreement" | "termination"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.prop}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of checking one execution against the problem spec.
+
+    Attributes
+    ----------
+    decisions:
+        ``process index -> decided value`` for correct processes that
+        decided (undecided processes are absent).
+    decision_rounds:
+        ``process index -> round`` of first decision.
+    violations:
+        All property violations found; empty means the execution
+        satisfies Byzantine agreement (within the round horizon).
+    rounds_executed:
+        Number of rounds the simulation ran.
+    """
+
+    decisions: Mapping[int, Hashable]
+    decision_rounds: Mapping[int, int]
+    violations: tuple[Violation, ...]
+    rounds_executed: int
+
+    @property
+    def ok(self) -> bool:
+        """True when no property was violated."""
+        return not self.violations
+
+    @property
+    def agreed_value(self) -> Hashable | None:
+        """The common decided value, if all deciders agree; else ``None``."""
+        values = set(self.decisions.values())
+        if len(values) == 1:
+            return next(iter(values))
+        return None
+
+    @property
+    def last_decision_round(self) -> int | None:
+        """Round by which every decided process had decided."""
+        if not self.decision_rounds:
+            return None
+        return max(self.decision_rounds.values())
+
+    def violated(self, prop: str) -> bool:
+        """True when a violation of the named property was recorded."""
+        return any(v.prop == prop for v in self.violations)
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"OK: decided {self.agreed_value!r} "
+                f"by round {self.last_decision_round} "
+                f"({self.rounds_executed} rounds executed)"
+            )
+        lines = [f"VIOLATIONS ({self.rounds_executed} rounds executed):"]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def check_agreement_properties(
+    proposals: Mapping[int, Hashable],
+    decisions: Mapping[int, Hashable],
+    decision_rounds: Mapping[int, int],
+    correct: Sequence[int],
+    rounds_executed: int,
+    require_termination: bool = True,
+) -> Verdict:
+    """Check Validity / Agreement / Termination for one execution.
+
+    Parameters
+    ----------
+    proposals:
+        ``process index -> proposed value`` for *correct* processes.
+    decisions, decision_rounds:
+        First decisions of correct processes (indices absent if
+        undecided).
+    correct:
+        Indices of correct processes.
+    rounds_executed:
+        How many rounds the simulation ran (reported in the verdict).
+    require_termination:
+        When ``False``, undecided processes are not reported as
+        termination violations (used for deliberately truncated runs).
+    """
+    violations: list[Violation] = []
+    correct_set = sorted(correct)
+
+    # Termination -------------------------------------------------------
+    undecided = [k for k in correct_set if k not in decisions]
+    if undecided and require_termination:
+        violations.append(
+            Violation(
+                "termination",
+                f"correct processes {undecided} undecided after "
+                f"{rounds_executed} rounds",
+            )
+        )
+
+    # Agreement ---------------------------------------------------------
+    decided_items = [(k, decisions[k]) for k in correct_set if k in decisions]
+    distinct_values = sorted({repr(v) for _, v in decided_items})
+    if len(distinct_values) > 1:
+        by_value: dict[str, list[int]] = {}
+        for k, v in decided_items:
+            by_value.setdefault(repr(v), []).append(k)
+        detail = "; ".join(
+            f"{procs} decided {value}" for value, procs in sorted(by_value.items())
+        )
+        violations.append(Violation("agreement", detail))
+
+    # Validity ----------------------------------------------------------
+    proposed_values = {repr(v) for k, v in proposals.items() if k in correct_set}
+    if len(proposed_values) == 1 and decided_items:
+        (only_value,) = proposed_values
+        bad = [(k, v) for k, v in decided_items if repr(v) != only_value]
+        if bad:
+            violations.append(
+                Violation(
+                    "validity",
+                    f"all correct proposed {only_value} but "
+                    + "; ".join(f"process {k} decided {v!r}" for k, v in bad),
+                )
+            )
+
+    return Verdict(
+        decisions={k: v for k, v in decided_items},
+        decision_rounds={
+            k: decision_rounds[k] for k, _ in decided_items if k in decision_rounds
+        },
+        violations=tuple(violations),
+        rounds_executed=rounds_executed,
+    )
+
+
+@dataclass(frozen=True)
+class AgreementProblem:
+    """Problem instance: the value domain processes may propose.
+
+    Algorithms that implement the "add all possible input values" rule
+    of the partially synchronous protocols need the full domain; it is
+    carried here.  The domain is ordered; several algorithms use
+    ``domain[0]`` as the deterministic default/tie-break value.
+    """
+
+    domain: tuple[Hashable, ...] = (0, 1)
+
+    def __post_init__(self) -> None:
+        if len(self.domain) < 2:
+            raise ValueError("agreement needs at least two possible values")
+        if len(set(self.domain)) != len(self.domain):
+            raise ValueError("value domain contains duplicates")
+
+    @property
+    def default(self) -> Hashable:
+        """Deterministic tie-break value."""
+        return self.domain[0]
+
+    def validate_value(self, value: Hashable) -> Hashable:
+        if value not in self.domain:
+            raise ValueError(f"value {value!r} outside domain {self.domain!r}")
+        return value
+
+
+BINARY = AgreementProblem((0, 1))
+"""The binary agreement instance used throughout the paper's examples."""

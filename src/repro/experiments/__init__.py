@@ -1,0 +1,49 @@
+"""Experiment harness: workloads, per-cell validation, reports."""
+
+from repro.experiments.harness import (
+    CellResult,
+    RunRecord,
+    algorithm_for,
+    drop_schedules,
+    evaluate_cell,
+    evaluate_solvable_cell,
+    evaluate_unsolvable_cell,
+)
+from repro.experiments.report import (
+    cell_grid_report,
+    failures_report,
+    latency_series_report,
+)
+from repro.experiments.workloads import (
+    alternating_inputs,
+    assignment_battery,
+    byzantine_batteries,
+    byzantine_on_homonyms,
+    byzantine_on_sole_owners,
+    input_patterns,
+    random_byzantine,
+    random_inputs,
+    unanimous_inputs,
+)
+
+__all__ = [
+    "CellResult",
+    "RunRecord",
+    "algorithm_for",
+    "alternating_inputs",
+    "assignment_battery",
+    "byzantine_batteries",
+    "byzantine_on_homonyms",
+    "byzantine_on_sole_owners",
+    "cell_grid_report",
+    "drop_schedules",
+    "evaluate_cell",
+    "evaluate_solvable_cell",
+    "evaluate_unsolvable_cell",
+    "failures_report",
+    "input_patterns",
+    "latency_series_report",
+    "random_byzantine",
+    "random_inputs",
+    "unanimous_inputs",
+]

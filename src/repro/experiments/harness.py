@@ -1,0 +1,269 @@
+"""Experiment harness: validate every Table 1 cell empirically.
+
+For one cell ``(n, ell, t, synchrony, numeracy, restriction)``:
+
+* the predicate of :mod:`repro.analysis.bounds` supplies the
+  *prediction* (solvable / unsolvable);
+* **solvable** cells run the matching algorithm (Figure 3
+  transformation of EIG for synchronous, Figure 5 for partially
+  synchronous, Figure 7 for restricted+numerate) across the workload
+  battery -- assignments x inputs x Byzantine placements x attacks x
+  drop schedules -- and must produce a clean verdict every time;
+* **unsolvable** cells run the paper's constructive demonstration
+  (Figure 1 scenario, Figure 4 partition, or the Lemma 17 mirror scan)
+  against the same algorithm built ``unchecked`` and must exhibit a
+  violation (or a Lemma 21 multivalence witness for the
+  non-constructive valency bound).
+
+The Table 1 benchmark and several integration tests drive this module;
+``quick=True`` trims the battery to keep the wall-clock sane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.adversaries.generic import standard_attack_suite
+from repro.adversaries.mirror import mirror_chain_scan
+from repro.adversaries.partition import (
+    partition_attack_feasible,
+    run_partition_attack,
+)
+from repro.adversaries.scenario import run_scenario
+from repro.analysis.bounds import solvable
+from repro.classic.eig import EIGSpec
+from repro.core.params import Synchrony, SystemParams
+from repro.core.problem import BINARY, AgreementProblem
+from repro.homonyms.transform import transform_factory, transform_horizon
+from repro.psync.dls_homonyms import dls_factory, dls_horizon
+from repro.psync.restricted import restricted_factory, restricted_horizon
+from repro.sim.partial import RandomDrops, SilenceUntil
+from repro.sim.process import Process
+from repro.sim.runner import run_agreement
+from repro.experiments.workloads import (
+    assignment_battery,
+    byzantine_batteries,
+    input_patterns,
+)
+
+AlgorithmFactory = Callable[[int, Hashable], Process]
+
+
+# ----------------------------------------------------------------------
+# Algorithm selection per model
+# ----------------------------------------------------------------------
+def algorithm_for(
+    params: SystemParams,
+    problem: AgreementProblem = BINARY,
+    unchecked: bool = False,
+) -> tuple[str, AlgorithmFactory, int]:
+    """Pick the paper's algorithm for a model; returns (name, factory, horizon).
+
+    The horizon assumes the worst drop schedule used by the harness
+    (``SilenceUntil`` with the harness's largest GST).
+    """
+    if params.restricted and params.numerate:
+        factory = restricted_factory(params, problem, unchecked=unchecked)
+        horizon = restricted_horizon(params, gst_round=_max_gst(params))
+        return "fig7-restricted", factory, horizon
+    if params.synchrony is Synchrony.SYNCHRONOUS:
+        spec = EIGSpec(params.ell, params.t, problem, unchecked=unchecked)
+        return (
+            "T(EIG)",
+            transform_factory(spec, unchecked=unchecked),
+            transform_horizon(spec),
+        )
+    factory = dls_factory(params, problem, unchecked=unchecked)
+    return "fig5-dls", factory, dls_horizon(params, gst_round=_max_gst(params))
+
+
+def _max_gst(params: SystemParams) -> int:
+    """Largest stabilisation round the harness's schedules use."""
+    if params.synchrony is Synchrony.SYNCHRONOUS:
+        return 0
+    return 16
+
+
+def drop_schedules(params: SystemParams, seed: int = 0):
+    """Schedules exercised per cell (synchronous cells get none)."""
+    if params.synchrony is Synchrony.SYNCHRONOUS:
+        return [("none", None)]
+    return [
+        ("none", None),
+        ("silence<16", SilenceUntil(16)),
+        (f"random-drops-{seed}", RandomDrops(gst=12, p=0.4, seed=seed)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Cell evaluation
+# ----------------------------------------------------------------------
+@dataclass
+class RunRecord:
+    """One execution inside a cell evaluation."""
+
+    label: str
+    ok: bool
+    detail: str
+
+
+@dataclass
+class CellResult:
+    """Outcome of validating one Table 1 cell."""
+
+    params: SystemParams
+    predicted_solvable: bool
+    algorithm: str
+    runs: list[RunRecord] = field(default_factory=list)
+    demonstration: str = ""
+
+    @property
+    def empirically_consistent(self) -> bool:
+        """Prediction and observation agree.
+
+        Solvable cells need every run clean; unsolvable cells need the
+        demonstration to have produced impossibility evidence.
+        """
+        if self.predicted_solvable:
+            return all(r.ok for r in self.runs)
+        return any(not r.ok for r in self.runs) or bool(self.demonstration)
+
+    def failures(self) -> list[RunRecord]:
+        return [r for r in self.runs if not r.ok]
+
+    def summary(self) -> str:
+        mark = "consistent" if self.empirically_consistent else "MISMATCH"
+        kind = "solvable" if self.predicted_solvable else "unsolvable"
+        return (
+            f"{self.params.describe()} predicted {kind} [{self.algorithm}] "
+            f"-> {mark} ({len(self.runs)} runs"
+            + (f"; demo: {self.demonstration}" if self.demonstration else "")
+            + ")"
+        )
+
+
+def evaluate_solvable_cell(
+    params: SystemParams,
+    problem: AgreementProblem = BINARY,
+    seed: int = 0,
+    quick: bool = False,
+) -> CellResult:
+    """Run the cell's algorithm across the workload battery."""
+    name, factory, horizon = algorithm_for(params, problem)
+    result = CellResult(params=params, predicted_solvable=True, algorithm=name)
+
+    assignments = assignment_battery(params.n, params.ell, seed)
+    schedules = drop_schedules(params, seed)
+    if quick:
+        assignments = assignments[:2]
+        schedules = schedules[:2]
+
+    for a_name, assignment in assignments:
+        byz_options = byzantine_batteries(assignment, params.t, seed)
+        if quick:
+            byz_options = byz_options[:2]
+        for b_name, byzantine in byz_options:
+            attacks = standard_attack_suite(
+                factory, params.restricted,
+                seeds=(seed + 1,) if quick else (seed + 1, seed + 2),
+            )
+            if quick:
+                attacks = attacks[:4]
+            correct = [k for k in range(params.n) if k not in byzantine]
+            patterns = input_patterns(correct, problem, seed)
+            if quick:
+                patterns = patterns[:3]
+            for p_name, proposals in patterns:
+                for s_name, schedule in schedules:
+                    for atk_name, adversary in attacks:
+                        label = "/".join(
+                            (a_name, b_name, p_name, s_name, atk_name)
+                        )
+                        run = run_agreement(
+                            params=params,
+                            assignment=assignment,
+                            factory=factory,
+                            proposals=proposals,
+                            byzantine=byzantine,
+                            adversary=adversary,
+                            drop_schedule=schedule,
+                            max_rounds=horizon,
+                        )
+                        result.runs.append(
+                            RunRecord(
+                                label=label,
+                                ok=run.verdict.ok,
+                                detail=run.verdict.summary(),
+                            )
+                        )
+    return result
+
+
+def evaluate_unsolvable_cell(
+    params: SystemParams,
+    problem: AgreementProblem = BINARY,
+    seed: int = 0,
+) -> CellResult:
+    """Run the constructive impossibility demonstration for the cell."""
+    name, factory, horizon = algorithm_for(params, problem, unchecked=True)
+    result = CellResult(params=params, predicted_solvable=False, algorithm=name)
+
+    n, ell, t = params.n, params.ell, params.t
+    if not params.meets_psl_bound:
+        result.demonstration = (
+            f"n={n} <= 3t={3 * t}: classical PSL impossibility (assumed, "
+            f"paper cites [13, 17])"
+        )
+        return result
+
+    if params.restricted and params.numerate:
+        # ell <= t: Lemma 17 mirror scan (valency argument).
+        scan = mirror_chain_scan(params, factory, max_rounds=horizon)
+        if scan.impossibility_evidence:
+            result.demonstration = f"mirror scan: {scan.detail}"
+        return result
+
+    if ell == 3 * t:
+        # Figure 1 scenario (applies to sync; psync inherits it since the
+        # partially synchronous model contains all synchronous runs).
+        outcome = run_scenario(n, t, factory, max_rounds=horizon)
+        if outcome.contradiction_exhibited:
+            broken = [v.name for v in outcome.views if not v.satisfied]
+            result.demonstration = f"figure-1 scenario: views {broken} violated"
+        return result
+
+    if ell < 3 * t:
+        result.demonstration = (
+            f"ell={ell} < 3t={3 * t}: dominated by the ell=3t scenario "
+            f"(fewer identifiers are strictly weaker)"
+        )
+        return result
+
+    # Remaining case: partially synchronous, 3t < ell, 2*ell <= n + 3t.
+    if partition_attack_feasible(n, ell, t):
+        outcome = run_partition_attack(
+            n, ell, t, factory,
+            reference_rounds=dls_horizon(params, 0),
+        )
+        if outcome.attack_succeeded:
+            result.demonstration = (
+                "figure-4 partition: gamma verdict "
+                + "; ".join(str(v) for v in outcome.gamma.verdict.violations)
+            )
+        return result
+
+    result.demonstration = ""
+    return result
+
+
+def evaluate_cell(
+    params: SystemParams,
+    problem: AgreementProblem = BINARY,
+    seed: int = 0,
+    quick: bool = False,
+) -> CellResult:
+    """Dispatch on the predicted solvability of the cell."""
+    if solvable(params):
+        return evaluate_solvable_cell(params, problem, seed, quick)
+    return evaluate_unsolvable_cell(params, problem, seed)

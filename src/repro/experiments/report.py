@@ -1,0 +1,46 @@
+"""Reporting: render harness results the way the paper presents them."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.harness import CellResult
+
+
+def cell_grid_report(results: Sequence[CellResult]) -> str:
+    """One line per cell: parameters, prediction, empirical verdict."""
+    lines = ["Table 1 empirical validation", "=" * 64]
+    consistent = 0
+    for cell in results:
+        lines.append(cell.summary())
+        if cell.empirically_consistent:
+            consistent += 1
+    lines.append("=" * 64)
+    lines.append(f"{consistent}/{len(results)} cells consistent with the paper")
+    return "\n".join(lines)
+
+
+def failures_report(results: Iterable[CellResult]) -> str:
+    """Details of every run that disagreed with the prediction."""
+    lines: list[str] = []
+    for cell in results:
+        if cell.empirically_consistent:
+            continue
+        lines.append(cell.params.describe())
+        if cell.predicted_solvable:
+            for record in cell.failures():
+                lines.append(f"  FAIL {record.label}: {record.detail}")
+        else:
+            lines.append("  expected an impossibility demonstration, got none")
+    return "\n".join(lines) if lines else "no mismatches"
+
+
+def latency_series_report(
+    title: str, rows: Sequence[tuple[str, float]], unit: str = "rounds"
+) -> str:
+    """A small fixed-width series table (used by the figure benches)."""
+    width = max((len(name) for name, _ in rows), default=8) + 2
+    lines = [title, "-" * (width + 12)]
+    for name, value in rows:
+        lines.append(f"{name.ljust(width)}{value:>8.1f} {unit}")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Workload generators: inputs, assignments and Byzantine placements.
+
+The experiment harness sweeps configurations; this module supplies the
+deterministic, seeded building blocks: input vectors (unanimous, split,
+adversarial), identity assignments (balanced / stacked / random) and
+Byzantine placements (random, homonym-targeting, sole-owner-targeting).
+Everything is a pure function of its arguments so sweeps reproduce.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from repro.core.identity import (
+    IdentityAssignment,
+    balanced_assignment,
+    random_assignment,
+    stacked_assignment,
+)
+from repro.core.problem import AgreementProblem
+
+
+# ----------------------------------------------------------------------
+# Input vectors
+# ----------------------------------------------------------------------
+def unanimous_inputs(
+    indices: Sequence[int], value: Hashable
+) -> dict[int, Hashable]:
+    """Every process proposes ``value`` (the validity stress case)."""
+    return {k: value for k in indices}
+
+def alternating_inputs(
+    indices: Sequence[int], problem: AgreementProblem
+) -> dict[int, Hashable]:
+    """Proposals cycle through the domain (maximal disagreement)."""
+    domain = problem.domain
+    return {k: domain[pos % len(domain)] for pos, k in enumerate(sorted(indices))}
+
+def random_inputs(
+    indices: Sequence[int], problem: AgreementProblem, seed: int
+) -> dict[int, Hashable]:
+    """Seeded uniform proposals."""
+    rng = random.Random(seed)
+    return {k: rng.choice(problem.domain) for k in sorted(indices)}
+
+def input_patterns(
+    indices: Sequence[int], problem: AgreementProblem, seed: int = 0
+) -> list[tuple[str, dict[int, Hashable]]]:
+    """The standard battery: both unanimities, the split, one random."""
+    patterns: list[tuple[str, dict[int, Hashable]]] = [
+        (f"all-{problem.domain[0]!r}", unanimous_inputs(indices, problem.domain[0])),
+        (f"all-{problem.domain[1]!r}", unanimous_inputs(indices, problem.domain[1])),
+        ("alternating", alternating_inputs(indices, problem)),
+        (f"random-{seed}", random_inputs(indices, problem, seed)),
+    ]
+    return patterns
+
+
+# ----------------------------------------------------------------------
+# Assignments
+# ----------------------------------------------------------------------
+def assignment_battery(
+    n: int, ell: int, seed: int = 0
+) -> list[tuple[str, IdentityAssignment]]:
+    """Balanced, maximally stacked, and one seeded random assignment."""
+    battery = [
+        ("balanced", balanced_assignment(n, ell)),
+        ("stacked", stacked_assignment(n, ell)),
+    ]
+    if n > ell:
+        battery.append((f"random-{seed}", random_assignment(n, ell, seed)))
+    return battery
+
+
+# ----------------------------------------------------------------------
+# Byzantine placements
+# ----------------------------------------------------------------------
+def byzantine_on_homonyms(
+    assignment: IdentityAssignment, t: int
+) -> tuple[int, ...]:
+    """Prefer corrupting members of shared identifiers (poisons groups)."""
+    chosen: list[int] = []
+    for ident in assignment.homonym_ids():
+        if len(chosen) >= t:
+            break
+        chosen.append(assignment.group(ident)[0])
+    for ident in assignment.sole_owner_ids():
+        if len(chosen) >= t:
+            break
+        chosen.append(assignment.group(ident)[0])
+    return tuple(sorted(chosen[:t]))
+
+def byzantine_on_sole_owners(
+    assignment: IdentityAssignment, t: int
+) -> tuple[int, ...]:
+    """Prefer corrupting sole-owner identifiers (attacks the quorum math)."""
+    chosen: list[int] = []
+    for ident in assignment.sole_owner_ids():
+        if len(chosen) >= t:
+            break
+        chosen.append(assignment.group(ident)[0])
+    for ident in assignment.homonym_ids():
+        if len(chosen) >= t:
+            break
+        chosen.append(assignment.group(ident)[0])
+    return tuple(sorted(chosen[:t]))
+
+def random_byzantine(
+    assignment: IdentityAssignment, t: int, seed: int
+) -> tuple[int, ...]:
+    """Seeded uniform Byzantine placement."""
+    rng = random.Random(seed)
+    return tuple(sorted(rng.sample(range(assignment.n), min(t, assignment.n))))
+
+def byzantine_batteries(
+    assignment: IdentityAssignment, t: int, seed: int = 0
+) -> list[tuple[str, tuple[int, ...]]]:
+    """The placements every solvable configuration is tested against."""
+    if t == 0:
+        return [("none", ())]
+    batteries = [
+        ("homonym-targeted", byzantine_on_homonyms(assignment, t)),
+        ("sole-owner-targeted", byzantine_on_sole_owners(assignment, t)),
+        (f"random-{seed}", random_byzantine(assignment, t, seed)),
+    ]
+    # De-duplicate identical placements while keeping the first label.
+    seen: set[tuple[int, ...]] = set()
+    unique = []
+    for name, placement in batteries:
+        if placement not in seen:
+            seen.add(placement)
+            unique.append((name, placement))
+    return unique

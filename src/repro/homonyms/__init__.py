@@ -1,0 +1,21 @@
+"""Synchronous homonym agreement: the Figure 3 transformation."""
+
+from repro.homonyms.transform import (
+    DECIDE_TAG,
+    ROUNDS_PER_PHASE,
+    RUN_TAG,
+    SELECT_TAG,
+    HomonymProcess,
+    transform_factory,
+    transform_horizon,
+)
+
+__all__ = [
+    "DECIDE_TAG",
+    "HomonymProcess",
+    "ROUNDS_PER_PHASE",
+    "RUN_TAG",
+    "SELECT_TAG",
+    "transform_factory",
+    "transform_horizon",
+]

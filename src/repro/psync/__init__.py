@@ -1,0 +1,37 @@
+"""Partially synchronous agreement protocols (Figures 5 and 7)."""
+
+from repro.psync.dls_homonyms import (
+    DLSHomonymProcess,
+    check_dls_bound,
+    dls_factory,
+    dls_horizon,
+    leader_of_phase,
+)
+from repro.psync.restricted import (
+    RestrictedNumerateProcess,
+    check_restricted_bound,
+    restricted_factory,
+    restricted_horizon,
+)
+from repro.psync.proper import (
+    IdentifierProperTracker,
+    MessageProperTracker,
+    decode_proper,
+    encode_proper,
+)
+
+__all__ = [
+    "DLSHomonymProcess",
+    "IdentifierProperTracker",
+    "MessageProperTracker",
+    "RestrictedNumerateProcess",
+    "check_dls_bound",
+    "check_restricted_bound",
+    "restricted_factory",
+    "restricted_horizon",
+    "decode_proper",
+    "dls_factory",
+    "dls_horizon",
+    "encode_proper",
+    "leader_of_phase",
+]

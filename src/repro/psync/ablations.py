@@ -1,0 +1,139 @@
+"""Ablation variants of the Figure 5 algorithm.
+
+The paper calls out two mechanisms it *added* to DLS to survive
+homonyms (Section 4.2): the voting superround (several processes can
+share the leader identifier, so a phase can have several leaders asking
+for different locks -- impossible in classic DLS) and the decide relay
+(a correct process sharing its identifier with a Byzantine process
+needs a second path to termination).  These subclasses surgically
+remove each mechanism so the ablation benchmarks can show what breaks:
+
+* :class:`NoVoteDLSProcess` -- locks and acks are driven directly by the
+  received leader lock messages, as in classic DLS.  A Byzantine leader
+  that shows different lock values to different processes splits the
+  correct processes' lock sets; with the (vote-based) release rule dead,
+  the split is permanent, no propose-quorum ever forms again, and the
+  run deadlocks: **termination violated**.
+* :class:`NoDecideRelayDLSProcess` -- processes decide only on the
+  leader/ack path (line 22).  Safety is unharmed, but a process now
+  only decides in a phase its *own identifier* leads, so the
+  last-decider latency stretches from O(1) good phases to up to
+  ``ell`` phases: the relay is a liveness/latency mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.params import SystemParams
+from repro.core.problem import AgreementProblem
+from repro.psync.dls_homonyms import DLSHomonymProcess
+
+
+class NoVoteDLSProcess(DLSHomonymProcess):
+    """Figure 5 *without* the voting superround (ablation A1).
+
+    The vote broadcast is skipped; the lock/ack step accepts any
+    leader-locked value with a propose quorum, exactly as the classic
+    DLS algorithm would.  Unsafe with homonym or equivocating leaders.
+    """
+
+    def _start_vote(self, phase: int, superround: int) -> None:
+        return  # ablated: no voting superround
+
+    def _lock_and_ack(self, phase: int) -> Hashable:
+        support = self._prop_support.get(phase, {})
+        eligible = sorted(
+            (
+                v
+                for v in self._leader_locks.get(phase, ())
+                if len(support.get(v, ())) >= self.quorum
+            ),
+            key=repr,
+        )
+        if not eligible:
+            return None
+        value = eligible[0]
+        self.locks[value] = phase
+        return value
+
+
+class NoDecideRelayDLSProcess(DLSHomonymProcess):
+    """Figure 5 *without* the decide relay (ablation A2).
+
+    Processes never adopt decisions seen from ``t + 1`` identifiers;
+    they decide only on their own leader/ack path.
+    """
+
+    def _relay_decisions(self, decides_this_round, round_no) -> None:
+        return  # ablated: no relay
+
+
+class LockSplitAdversary:
+    """A Byzantine leader showing different lock values to each half.
+
+    Speaks the Figure 5 wire format directly: in the first round of
+    superround 2 of every phase its identifier leads, it sends
+    ``<lock v0>`` to even recipients and ``<lock v1>`` to odd ones
+    (one message per recipient -- legal even restricted).  Classic DLS
+    has no defence; the voting superround of Figure 5 neutralises it
+    (Lemma 8).
+    """
+
+    def __init__(self, value_even: Hashable = 0, value_odd: Hashable = 1) -> None:
+        self.value_even = value_even
+        self.value_odd = value_odd
+
+    def setup(self, params, assignment, byzantine, proposals) -> None:
+        self._assignment = assignment
+
+    def emissions(self, view):
+        from repro.psync.dls_homonyms import (
+            ROUNDS_PER_SUPERROUND,
+            SUPERROUNDS_PER_PHASE,
+            leader_of_phase,
+        )
+
+        r = view.round_no
+        superround, in_sr = divmod(r, ROUNDS_PER_SUPERROUND)
+        phase, pos = divmod(superround, SUPERROUNDS_PER_PHASE)
+        if pos != 1 or in_sr != 0:
+            return {}
+        result = {}
+        for slot in view.byzantine:
+            ident = view.identifier_of(slot)
+            if ident != leader_of_phase(phase, view.params.ell):
+                continue
+            emission = {}
+            for q in range(view.params.n):
+                value = self.value_even if q % 2 == 0 else self.value_odd
+                bundle = ("fig5", (), (), (("lock", value, phase),), ())
+                emission[q] = (bundle,)
+            result[slot] = emission
+        return result
+
+
+def no_vote_factory(
+    params: SystemParams, problem: AgreementProblem, unchecked: bool = False
+):
+    """Factory for the vote-ablated variant."""
+
+    def factory(identifier: int, proposal: Hashable) -> NoVoteDLSProcess:
+        return NoVoteDLSProcess(
+            params, problem, identifier, proposal, unchecked=unchecked
+        )
+
+    return factory
+
+
+def no_decide_relay_factory(
+    params: SystemParams, problem: AgreementProblem, unchecked: bool = False
+):
+    """Factory for the relay-ablated variant."""
+
+    def factory(identifier: int, proposal: Hashable) -> NoDecideRelayDLSProcess:
+        return NoDecideRelayDLSProcess(
+            params, problem, identifier, proposal, unchecked=unchecked
+        )
+
+    return factory

@@ -1,0 +1,69 @@
+"""Round-based simulator: engine, processes, adversaries, schedules."""
+
+from repro.sim.adversary import Adversary, AdversaryView, Emission, NullAdversary
+from repro.sim.delay import (
+    AlwaysBoundedUnknownDelays,
+    DelayPolicy,
+    DelayRoundSimulator,
+    DelaySimulationResult,
+    EventuallyBoundedDelays,
+    equivalent_basic_gst,
+)
+from repro.sim.metrics import Metrics, metrics_from_trace, payload_size
+from repro.sim.network import RoundEngine
+from repro.sim.partial import (
+    DropSchedule,
+    ExplicitDrops,
+    NoDrops,
+    PartitionSchedule,
+    PredicateDrops,
+    RandomDrops,
+    SilenceUntil,
+)
+from repro.sim.process import EchoProcess, Process, SilentProcess
+from repro.sim.runner import (
+    ExecutionResult,
+    ProcessFactory,
+    make_processes,
+    run_agreement,
+    run_execution,
+)
+from repro.sim.topology import CompleteTopology, DirectedTopology, Topology
+from repro.sim.trace import RoundRecord, Trace
+
+__all__ = [
+    "Adversary",
+    "AdversaryView",
+    "AlwaysBoundedUnknownDelays",
+    "DelayPolicy",
+    "DelayRoundSimulator",
+    "DelaySimulationResult",
+    "EventuallyBoundedDelays",
+    "equivalent_basic_gst",
+    "CompleteTopology",
+    "DirectedTopology",
+    "DropSchedule",
+    "EchoProcess",
+    "Emission",
+    "ExecutionResult",
+    "ExplicitDrops",
+    "Metrics",
+    "NoDrops",
+    "NullAdversary",
+    "PartitionSchedule",
+    "PredicateDrops",
+    "Process",
+    "ProcessFactory",
+    "RandomDrops",
+    "RoundEngine",
+    "RoundRecord",
+    "SilenceUntil",
+    "SilentProcess",
+    "Topology",
+    "Trace",
+    "make_processes",
+    "metrics_from_trace",
+    "payload_size",
+    "run_agreement",
+    "run_execution",
+]

@@ -1,0 +1,119 @@
+"""Byzantine adversary interface.
+
+The adversary is a single object that speaks for *all* Byzantine
+process slots.  Each round the engine shows it a full-information
+:class:`AdversaryView` -- including the payloads correct processes are
+sending *this* round (a "rushing" adversary, the strongest consistent
+with the paper's proofs) -- and the adversary answers with the messages
+each Byzantine slot emits to each recipient.
+
+Two model rules are enforced by the engine, not trusted to adversary
+implementations:
+
+* **authentication** -- a Byzantine process cannot forge identifiers:
+  every message it emits is stamped with the identifier its slot holds;
+* **restriction** -- under the restricted model a Byzantine process may
+  emit at most one message per recipient per round; violations raise
+  :class:`~repro.core.errors.AdversaryViolation`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Mapping, Sequence
+
+from repro.core.identity import IdentityAssignment
+from repro.core.params import SystemParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.process import Process
+    from repro.sim.trace import Trace
+
+
+#: Messages one Byzantine slot emits in one round:
+#: ``recipient index -> sequence of payloads`` (one Message per payload).
+Emission = Mapping[int, Sequence[Hashable]]
+
+
+@dataclass(frozen=True)
+class AdversaryView:
+    """Everything the adversary may look at when choosing its messages.
+
+    Attributes
+    ----------
+    round_no:
+        The current round (0-indexed).
+    params:
+        The system parameters (model flags included).
+    assignment:
+        The full identity assignment, so the adversary knows which
+        identifiers it owns and who the homonyms are.
+    byzantine:
+        The Byzantine slot indices the adversary controls.
+    correct_payloads:
+        Payloads the correct processes broadcast *this* round
+        (``index -> payload``; silent processes absent).  This makes the
+        adversary rushing.
+    processes:
+        The live process objects (``None`` at Byzantine slots).  The
+        simulation deliberately allows state inspection: the paper's
+        adversary is computationally unbounded and full-information.
+    trace:
+        The execution trace so far (previous rounds).
+    """
+
+    round_no: int
+    params: SystemParams
+    assignment: IdentityAssignment
+    byzantine: tuple[int, ...]
+    correct_payloads: Mapping[int, Hashable]
+    processes: Sequence["Process | None"]
+    trace: "Trace"
+
+    @property
+    def correct(self) -> tuple[int, ...]:
+        """Indices of correct processes."""
+        byz = set(self.byzantine)
+        return tuple(k for k in range(self.assignment.n) if k not in byz)
+
+    def identifier_of(self, index: int) -> int:
+        return self.assignment.identifier_of(index)
+
+
+class Adversary(ABC):
+    """Strategy object controlling every Byzantine slot.
+
+    Subclasses implement :meth:`emissions`.  ``setup`` is called once
+    before round 0 with the static configuration; stateful adversaries
+    (replay, mirror, crash) initialise there.
+    """
+
+    def setup(
+        self,
+        params: SystemParams,
+        assignment: IdentityAssignment,
+        byzantine: tuple[int, ...],
+        proposals: Mapping[int, Hashable],
+    ) -> None:
+        """Called once before the first round.  Default: no-op."""
+
+    @abstractmethod
+    def emissions(self, view: AdversaryView) -> Mapping[int, Emission]:
+        """Messages for this round: ``byz index -> recipient -> payloads``.
+
+        Returning an empty mapping (or omitting a slot / recipient)
+        means silence.  The engine stamps each payload with the slot's
+        authenticated identifier and enforces the restricted-model cap.
+        """
+
+
+class NullAdversary(Adversary):
+    """No Byzantine processes act: all Byzantine slots stay silent forever.
+
+    Note that silence is itself Byzantine behaviour (a crash from round
+    0); correct algorithms must tolerate it.
+    """
+
+    def emissions(self, view: AdversaryView) -> Mapping[int, Emission]:
+        return {}

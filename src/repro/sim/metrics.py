@@ -1,0 +1,80 @@
+"""Message and round accounting.
+
+The paper is a computability paper -- it proves no complexity bounds --
+but the benchmark harness reports message/round costs so that the
+relative costs of the algorithms (e.g. the 3x round overhead of the
+Figure 3 transformation, or the echo amplification of authenticated
+broadcast) are visible in the regenerated tables.
+
+Costs are derived from the trace.  "Bytes" are approximated by the
+length of ``repr(payload)``, which is stable, cheap, and good enough to
+compare algorithms against each other within this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.sim.trace import Trace
+
+
+@dataclass
+class Metrics:
+    """Aggregated execution costs."""
+
+    rounds: int = 0
+    correct_broadcasts: int = 0
+    correct_messages: int = 0  # broadcasts fanned out to recipients
+    byzantine_messages: int = 0
+    payload_bytes: int = 0
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        return Metrics(
+            rounds=self.rounds + other.rounds,
+            correct_broadcasts=self.correct_broadcasts + other.correct_broadcasts,
+            correct_messages=self.correct_messages + other.correct_messages,
+            byzantine_messages=self.byzantine_messages + other.byzantine_messages,
+            payload_bytes=self.payload_bytes + other.payload_bytes,
+        )
+
+    @property
+    def total_messages(self) -> int:
+        return self.correct_messages + self.byzantine_messages
+
+    def summary(self) -> str:
+        return (
+            f"{self.rounds} rounds, "
+            f"{self.correct_broadcasts} broadcasts "
+            f"({self.correct_messages} correct msgs, "
+            f"{self.byzantine_messages} byzantine msgs), "
+            f"~{self.payload_bytes} payload bytes"
+        )
+
+
+def payload_size(payload: Hashable) -> int:
+    """Approximate wire size of a payload (repr length)."""
+    return len(repr(payload))
+
+
+def metrics_from_trace(trace: Trace, fanout: int) -> Metrics:
+    """Compute metrics from a finished trace.
+
+    ``fanout`` is the number of recipients of each correct broadcast
+    (``n`` under the complete topology with self-delivery).
+    """
+    m = Metrics(rounds=len(trace))
+    for record in trace:
+        m.correct_broadcasts += len(record.payloads)
+        m.correct_messages += len(record.payloads) * fanout
+        m.byzantine_messages += record.byzantine_message_count
+        m.payload_bytes += sum(
+            payload_size(p) * fanout for p in record.payloads.values()
+        )
+        m.payload_bytes += sum(
+            payload_size(p)
+            for per_recipient in record.emissions.values()
+            for payloads in per_recipient.values()
+            for p in payloads
+        )
+    return m

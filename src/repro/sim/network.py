@@ -1,0 +1,233 @@
+"""The round-based network engine.
+
+One engine covers both synchrony models: the synchronous model is the
+partially synchronous model with the :class:`~repro.sim.partial.NoDrops`
+schedule.  Each :meth:`RoundEngine.step` executes one round:
+
+1. every correct process composes its broadcast payload;
+2. the adversary -- shown all of this round's correct payloads (it is
+   *rushing*) plus full execution history -- emits messages for every
+   Byzantine slot, subject to authentication and (optionally) the
+   one-message-per-recipient restriction, both enforced here;
+3. each correct process receives an :class:`~repro.core.messages.Inbox`
+   built from: its own payload (self-delivery is unconditional), the
+   payloads of correct in-neighbours not dropped by the schedule, and
+   the adversary's messages addressed to it -- as a multiset when the
+   model is numerate, a set otherwise;
+4. new decisions are collected into the trace.
+
+Determinism: given identical processes, adversary, schedule and
+topology, the engine produces byte-identical traces.  All iteration is
+over sorted indices and inboxes are canonically ordered.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.core.errors import (
+    AdversaryViolation,
+    ConfigurationError,
+)
+from repro.core.identity import IdentityAssignment
+from repro.core.messages import Inbox, Message, ensure_hashable
+from repro.core.params import SystemParams
+from repro.sim.adversary import Adversary, AdversaryView, NullAdversary
+from repro.sim.partial import DropSchedule, NoDrops
+from repro.sim.process import Process
+from repro.sim.topology import CompleteTopology, Topology
+from repro.sim.trace import RoundRecord, Trace
+
+
+class RoundEngine:
+    """Drives one execution of the round-based model."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        assignment: IdentityAssignment,
+        processes: Sequence[Process | None],
+        byzantine: Sequence[int] = (),
+        adversary: Adversary | None = None,
+        drop_schedule: DropSchedule | None = None,
+        topology: Topology | None = None,
+    ) -> None:
+        if assignment.n != params.n:
+            raise ConfigurationError(
+                f"assignment has {assignment.n} processes, params say {params.n}"
+            )
+        if len(processes) != params.n:
+            raise ConfigurationError(
+                f"got {len(processes)} process slots for n={params.n}"
+            )
+        self.params = params
+        self.assignment = assignment
+        self.processes: list[Process | None] = list(processes)
+        self.byzantine: tuple[int, ...] = tuple(sorted(set(int(b) for b in byzantine)))
+        if any(not 0 <= b < params.n for b in self.byzantine):
+            raise ConfigurationError(f"byzantine indices out of range: {self.byzantine}")
+        self.adversary = adversary if adversary is not None else NullAdversary()
+        self.drop_schedule = drop_schedule if drop_schedule is not None else NoDrops()
+        self.topology = topology if topology is not None else CompleteTopology()
+        self.trace = Trace()
+        self.round_no = 0
+
+        byz_set = set(self.byzantine)
+        self._correct: tuple[int, ...] = tuple(
+            k for k in range(params.n) if k not in byz_set
+        )
+        for k in self._correct:
+            proc = self.processes[k]
+            if proc is None:
+                raise ConfigurationError(f"correct slot {k} has no process object")
+            expected = assignment.identifier_of(k)
+            if proc.identifier != expected:
+                raise ConfigurationError(
+                    f"process at slot {k} claims identifier {proc.identifier}, "
+                    f"assignment says {expected}"
+                )
+
+        self.adversary.setup(
+            params,
+            assignment,
+            self.byzantine,
+            {
+                k: self.processes[k].proposal
+                for k in self._correct
+                if self.processes[k].proposal is not None
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def correct(self) -> tuple[int, ...]:
+        """Indices of correct processes, ascending."""
+        return self._correct
+
+    def all_correct_decided(self) -> bool:
+        return all(self.processes[k].decided for k in self._correct)
+
+    def decisions(self) -> dict[int, Hashable]:
+        return {
+            k: self.processes[k].decision
+            for k in self._correct
+            if self.processes[k].decided
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> RoundRecord:
+        """Execute one round and return its trace record."""
+        r = self.round_no
+
+        # Phase 1: correct processes compose their broadcasts.
+        payloads: dict[int, Hashable] = {}
+        for k in self._correct:
+            payload = self.processes[k].compose(r)
+            if payload is not None:
+                payloads[k] = ensure_hashable(payload)
+
+        # Phase 2: the (rushing) adversary emits Byzantine messages.
+        emissions = self._collect_emissions(payloads)
+
+        # Phase 3: deliver per-recipient inboxes to correct processes.
+        decided_before = {
+            k: self.processes[k].decided for k in self._correct
+        }
+        for q in self._correct:
+            inbox = self._build_inbox(r, q, payloads, emissions)
+            self.processes[q].deliver(r, inbox)
+
+        # Phase 4: record the round.
+        decisions = {
+            k: self.processes[k].decision
+            for k in self._correct
+            if self.processes[k].decided and not decided_before[k]
+        }
+        record = RoundRecord(
+            round_no=r,
+            payloads=payloads,
+            emissions=emissions,
+            decisions=decisions,
+        )
+        self.trace.append(record)
+        self.round_no += 1
+        return record
+
+    def run(self, max_rounds: int, stop_when_all_decided: bool = True) -> int:
+        """Run up to ``max_rounds`` rounds; return the number executed."""
+        executed = 0
+        for _ in range(max_rounds):
+            self.step()
+            executed += 1
+            if stop_when_all_decided and self.all_correct_decided():
+                break
+        return executed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _collect_emissions(
+        self, payloads: Mapping[int, Hashable]
+    ) -> dict[int, dict[int, tuple[Hashable, ...]]]:
+        view = AdversaryView(
+            round_no=self.round_no,
+            params=self.params,
+            assignment=self.assignment,
+            byzantine=self.byzantine,
+            correct_payloads=dict(payloads),
+            processes=self.processes,
+            trace=self.trace,
+        )
+        raw = self.adversary.emissions(view)
+        byz_set = set(self.byzantine)
+        emissions: dict[int, dict[int, tuple[Hashable, ...]]] = {}
+        for b, per_recipient in sorted(raw.items()):
+            if b not in byz_set:
+                raise AdversaryViolation(
+                    f"adversary emitted for non-Byzantine slot {b}"
+                )
+            clean: dict[int, tuple[Hashable, ...]] = {}
+            for q, payload_seq in sorted(per_recipient.items()):
+                if not 0 <= q < self.params.n:
+                    raise AdversaryViolation(f"recipient {q} out of range")
+                batch = tuple(ensure_hashable(p) for p in payload_seq)
+                if not batch:
+                    continue
+                if self.params.restricted and len(batch) > 1:
+                    raise AdversaryViolation(
+                        f"restricted Byzantine slot {b} sent {len(batch)} "
+                        f"messages to recipient {q} in round {self.round_no}"
+                    )
+                clean[q] = batch
+            if clean:
+                emissions[b] = clean
+        return emissions
+
+    def _build_inbox(
+        self,
+        round_no: int,
+        recipient: int,
+        payloads: Mapping[int, Hashable],
+        emissions: Mapping[int, Mapping[int, tuple[Hashable, ...]]],
+    ) -> Inbox:
+        messages: list[Message] = []
+        for sender, payload in payloads.items():
+            if sender == recipient:
+                messages.append(
+                    Message(self.assignment.identifier_of(sender), payload)
+                )
+                continue
+            if not self.topology.delivers(sender, recipient):
+                continue
+            if self.drop_schedule.drops(round_no, sender, recipient):
+                continue
+            messages.append(Message(self.assignment.identifier_of(sender), payload))
+        for b, per_recipient in emissions.items():
+            ident = self.assignment.identifier_of(b)
+            for payload in per_recipient.get(recipient, ()):
+                messages.append(Message(ident, payload))
+        return Inbox(messages, numerate=self.params.numerate)

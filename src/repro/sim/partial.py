@@ -1,0 +1,152 @@
+"""Partial synchrony: message-drop schedules (DLS basic model).
+
+The paper adopts the *basic* partially synchronous model of Dwork,
+Lynch and Stockmeyer: computation proceeds in rounds exactly as in the
+synchronous model, except that in each execution a finite number of
+messages between correct processes may fail to be delivered.
+Equivalently, there is a round -- here called ``gst`` ("global
+stabilisation time", borrowing the standard term) -- from which every
+message is delivered.  Algorithms never learn ``gst``.
+
+A :class:`DropSchedule` decides, per ``(round, sender, recipient)``
+link, whether that message is lost.  Schedules guarantee finiteness
+structurally: all of them stop dropping at their ``gst`` attribute and
+the engine enforces this (a schedule that tried to drop later would be
+a model violation).
+
+Self-delivery is never dropped: a process's message to itself does not
+traverse the network.
+
+Byzantine messages are not subject to schedules -- the adversary simply
+chooses what to send to whom, which subsumes dropping.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Collection
+
+from repro.core.errors import ConfigurationError
+
+
+class DropSchedule(ABC):
+    """Decides which correct-to-correct messages are lost before ``gst``."""
+
+    def __init__(self, gst: int) -> None:
+        if gst < 0:
+            raise ConfigurationError(f"gst must be >= 0, got {gst}")
+        self._gst = int(gst)
+
+    @property
+    def gst(self) -> int:
+        """First round from which every message is delivered."""
+        return self._gst
+
+    def drops(self, round_no: int, sender: int, recipient: int) -> bool:
+        """True when the message on this link is lost this round."""
+        if round_no >= self._gst or sender == recipient:
+            return False
+        return self._drops_before_gst(round_no, sender, recipient)
+
+    @abstractmethod
+    def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
+        """Drop decision for rounds strictly before ``gst``."""
+
+
+class NoDrops(DropSchedule):
+    """The synchronous special case: nothing is ever dropped."""
+
+    def __init__(self) -> None:
+        super().__init__(gst=0)
+
+    def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
+        return False  # pragma: no cover - unreachable (gst == 0)
+
+
+class SilenceUntil(DropSchedule):
+    """Every inter-process message is lost before ``gst``.
+
+    The harshest schedule the model permits; termination proofs are
+    exercised hardest here because nothing useful happens before
+    stabilisation.
+    """
+
+    def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
+        return True
+
+
+class PartitionSchedule(DropSchedule):
+    """Two blocks of correct processes cannot hear each other before ``gst``.
+
+    Messages inside a block are delivered; messages crossing between
+    ``block_a`` and ``block_b`` are lost.  Processes in neither block
+    communicate normally.  This is the schedule of the Figure 4 lower
+    bound construction.
+    """
+
+    def __init__(self, gst: int, block_a: Collection[int], block_b: Collection[int]) -> None:
+        super().__init__(gst)
+        self.block_a = frozenset(block_a)
+        self.block_b = frozenset(block_b)
+        if self.block_a & self.block_b:
+            raise ConfigurationError(
+                f"partition blocks overlap: {sorted(self.block_a & self.block_b)}"
+            )
+
+    def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
+        return (sender in self.block_a and recipient in self.block_b) or (
+            sender in self.block_b and recipient in self.block_a
+        )
+
+
+class RandomDrops(DropSchedule):
+    """Each link-message before ``gst`` is lost independently with probability ``p``.
+
+    Deterministic given the seed; used by the fuzzing layers of the test
+    suite and benches.
+    """
+
+    def __init__(self, gst: int, p: float, seed: int = 0) -> None:
+        super().__init__(gst)
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"drop probability must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.seed = int(seed)
+
+    def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
+        # Hash-based rather than a shared Random instance so the decision
+        # for a link is independent of evaluation order.
+        h = hash((self.seed, round_no, sender, recipient))
+        rng = random.Random(h)
+        return rng.random() < self.p
+
+
+class ExplicitDrops(DropSchedule):
+    """An explicit finite set of ``(round, sender, recipient)`` losses.
+
+    The most surgical schedule; the replay-based lower-bound
+    constructions compute exact drop sets and feed them here.
+    """
+
+    def __init__(self, drops: Collection[tuple[int, int, int]]) -> None:
+        drop_set = frozenset(
+            (int(r), int(s), int(q)) for r, s, q in drops
+        )
+        gst = max((r for r, _, _ in drop_set), default=-1) + 1
+        super().__init__(gst)
+        self._drop_set = drop_set
+
+    def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
+        return (round_no, sender, recipient) in self._drop_set
+
+
+class PredicateDrops(DropSchedule):
+    """Adapter: an arbitrary predicate limited to rounds before ``gst``."""
+
+    def __init__(self, gst: int, predicate: Callable[[int, int, int], bool]) -> None:
+        super().__init__(gst)
+        self._predicate = predicate
+
+    def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
+        return bool(self._predicate(round_no, sender, recipient))

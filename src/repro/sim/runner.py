@@ -1,0 +1,166 @@
+"""Execution driver: build an engine, run it, check the verdict.
+
+This is the layer most users interact with: give it an algorithm
+factory, the system parameters, an identity assignment, proposals, a
+Byzantine set and an adversary, and it returns an
+:class:`ExecutionResult` bundling the agreement verdict, the trace and
+the cost metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Mapping, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.identity import IdentityAssignment
+from repro.core.params import SystemParams
+from repro.core.problem import Verdict, check_agreement_properties
+from repro.sim.adversary import Adversary
+from repro.sim.metrics import Metrics, metrics_from_trace
+from repro.sim.network import RoundEngine
+from repro.sim.partial import DropSchedule
+from repro.sim.process import Process
+from repro.sim.topology import Topology
+from repro.sim.trace import Trace
+
+
+#: A factory building the correct-process object for one slot:
+#: ``(identifier, proposal) -> Process``.
+ProcessFactory = Callable[[int, Hashable], Process]
+
+
+@dataclass
+class ExecutionResult:
+    """Everything produced by one simulated execution."""
+
+    params: SystemParams
+    assignment: IdentityAssignment
+    byzantine: tuple[int, ...]
+    verdict: Verdict
+    trace: Trace
+    metrics: Metrics
+    processes: Sequence[Process | None]
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict.ok
+
+    def summary(self) -> str:
+        return (
+            f"{self.params.describe()}\n"
+            f"  byzantine: {list(self.byzantine)}\n"
+            f"  {self.verdict.summary()}\n"
+            f"  {self.metrics.summary()}"
+        )
+
+
+def make_processes(
+    factory: ProcessFactory,
+    assignment: IdentityAssignment,
+    proposals: Mapping[int, Hashable],
+    byzantine: Sequence[int] = (),
+) -> list[Process | None]:
+    """Instantiate correct-process objects, leaving Byzantine slots empty.
+
+    ``proposals`` maps each correct slot index to its input value; every
+    correct slot must have a proposal.
+    """
+    byz = set(byzantine)
+    slots: list[Process | None] = []
+    for index in range(assignment.n):
+        if index in byz:
+            slots.append(None)
+            continue
+        if index not in proposals:
+            raise ConfigurationError(f"no proposal for correct slot {index}")
+        slots.append(factory(assignment.identifier_of(index), proposals[index]))
+    return slots
+
+
+def run_execution(
+    params: SystemParams,
+    assignment: IdentityAssignment,
+    processes: Sequence[Process | None],
+    byzantine: Sequence[int] = (),
+    adversary: Adversary | None = None,
+    drop_schedule: DropSchedule | None = None,
+    topology: Topology | None = None,
+    max_rounds: int = 200,
+    stop_when_all_decided: bool = True,
+    require_termination: bool = True,
+) -> ExecutionResult:
+    """Run one execution to completion (or the round horizon).
+
+    When ``stop_when_all_decided`` is set the run ends as soon as every
+    correct process has decided; otherwise it always runs ``max_rounds``
+    rounds (useful when later rounds should be observed, e.g. to verify
+    the paper's "continue running the algorithm" behaviour).
+    """
+    engine = RoundEngine(
+        params=params,
+        assignment=assignment,
+        processes=processes,
+        byzantine=byzantine,
+        adversary=adversary,
+        drop_schedule=drop_schedule,
+        topology=topology,
+    )
+    engine.run(max_rounds=max_rounds, stop_when_all_decided=stop_when_all_decided)
+
+    proposals = {
+        k: processes[k].proposal
+        for k in engine.correct
+        if processes[k].proposal is not None
+    }
+    decisions = {
+        k: processes[k].decision for k in engine.correct if processes[k].decided
+    }
+    decision_rounds = {
+        k: processes[k].decision_round
+        for k in engine.correct
+        if processes[k].decided
+    }
+    verdict = check_agreement_properties(
+        proposals=proposals,
+        decisions=decisions,
+        decision_rounds=decision_rounds,
+        correct=engine.correct,
+        rounds_executed=len(engine.trace),
+        require_termination=require_termination,
+    )
+    metrics = metrics_from_trace(engine.trace, fanout=params.n)
+    return ExecutionResult(
+        params=params,
+        assignment=assignment,
+        byzantine=engine.byzantine,
+        verdict=verdict,
+        trace=engine.trace,
+        metrics=metrics,
+        processes=list(processes),
+    )
+
+
+def run_agreement(
+    params: SystemParams,
+    assignment: IdentityAssignment,
+    factory: ProcessFactory,
+    proposals: Mapping[int, Hashable],
+    byzantine: Sequence[int] = (),
+    adversary: Adversary | None = None,
+    drop_schedule: DropSchedule | None = None,
+    max_rounds: int = 200,
+    require_termination: bool = True,
+) -> ExecutionResult:
+    """Convenience wrapper: build processes from a factory, then run."""
+    processes = make_processes(factory, assignment, proposals, byzantine)
+    return run_execution(
+        params=params,
+        assignment=assignment,
+        processes=processes,
+        byzantine=byzantine,
+        adversary=adversary,
+        drop_schedule=drop_schedule,
+        max_rounds=max_rounds,
+        require_termination=require_termination,
+    )

@@ -1,0 +1,69 @@
+"""Delivery topology: which correct-process links exist.
+
+The paper's model is fully connected, and every algorithm in this
+package assumes it.  Topologies exist for one purpose: the Figure 1
+scenario argument (Proposition 1) builds a *larger* reference system in
+which processes are wired so that three overlapping arcs each look like
+a legitimate fully-connected n-process system.  The
+:class:`DirectedTopology` implements that wiring.
+
+Self-delivery is handled by the engine (a process always receives its
+own broadcast) and is not subject to topology filtering; topologies
+only govern links between distinct processes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from repro.core.errors import ConfigurationError
+
+
+class Topology(ABC):
+    """Predicate deciding whether a link ``sender -> recipient`` exists."""
+
+    @abstractmethod
+    def delivers(self, sender: int, recipient: int) -> bool:
+        """True when messages from ``sender`` reach ``recipient``."""
+
+
+class CompleteTopology(Topology):
+    """The paper's default: every process reaches every other."""
+
+    def delivers(self, sender: int, recipient: int) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "CompleteTopology()"
+
+
+class DirectedTopology(Topology):
+    """Explicit in-neighbour sets per recipient.
+
+    ``in_neighbors[r]`` is the set of sender indices whose messages
+    reach process ``r``.  Senders absent from the mapping reach nobody;
+    recipients absent from the mapping receive from everybody (complete
+    default), which keeps scenario constructions concise.
+    """
+
+    def __init__(self, in_neighbors: Mapping[int, frozenset[int] | set[int]]) -> None:
+        self._in: dict[int, frozenset[int]] = {
+            int(r): frozenset(senders) for r, senders in in_neighbors.items()
+        }
+        for r, senders in self._in.items():
+            if r < 0 or any(s < 0 for s in senders):
+                raise ConfigurationError("process indices must be non-negative")
+
+    def delivers(self, sender: int, recipient: int) -> bool:
+        senders = self._in.get(recipient)
+        if senders is None:
+            return True
+        return sender in senders
+
+    def in_neighbors(self, recipient: int) -> frozenset[int] | None:
+        """The configured in-set, or ``None`` when the recipient is open."""
+        return self._in.get(recipient)
+
+    def __repr__(self) -> str:
+        return f"DirectedTopology({len(self._in)} constrained recipients)"

@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+
+
+@pytest.fixture
+def binary():
+    """The binary agreement problem used by most tests."""
+    return BINARY
+
+
+def psync_params(n: int, ell: int, t: int, numerate: bool = False,
+                 restricted: bool = False) -> SystemParams:
+    """Partially synchronous parameter shorthand."""
+    return SystemParams(
+        n=n, ell=ell, t=t,
+        synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+        numerate=numerate, restricted=restricted,
+    )
+
+
+def sync_params(n: int, ell: int, t: int, numerate: bool = False,
+                restricted: bool = False) -> SystemParams:
+    """Synchronous parameter shorthand."""
+    return SystemParams(
+        n=n, ell=ell, t=t,
+        synchrony=Synchrony.SYNCHRONOUS,
+        numerate=numerate, restricted=restricted,
+    )

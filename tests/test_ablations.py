@@ -1,0 +1,135 @@
+"""Unit tests for the Figure 5 ablation variants.
+
+The full attack-vs-ablation stories live in the benchmark suite; these
+tests pin down the variants' mechanics so refactors of the base class
+cannot silently un-ablate them.
+"""
+
+import pytest
+
+from repro.core.identity import balanced_assignment
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+from repro.psync.ablations import (
+    LockSplitAdversary,
+    NoDecideRelayDLSProcess,
+    NoVoteDLSProcess,
+    no_decide_relay_factory,
+    no_vote_factory,
+)
+from repro.psync.dls_homonyms import dls_factory, dls_horizon
+from repro.sim.runner import run_agreement
+
+
+def make_params():
+    return SystemParams(
+        n=7, ell=6, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+    )
+
+
+def run_variant(factory_maker, byz=(6,), adversary=None, extra=0):
+    params = make_params()
+    return run_agreement(
+        params=params,
+        assignment=balanced_assignment(7, 6),
+        factory=factory_maker(params, BINARY),
+        proposals={k: k % 2 for k in range(7) if k not in byz},
+        byzantine=byz,
+        adversary=adversary,
+        max_rounds=dls_horizon(params, 0) + extra,
+    )
+
+
+class TestNoVoteVariant:
+    def test_never_broadcasts_votes(self):
+        result = run_variant(no_vote_factory)
+        for record in result.trace:
+            for payload in record.payloads.values():
+                inits = payload[1]
+                assert not any(
+                    isinstance(item, tuple) and len(item) == 3
+                    and isinstance(item[1], tuple) and item[1][0] == "vote"
+                    for item in inits
+                ), "ablated variant broadcast a vote"
+
+    def test_still_decides_without_attack(self):
+        # With a silent Byzantine the classic-DLS path is fine.
+        result = run_variant(no_vote_factory)
+        assert result.verdict.ok
+
+    def test_deadlocks_under_lock_split(self):
+        result = run_variant(no_vote_factory, byz=(1,),
+                             adversary=LockSplitAdversary())
+        assert result.verdict.violated("termination")
+
+    def test_full_algorithm_survives_the_same_attack(self):
+        result = run_variant(dls_factory, byz=(1,),
+                             adversary=LockSplitAdversary())
+        assert result.verdict.ok
+
+
+class TestNoRelayVariant:
+    def test_never_adopts_relayed_decisions(self):
+        params = make_params()
+        proc = NoDecideRelayDLSProcess(params, BINARY, 1, 0)
+        proc._relay_decisions({0: {1, 2, 3, 4}}, round_no=7)
+        assert not proc.decided
+
+    def test_staircase_decision_pattern(self):
+        full = run_variant(dls_factory)
+        ablated = run_variant(no_decide_relay_factory, extra=48)
+        assert full.verdict.ok and ablated.verdict.ok
+        spread_full = (max(full.verdict.decision_rounds.values())
+                       - min(full.verdict.decision_rounds.values()))
+        spread_ablated = (max(ablated.verdict.decision_rounds.values())
+                          - min(ablated.verdict.decision_rounds.values()))
+        assert spread_ablated > spread_full
+
+    def test_safety_is_unaffected(self):
+        result = run_variant(no_decide_relay_factory, extra=48)
+        assert not result.verdict.violated("agreement")
+        assert not result.verdict.violated("validity")
+
+
+class TestLockSplitAdversary:
+    def test_only_emits_when_its_identifier_leads(self):
+        from repro.sim.adversary import AdversaryView
+        from repro.sim.trace import Trace
+
+        params = make_params()
+        assignment = balanced_assignment(7, 6)
+        adversary = LockSplitAdversary()
+        adversary.setup(params, assignment, (1,), {})
+
+        def view_at(round_no):
+            return AdversaryView(
+                round_no=round_no, params=params, assignment=assignment,
+                byzantine=(1,), correct_payloads={}, processes=[None] * 7,
+                trace=Trace(),
+            )
+
+        # Slot 1 holds identifier 2 = leader of phase 1.  The lock round
+        # of phase 1 is round 2*(4*1 + 1) = 10.
+        assert adversary.emissions(view_at(10))
+        # Not in phase 0's lock round (identifier 1 leads there) ...
+        assert not adversary.emissions(view_at(2))
+        # ... and not outside lock rounds at all.
+        assert not adversary.emissions(view_at(11))
+        assert not adversary.emissions(view_at(0))
+
+    def test_sends_different_values_by_parity(self):
+        from repro.sim.adversary import AdversaryView
+        from repro.sim.trace import Trace
+
+        params = make_params()
+        assignment = balanced_assignment(7, 6)
+        adversary = LockSplitAdversary(value_even=0, value_odd=1)
+        adversary.setup(params, assignment, (1,), {})
+        view = AdversaryView(
+            round_no=10, params=params, assignment=assignment,
+            byzantine=(1,), correct_payloads={}, processes=[None] * 7,
+            trace=Trace(),
+        )
+        emission = adversary.emissions(view)[1]
+        assert emission[0][0][3] == (("lock", 0, 1),)
+        assert emission[1][0][3] == (("lock", 1, 1),)

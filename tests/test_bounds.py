@@ -1,0 +1,160 @@
+"""Tests for the solvability predicates (the content of Table 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    min_identifiers,
+    more_correct_processes_hurt,
+    partial_synchrony_gap,
+    psync_bound,
+    restriction_gain,
+    solvable,
+    sync_bound,
+)
+from repro.core.params import SystemParams, Synchrony
+
+
+def params(n, ell, t, synchrony=Synchrony.SYNCHRONOUS, numerate=False,
+           restricted=False):
+    return SystemParams(n=n, ell=ell, t=t, synchrony=synchrony,
+                        numerate=numerate, restricted=restricted)
+
+
+class TestSynchronousBound:
+    def test_theorem_3_threshold(self):
+        assert not solvable(params(10, 3, 1))
+        assert solvable(params(10, 4, 1))
+
+    def test_psl_dominates(self):
+        # Even with unique identifiers, n <= 3t is hopeless.
+        assert not solvable(params(3, 3, 1))
+
+    def test_numeracy_irrelevant_for_unrestricted(self):
+        assert solvable(params(10, 4, 1, numerate=True)) == solvable(
+            params(10, 4, 1, numerate=False)
+        )
+
+
+class TestPartiallySynchronousBound:
+    def test_theorem_13_threshold(self):
+        psync = Synchrony.PARTIALLY_SYNCHRONOUS
+        assert not solvable(params(9, 6, 1, psync))  # 12 <= 12
+        assert solvable(params(8, 6, 1, psync))  # 12 > 11
+
+    def test_paper_example_t1_ell4(self):
+        """The paper's flagship curiosity: t=1, ell=4 solvable with 4
+        processes, unsolvable with 5."""
+        psync = Synchrony.PARTIALLY_SYNCHRONOUS
+        assert solvable(params(4, 4, 1, psync))
+        assert not solvable(params(5, 4, 1, psync))
+
+    def test_classical_case_collapses_to_psl(self):
+        # ell = n: 2n > n + 3t <=> n > 3t, the familiar condition.
+        psync = Synchrony.PARTIALLY_SYNCHRONOUS
+        assert solvable(params(4, 4, 1, psync))
+        assert not solvable(params(3, 3, 1, psync))
+
+
+class TestRestrictedNumerate:
+    def test_theorems_14_15_threshold(self):
+        for synchrony in Synchrony:
+            assert solvable(
+                params(4, 2, 1, synchrony, numerate=True, restricted=True)
+            )
+            assert not solvable(
+                params(4, 1, 1, synchrony, numerate=True, restricted=True)
+            )
+
+    def test_restriction_useless_for_innumerate(self):
+        """Theorems 19/20: restricted + innumerate keeps the original
+        bounds."""
+        assert not solvable(params(10, 3, 1, restricted=True))
+        psync = Synchrony.PARTIALLY_SYNCHRONOUS
+        assert not solvable(params(9, 6, 1, psync, restricted=True))
+        assert solvable(params(8, 6, 1, psync, restricted=True))
+
+
+class TestHelpers:
+    def test_min_identifiers_sync(self):
+        assert min_identifiers(
+            10, 1, Synchrony.SYNCHRONOUS, False, False) == 4
+        # n=10, t=3 barely meets PSL: only ell = 10 > 3t = 9 works.
+        assert min_identifiers(
+            10, 3, Synchrony.SYNCHRONOUS, False, False) == 10
+        assert min_identifiers(
+            9, 3, Synchrony.SYNCHRONOUS, False, False) is None  # n <= 3t
+
+    def test_min_identifiers_psync_depends_on_n(self):
+        psync = Synchrony.PARTIALLY_SYNCHRONOUS
+        # 2*ell > n + 3t: ell > (n+3)/2.
+        assert min_identifiers(8, 1, psync, False, False) == 6
+        assert min_identifiers(10, 1, psync, False, False) == 7
+
+    def test_min_identifiers_restricted(self):
+        psync = Synchrony.PARTIALLY_SYNCHRONOUS
+        assert min_identifiers(10, 2, psync, True, True) == 3  # t + 1
+
+    def test_gap_examples_are_genuinely_gaps(self):
+        for example in partial_synchrony_gap(max_n=12):
+            assert sync_bound(example.ell, example.t)
+            assert not psync_bound(example.n, example.ell, example.t)
+
+    def test_more_correct_processes_hurt(self):
+        example = more_correct_processes_hurt(4, 1)
+        assert example is not None
+        assert example.n == 5  # 2*4 - 3*1
+        psync = Synchrony.PARTIALLY_SYNCHRONOUS
+        assert solvable(params(4, 4, 1, psync))
+        assert not solvable(params(example.n, 4, 1, psync))
+
+    def test_more_correct_needs_sync_solvable_premise(self):
+        assert more_correct_processes_hurt(3, 1) is None
+
+    def test_restriction_gain(self):
+        unrestricted, restricted = restriction_gain(10, 2)
+        assert restricted == 3  # t + 1
+        assert unrestricted == 9  # smallest ell with 2*ell > 16
+
+    def test_t_zero_always_solvable(self):
+        assert solvable(params(2, 1, 0))
+        assert solvable(params(2, 1, 0, Synchrony.PARTIALLY_SYNCHRONOUS))
+
+
+@given(
+    n=st.integers(2, 30),
+    t=st.integers(1, 9),
+    ell=st.integers(1, 30),
+)
+@settings(max_examples=200)
+def test_bound_structure_properties(n, t, ell):
+    """Structural properties of the characterisation."""
+    if ell > n:
+        return
+    psync = params(n, ell, t, Synchrony.PARTIALLY_SYNCHRONOUS)
+    sync = params(n, ell, t, Synchrony.SYNCHRONOUS)
+    res_num_sync = params(n, ell, t, Synchrony.SYNCHRONOUS,
+                          numerate=True, restricted=True)
+    res_num_psync = params(n, ell, t, Synchrony.PARTIALLY_SYNCHRONOUS,
+                           numerate=True, restricted=True)
+
+    # 1. Partial synchrony is never easier than synchrony.
+    if solvable(psync):
+        assert solvable(sync)
+    # 2. Restriction + numeracy is never harder than unrestricted.
+    if solvable(sync):
+        assert solvable(res_num_sync)
+    if solvable(psync):
+        assert solvable(res_num_psync)
+    # 3. Restricted + numerate agrees across synchrony models.
+    assert solvable(res_num_sync) == solvable(res_num_psync)
+    # 4. More identifiers never hurt (monotone in ell at fixed n).
+    if ell < n and solvable(sync):
+        assert solvable(params(n, ell + 1, t))
+    if ell < n and solvable(psync):
+        assert solvable(params(n, ell + 1, t, Synchrony.PARTIALLY_SYNCHRONOUS))
+    # 5. Nothing is solvable at or below the PSL bound.
+    if n <= 3 * t:
+        assert not solvable(sync) and not solvable(psync)
+        assert not solvable(res_num_sync)

@@ -1,0 +1,128 @@
+"""Tests for the Phase-King baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.generic import (
+    CrashAdversary,
+    EquivocatorAdversary,
+    InputFlipAdversary,
+    RandomByzantineAdversary,
+)
+from repro.classic.phase_king import PhaseKingSpec, PhaseKingState
+from repro.classic.runner import classic_factory
+from repro.core.errors import BoundViolation
+from repro.core.identity import balanced_assignment
+from repro.core.params import SystemParams
+from repro.core.problem import BINARY
+from repro.sim.runner import run_agreement
+
+
+def run_pk(ell, t, proposals, byz=(), adversary=None):
+    spec = PhaseKingSpec(ell, t, BINARY)
+    params = SystemParams(n=ell, ell=ell, t=t)
+    return run_agreement(
+        params=params,
+        assignment=balanced_assignment(ell, ell),
+        factory=classic_factory(spec),
+        proposals=proposals,
+        byzantine=byz,
+        adversary=adversary,
+        max_rounds=spec.max_rounds + 2,
+    ), spec
+
+
+class TestSpecBasics:
+    def test_bound_is_four_t(self):
+        with pytest.raises(BoundViolation):
+            PhaseKingSpec(4, 1, BINARY)
+        assert PhaseKingSpec(5, 1, BINARY).ell == 5
+
+    def test_round_count(self):
+        assert PhaseKingSpec(5, 1, BINARY).max_rounds == 4
+        assert PhaseKingSpec(9, 2, BINARY).max_rounds == 6
+
+    def test_only_king_speaks_in_even_rounds(self):
+        spec = PhaseKingSpec(5, 1, BINARY)
+        king_state = spec.init(1, 0)
+        other_state = spec.init(2, 0)
+        assert spec.message(king_state, 2) is not None
+        assert spec.message(other_state, 2) is None
+
+    def test_everyone_speaks_in_odd_rounds(self):
+        spec = PhaseKingSpec(5, 1, BINARY)
+        for ident in range(1, 6):
+            assert spec.message(spec.init(ident, 1), 1) == ("pk-pref", 1, 1)
+
+    def test_is_state_checks_domain(self):
+        spec = PhaseKingSpec(5, 1, BINARY)
+        good = spec.init(1, 0)
+        assert spec.is_state(good)
+        bad = PhaseKingState(ident=1, rounds_done=0, pref=7, maj=0, mult=0)
+        assert not spec.is_state(bad)
+
+    def test_malformed_king_message_falls_to_default(self):
+        spec = PhaseKingSpec(5, 1, BINARY)
+        state = spec.init(2, 1)
+        state = spec.transition(state, 1, {})  # no prefs at all: mult 0
+        after = spec.transition(state, 2, {1: ("pk-king", 2, "garbage")})
+        assert after.pref == BINARY.default
+
+
+class TestAgreementRuns:
+    def test_unanimous_no_faults(self):
+        result, _ = run_pk(5, 1, {k: 1 for k in range(5)})
+        assert result.verdict.ok and result.verdict.agreed_value == 1
+
+    def test_silent_byzantine_king(self):
+        # Slot 0 holds identifier 1 = king of phase 1; make it Byzantine.
+        result, _ = run_pk(5, 1, {k: k % 2 for k in range(1, 5)}, byz=(0,))
+        assert result.verdict.ok
+
+    def test_validity_under_flip(self):
+        spec = PhaseKingSpec(5, 1, BINARY)
+        result, _ = run_pk(
+            5, 1, {k: 1 for k in range(4)}, byz=(4,),
+            adversary=InputFlipAdversary(classic_factory(spec), proposal=0),
+        )
+        assert result.verdict.ok and result.verdict.agreed_value == 1
+
+    def test_equivocating_king(self):
+        spec = PhaseKingSpec(5, 1, BINARY)
+        result, _ = run_pk(
+            5, 1, {k: k % 2 for k in range(1, 5)}, byz=(0,),
+            adversary=EquivocatorAdversary(classic_factory(spec)),
+        )
+        assert result.verdict.ok
+
+    def test_crash_during_kingship(self):
+        spec = PhaseKingSpec(5, 1, BINARY)
+        result, _ = run_pk(
+            5, 1, {k: k % 2 for k in range(1, 5)}, byz=(0,),
+            adversary=CrashAdversary(classic_factory(spec), crash_round=1),
+        )
+        assert result.verdict.ok
+
+    def test_two_faults_nine_processes(self):
+        result, _ = run_pk(
+            9, 2, {k: k % 2 for k in range(7)}, byz=(7, 8),
+            adversary=RandomByzantineAdversary(seed=5),
+        )
+        assert result.verdict.ok
+
+
+@given(
+    seed=st.integers(0, 40),
+    byz_slot=st.integers(0, 4),
+    inputs=st.tuples(*[st.integers(0, 1)] * 5),
+)
+@settings(max_examples=30, deadline=None)
+def test_phase_king_agreement_under_random_byzantine(seed, byz_slot, inputs):
+    """Property: any Byzantine slot, any inputs, seeded chaos -> clean."""
+    proposals = {k: inputs[k] for k in range(5) if k != byz_slot}
+    result, _ = run_pk(
+        5, 1, proposals, byz=(byz_slot,),
+        adversary=RandomByzantineAdversary(seed=seed),
+    )
+    assert result.verdict.ok

@@ -1,0 +1,164 @@
+"""Edge cases and determinism guarantees across the stack."""
+
+import pytest
+
+from repro.adversaries.generic import RandomByzantineAdversary
+from repro.classic.eig import EIGSpec
+from repro.core.identity import balanced_assignment, stacked_assignment
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY, AgreementProblem
+from repro.experiments.harness import algorithm_for
+from repro.homonyms.transform import transform_factory, transform_horizon
+from repro.psync.dls_homonyms import dls_factory, dls_horizon
+from repro.psync.restricted import restricted_factory, restricted_horizon
+from repro.sim.runner import run_agreement
+
+
+class TestFaultFreeSystems:
+    """t = 0: every model family must work with any ell >= 1."""
+
+    def test_transform_anonymous_no_faults(self):
+        # ell = 1, t = 0: fully anonymous but fault-free.
+        spec = EIGSpec(1, 0, BINARY)
+        params = SystemParams(n=4, ell=1, t=0)
+        result = run_agreement(
+            params=params,
+            assignment=balanced_assignment(4, 1),
+            factory=transform_factory(spec),
+            proposals={k: 1 for k in range(4)},
+            max_rounds=transform_horizon(spec),
+        )
+        assert result.verdict.ok and result.verdict.agreed_value == 1
+
+    def test_dls_anonymous_no_faults(self):
+        params = SystemParams(
+            n=3, ell=1, t=0, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+        )
+        result = run_agreement(
+            params=params,
+            assignment=balanced_assignment(3, 1),
+            factory=dls_factory(params, BINARY),
+            proposals={k: 0 for k in range(3)},
+            max_rounds=dls_horizon(params, 0),
+        )
+        assert result.verdict.ok and result.verdict.agreed_value == 0
+
+    def test_minimal_two_process_system(self):
+        params = SystemParams(
+            n=2, ell=1, t=0, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+            numerate=True, restricted=True,
+        )
+        result = run_agreement(
+            params=params,
+            assignment=balanced_assignment(2, 1),
+            factory=restricted_factory(params, BINARY),
+            proposals={0: 1, 1: 0},
+            max_rounds=restricted_horizon(params, 0),
+        )
+        assert result.verdict.ok
+
+
+class TestTightestSolvablePoints:
+    """n = 3t + 1 exactly: the PSL edge in every family."""
+
+    def test_transform_n_3t_plus_1(self):
+        spec = EIGSpec(7, 2, BINARY)
+        params = SystemParams(n=7, ell=7, t=2)
+        result = run_agreement(
+            params=params,
+            assignment=balanced_assignment(7, 7),
+            factory=transform_factory(spec),
+            proposals={k: k % 2 for k in range(5)},
+            byzantine=(5, 6),
+            adversary=RandomByzantineAdversary(seed=3),
+            max_rounds=transform_horizon(spec),
+        )
+        assert result.verdict.ok
+
+    def test_fig7_n_3t_plus_1_ell_t_plus_1(self):
+        # Both bounds tight simultaneously: n = 3t+1, ell = t+1.
+        params = SystemParams(
+            n=7, ell=3, t=2, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+            numerate=True, restricted=True,
+        )
+        result = run_agreement(
+            params=params,
+            assignment=stacked_assignment(7, 3),
+            factory=restricted_factory(params, BINARY),
+            proposals={k: k % 2 for k in range(5)},
+            byzantine=(5, 6),
+            adversary=RandomByzantineAdversary(seed=4),
+            max_rounds=restricted_horizon(params, 0),
+        )
+        assert result.verdict.ok
+
+
+class TestLargeDomains:
+    def test_eight_value_domain_through_the_transform(self):
+        problem = AgreementProblem(tuple(range(8)))
+        spec = EIGSpec(4, 1, problem)
+        params = SystemParams(n=6, ell=4, t=1)
+        result = run_agreement(
+            params=params,
+            assignment=balanced_assignment(6, 4),
+            factory=transform_factory(spec),
+            proposals={k: (k * 3) % 8 for k in range(5)},
+            byzantine=(5,),
+            max_rounds=transform_horizon(spec),
+        )
+        assert result.verdict.ok
+        assert result.verdict.agreed_value in problem.domain
+
+    def test_string_domain_fig7(self):
+        problem = AgreementProblem(("commit", "abort", "retry"))
+        params = SystemParams(
+            n=4, ell=2, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+            numerate=True, restricted=True,
+        )
+        result = run_agreement(
+            params=params,
+            assignment=balanced_assignment(4, 2),
+            factory=restricted_factory(params, problem),
+            proposals={0: "commit", 1: "abort", 2: "commit"},
+            byzantine=(3,),
+            max_rounds=restricted_horizon(params, 0),
+        )
+        assert result.verdict.ok
+        assert result.verdict.agreed_value in problem.domain
+
+
+ALGOS = [
+    ("T(EIG)", SystemParams(n=6, ell=4, t=1)),
+    ("fig5", SystemParams(n=7, ell=6, t=1,
+                          synchrony=Synchrony.PARTIALLY_SYNCHRONOUS)),
+    ("fig7", SystemParams(n=4, ell=2, t=1,
+                          synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+                          numerate=True, restricted=True)),
+]
+
+
+@pytest.mark.parametrize("name,params", ALGOS, ids=[a[0] for a in ALGOS])
+class TestDeterminism:
+    """Identical inputs must yield byte-identical traces for every
+    algorithm family -- the property all seeded debugging relies on."""
+
+    def run_once(self, params):
+        _name, factory, horizon = algorithm_for(params)
+        byz = (params.n - 1,)
+        result = run_agreement(
+            params=params,
+            assignment=balanced_assignment(params.n, params.ell),
+            factory=factory,
+            proposals={k: k % 2 for k in range(params.n - 1)},
+            byzantine=byz,
+            adversary=RandomByzantineAdversary(seed=9),
+            max_rounds=horizon,
+        )
+        return [
+            (r.round_no, sorted(r.payloads.items(), key=repr),
+             sorted(r.decisions.items(), key=repr))
+            for r in result.trace
+        ]
+
+    def test_traces_identical_across_runs(self, name, params):
+        assert self.run_once(params) == self.run_once(params)

@@ -1,0 +1,115 @@
+"""Cross-engine equivalence and "continue running" semantics.
+
+Two engines implement the basic round model: the direct
+:class:`~repro.sim.network.RoundEngine` and the delay-based
+:class:`~repro.sim.delay.DelayRoundSimulator`.  On a punctual network
+they must produce byte-identical traces -- the executable form of the
+paper's Section 2 equivalence claim.  And per the paper's algorithms
+("decide v, but continue running the algorithm"), decided processes
+must keep participating so laggards can still finish.
+"""
+
+import pytest
+
+from repro.adversaries.generic import RandomByzantineAdversary
+from repro.core.identity import balanced_assignment
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+from repro.psync.dls_homonyms import dls_factory, dls_horizon
+from repro.sim.delay import AlwaysBoundedUnknownDelays, DelayRoundSimulator
+from repro.sim.network import RoundEngine
+from repro.sim.runner import make_processes
+
+
+def build_processes(params, assignment, byz):
+    proposals = {k: k % 2 for k in range(params.n) if k not in byz}
+    return make_processes(
+        dls_factory(params, BINARY), assignment, proposals, byz
+    ), proposals
+
+
+def canonical(trace):
+    return [
+        (
+            r.round_no,
+            sorted(r.payloads.items(), key=repr),
+            sorted(
+                (b, sorted(pr.items(), key=repr))
+                for b, pr in r.emissions.items()
+            ),
+            sorted(r.decisions.items(), key=repr),
+        )
+        for r in trace
+    ]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7, 13])
+    def test_round_engine_equals_punctual_delay_engine(self, seed):
+        params = SystemParams(
+            n=7, ell=6, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+        )
+        assignment = balanced_assignment(7, 6)
+        byz = (6,)
+        rounds = dls_horizon(params, 0)
+
+        procs_a, _ = build_processes(params, assignment, byz)
+        engine = RoundEngine(
+            params=params, assignment=assignment, processes=procs_a,
+            byzantine=byz, adversary=RandomByzantineAdversary(seed=seed),
+        )
+        engine.run(max_rounds=rounds, stop_when_all_decided=True)
+
+        procs_b, _ = build_processes(params, assignment, byz)
+        simulator = DelayRoundSimulator(
+            params, assignment, procs_b,
+            AlwaysBoundedUnknownDelays(true_delta=3, seed=seed),
+            byzantine=byz,
+            adversary=RandomByzantineAdversary(seed=seed),
+        )
+        simulator.run(max_rounds=rounds, stop_when_all_decided=True)
+
+        assert canonical(engine.trace) == canonical(simulator.trace)
+        assert [p.decision for p in procs_a if p] == \
+               [p.decision for p in procs_b if p]
+
+
+class TestContinueRunning:
+    def test_decided_processes_keep_broadcasting(self):
+        params = SystemParams(
+            n=7, ell=6, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+        )
+        assignment = balanced_assignment(7, 6)
+        byz = (6,)
+        processes, _ = build_processes(params, assignment, byz)
+        engine = RoundEngine(
+            params=params, assignment=assignment, processes=processes,
+            byzantine=byz,
+        )
+        horizon = dls_horizon(params, 0)
+        engine.run(max_rounds=horizon + 16, stop_when_all_decided=False)
+
+        first_decision = min(engine.trace.decision_rounds().values())
+        # Every correct process still broadcast in every round after its
+        # decision -- "continue running the algorithm".
+        for record in engine.trace:
+            if record.round_no > first_decision:
+                assert len(record.payloads) == 6
+
+    def test_no_second_decision_value(self):
+        params = SystemParams(
+            n=7, ell=6, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+        )
+        assignment = balanced_assignment(7, 6)
+        processes, _ = build_processes(params, assignment, (6,))
+        engine = RoundEngine(
+            params=params, assignment=assignment, processes=processes,
+            byzantine=(6,),
+        )
+        engine.run(max_rounds=dls_horizon(params, 0) + 24,
+                   stop_when_all_decided=False)
+        # First decisions are final: the recorded decision never changes.
+        decisions = engine.trace.decisions()
+        for k, proc in enumerate(processes):
+            if proc is not None and proc.decided:
+                assert proc.decision == decisions[k]

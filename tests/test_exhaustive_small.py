@@ -1,0 +1,90 @@
+"""Exhaustive small-system sweeps.
+
+For tiny systems we can afford to check agreement over *every* identity
+assignment and Byzantine placement, not just sampled ones.  These
+sweeps are the closest a simulation gets to the paper's "regardless of
+the way the n processes are assigned the ell identifiers" quantifier.
+"""
+
+import pytest
+
+from repro.adversaries.generic import EquivocatorAdversary
+from repro.classic.eig import EIGSpec
+from repro.core.identity import all_assignments
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+from repro.homonyms.transform import transform_factory, transform_horizon
+from repro.psync.restricted import restricted_factory, restricted_horizon
+from repro.sim.runner import run_agreement
+
+
+class TestTransformExhaustive:
+    """T(EIG) at n=5, ell=4, t=1: every assignment x every Byzantine slot."""
+
+    def test_every_assignment_and_placement(self):
+        spec = EIGSpec(4, 1, BINARY)
+        params = SystemParams(n=5, ell=4, t=1)
+        factory = transform_factory(spec)
+        horizon = transform_horizon(spec)
+        assignments = list(all_assignments(5, 4))
+        assert len(assignments) == 240  # surjections 5 -> 4
+        checked = 0
+        for assignment in assignments:
+            # One Byzantine placement per homonym structure: corrupt a
+            # member of the (unique) shared identifier, worst case.
+            shared = assignment.homonym_ids()[0]
+            byz = (assignment.group(shared)[0],)
+            proposals = {
+                k: k % 2 for k in range(5) if k not in byz
+            }
+            result = run_agreement(
+                params=params,
+                assignment=assignment,
+                factory=factory,
+                proposals=proposals,
+                byzantine=byz,
+                adversary=EquivocatorAdversary(factory),
+                max_rounds=horizon,
+            )
+            assert result.verdict.ok, (
+                f"{assignment.describe()} byz={byz}: "
+                f"{result.verdict.summary()}"
+            )
+            checked += 1
+        assert checked == 240
+
+
+class TestRestrictedExhaustive:
+    """Figure 7 at n=4, ell=2, t=1: every assignment x every Byzantine slot
+    x both unanimous input patterns."""
+
+    def test_full_product(self):
+        params = SystemParams(
+            n=4, ell=2, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+            numerate=True, restricted=True,
+        )
+        factory = restricted_factory(params, BINARY)
+        horizon = restricted_horizon(params, 0)
+        assignments = list(all_assignments(4, 2))
+        assert len(assignments) == 14  # surjections 4 -> 2
+        for assignment in assignments:
+            for byz_slot in range(4):
+                for value in (0, 1):
+                    proposals = {
+                        k: value for k in range(4) if k != byz_slot
+                    }
+                    result = run_agreement(
+                        params=params,
+                        assignment=assignment,
+                        factory=factory,
+                        proposals=proposals,
+                        byzantine=(byz_slot,),
+                        adversary=EquivocatorAdversary(factory),
+                        max_rounds=horizon,
+                    )
+                    assert result.verdict.ok, (
+                        f"{assignment.describe()} byz={byz_slot} "
+                        f"value={value}: {result.verdict.summary()}"
+                    )
+                    # Unanimity: validity pins the decision.
+                    assert result.verdict.agreed_value == value

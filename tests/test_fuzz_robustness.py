@@ -1,0 +1,123 @@
+"""Adversarial-payload fuzzing: parsers must never crash.
+
+A Byzantine process can put *any* hashable value on the wire.  Every
+algorithm's ``deliver`` path therefore has to treat malformed bundles,
+half-valid structures and type confusion as noise.  These tests throw
+hypothesis-generated garbage (including near-misses that share tags and
+shapes with real payloads) at every algorithm family and require (a) no
+exceptions and (b) unharmed agreement among the correct processes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classic.eig import EIGSpec
+from repro.core.identity import balanced_assignment
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+from repro.experiments.harness import algorithm_for
+from repro.homonyms.transform import DECIDE_TAG, RUN_TAG, SELECT_TAG
+from repro.sim.adversary import Adversary
+from repro.sim.runner import run_agreement
+
+# ----------------------------------------------------------------------
+# Payload strategies: pure garbage plus structured near-misses
+# ----------------------------------------------------------------------
+scalars = st.one_of(
+    st.integers(-3, 10),
+    st.sampled_from(["fig5", "fig7", "init", "echo", "lock", "ack",
+                     "decide", "propose", "vote", SELECT_TAG, DECIDE_TAG,
+                     RUN_TAG, "", None, True]),
+)
+
+nested = st.recursive(
+    scalars, lambda inner: st.tuples(inner, inner) | st.tuples(inner),
+    max_leaves=8,
+)
+
+near_miss_fig5 = st.tuples(
+    st.just("fig5"), nested, nested, nested, nested
+)
+near_miss_fig7 = st.tuples(st.just("fig7"), nested, nested, nested)
+near_miss_items = st.tuples(
+    st.sampled_from(["init", "echo", "minit", "mecho"]),
+    scalars, scalars, scalars,
+)
+
+garbage = st.one_of(nested, near_miss_fig5, near_miss_fig7, near_miss_items)
+
+
+class GarbageFlood(Adversary):
+    """Sends a fixed list of garbage payloads from every slot, every round."""
+
+    def __init__(self, payloads, burst=False):
+        self.payloads = tuple(payloads) if payloads else ("x",)
+        self.burst = burst
+
+    def emissions(self, view):
+        batch = self.payloads if self.burst else self.payloads[:1]
+        return {
+            b: {q: batch for q in range(view.params.n)}
+            for b in view.byzantine
+        }
+
+
+CONFIGS = [
+    ("T(EIG)", SystemParams(n=5, ell=4, t=1)),
+    ("fig5", SystemParams(n=7, ell=6, t=1,
+                          synchrony=Synchrony.PARTIALLY_SYNCHRONOUS)),
+    ("fig7", SystemParams(n=4, ell=2, t=1,
+                          synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+                          numerate=True, restricted=True)),
+]
+
+
+@pytest.mark.parametrize("name,params", CONFIGS, ids=[c[0] for c in CONFIGS])
+@given(payloads=st.lists(garbage, min_size=1, max_size=4))
+@settings(max_examples=20, deadline=None)
+def test_garbage_never_crashes_or_corrupts(name, params, payloads):
+    _name, factory, horizon = algorithm_for(params)
+    byz = (params.n - 1,)
+    proposals = {k: k % 2 for k in range(params.n - 1)}
+    result = run_agreement(
+        params=params,
+        assignment=balanced_assignment(params.n, params.ell),
+        factory=factory,
+        proposals=proposals,
+        byzantine=byz,
+        adversary=GarbageFlood(payloads, burst=not params.restricted),
+        max_rounds=horizon,
+    )
+    assert result.verdict.ok, result.verdict.summary()
+
+
+@given(payloads=st.lists(garbage, min_size=1, max_size=3))
+@settings(max_examples=15, deadline=None)
+def test_classic_specs_survive_garbage_directly(payloads):
+    """The Figure 2 functional interfaces parse garbage defensively."""
+    spec = EIGSpec(4, 1, BINARY)
+    state = spec.init(1, 0)
+    for round_no in (1, 2):
+        received = {j: payloads[(j + round_no) % len(payloads)]
+                    for j in range(2, 5)}
+        state = spec.transition(state, round_no, received)
+    # The tree is still structurally valid and a decision exists.
+    assert spec.is_state(state)
+    assert spec.decide(state) in BINARY.domain
+
+
+@given(data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_transform_selection_rejects_garbage_states(data):
+    """T(A)'s selection round must only ever adopt valid states."""
+    from repro.core.messages import Inbox, Message
+    from repro.homonyms.transform import HomonymProcess
+
+    spec = EIGSpec(4, 1, BINARY)
+    proc = HomonymProcess(spec, 1, 0)
+    junk = data.draw(st.lists(garbage, min_size=1, max_size=5))
+    messages = [Message(1, (SELECT_TAG, 0, item)) for item in junk]
+    messages.append(Message(1, proc.compose(0)))  # own valid broadcast
+    proc.deliver(0, Inbox(messages, numerate=False))
+    assert spec.is_state(proc.state)

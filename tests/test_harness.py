@@ -1,0 +1,120 @@
+"""Integration tests for the Table 1 experiment harness."""
+
+import pytest
+
+from repro.analysis.tables import boundary_map, table1_text
+from repro.core.params import SystemParams, Synchrony
+from repro.experiments.harness import (
+    algorithm_for,
+    evaluate_cell,
+    evaluate_unsolvable_cell,
+)
+from repro.experiments.report import cell_grid_report, failures_report
+
+
+class TestAlgorithmSelection:
+    def test_sync_uses_transform(self):
+        params = SystemParams(n=5, ell=4, t=1)
+        name, _, _ = algorithm_for(params)
+        assert name == "T(EIG)"
+
+    def test_psync_uses_dls(self):
+        params = SystemParams(
+            n=7, ell=6, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+        )
+        name, _, _ = algorithm_for(params)
+        assert name == "fig5-dls"
+
+    def test_restricted_numerate_uses_fig7(self):
+        params = SystemParams(
+            n=4, ell=2, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+            numerate=True, restricted=True,
+        )
+        name, _, _ = algorithm_for(params)
+        assert name == "fig7-restricted"
+
+    def test_restricted_innumerate_falls_back(self):
+        # Theorem 19: restriction without numeracy buys nothing; the
+        # harness must use the general algorithms.
+        params = SystemParams(n=5, ell=4, t=1, restricted=True)
+        name, _, _ = algorithm_for(params)
+        assert name == "T(EIG)"
+
+
+class TestSolvableCells:
+    def test_sync_cell_quick(self):
+        cell = evaluate_cell(SystemParams(n=5, ell=4, t=1), quick=True)
+        assert cell.predicted_solvable
+        assert cell.empirically_consistent, failures_report([cell])
+        assert len(cell.runs) > 10
+
+    def test_restricted_cell_quick(self):
+        cell = evaluate_cell(
+            SystemParams(
+                n=4, ell=2, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+                numerate=True, restricted=True,
+            ),
+            quick=True,
+        )
+        assert cell.empirically_consistent, failures_report([cell])
+
+
+class TestUnsolvableCells:
+    def test_sync_at_3t_uses_scenario(self):
+        cell = evaluate_unsolvable_cell(SystemParams(n=4, ell=3, t=1))
+        assert not cell.predicted_solvable
+        assert "figure-1" in cell.demonstration
+        assert cell.empirically_consistent
+
+    def test_psync_gap_uses_partition(self):
+        cell = evaluate_unsolvable_cell(
+            SystemParams(
+                n=9, ell=6, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+            )
+        )
+        assert "figure-4" in cell.demonstration
+        assert cell.empirically_consistent
+
+    def test_restricted_at_ell_le_t_uses_mirror(self):
+        cell = evaluate_unsolvable_cell(
+            SystemParams(
+                n=4, ell=1, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+                numerate=True, restricted=True,
+            )
+        )
+        assert "mirror" in cell.demonstration
+        assert cell.empirically_consistent
+
+    def test_below_psl_is_cited_not_run(self):
+        cell = evaluate_unsolvable_cell(SystemParams(n=3, ell=3, t=1))
+        assert "PSL" in cell.demonstration
+
+    def test_small_ell_dominated(self):
+        cell = evaluate_unsolvable_cell(SystemParams(n=8, ell=2, t=1))
+        assert "dominated" in cell.demonstration
+
+
+class TestReports:
+    def test_grid_report_counts_consistency(self):
+        cells = [
+            evaluate_unsolvable_cell(SystemParams(n=4, ell=3, t=1)),
+            evaluate_unsolvable_cell(SystemParams(n=3, ell=3, t=1)),
+        ]
+        text = cell_grid_report(cells)
+        assert "2/2 cells consistent" in text
+
+    def test_table1_text_contains_conditions(self):
+        text = table1_text()
+        assert "ell > 3t" in text and "2*ell > n + 3t" in text
+        assert "n must be greater than 3t" in text
+
+    def test_boundary_map_marks_thresholds(self):
+        text = boundary_map(7, 1)
+        lines = {
+            line.split("  ")[0].strip(): line
+            for line in text.splitlines()
+            if "unrestricted" in line or "restricted" in line
+        }
+        sync_row = [l for l in text.splitlines() if l.startswith("sync  unres")][0]
+        # ell = 4 is the first synchronous S for t=1.
+        assert sync_row.index("S") > 0

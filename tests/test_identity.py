@@ -1,0 +1,128 @@
+"""Unit and property tests for repro.core.identity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.identity import (
+    IdentityAssignment,
+    all_assignments,
+    assignment_from_sizes,
+    balanced_assignment,
+    random_assignment,
+    stacked_assignment,
+)
+
+
+class TestIdentityAssignmentValidation:
+    def test_every_identifier_must_be_assigned(self):
+        with pytest.raises(ConfigurationError):
+            IdentityAssignment(3, (1, 1, 2))  # identifier 3 unassigned
+
+    def test_identifiers_must_be_in_range(self):
+        with pytest.raises(ConfigurationError):
+            IdentityAssignment(2, (1, 2, 3))
+
+    def test_needs_at_least_ell_processes(self):
+        with pytest.raises(ConfigurationError):
+            IdentityAssignment(3, (1, 2))
+
+    def test_unknown_identifier_lookup_raises(self):
+        a = IdentityAssignment(2, (1, 2, 2))
+        with pytest.raises(ConfigurationError):
+            a.group(3)
+
+
+class TestGroups:
+    def test_groups_partition_processes(self):
+        a = IdentityAssignment(3, (1, 2, 3, 1, 2, 1))
+        assert a.group(1) == (0, 3, 5)
+        assert a.group(2) == (1, 4)
+        assert a.group(3) == (2,)
+
+    def test_sole_owner_and_homonym_ids(self):
+        a = IdentityAssignment(3, (1, 2, 3, 1))
+        assert a.sole_owner_ids() == (2, 3)
+        assert a.homonym_ids() == (1,)
+
+    def test_counts(self):
+        a = IdentityAssignment(2, (1, 1, 2))
+        assert a.counts() == {1: 2, 2: 1}
+
+    def test_describe_contains_sizes(self):
+        text = IdentityAssignment(2, (1, 1, 2)).describe()
+        assert "1x2" in text and "2x1" in text
+
+
+class TestGenerators:
+    def test_balanced_spreads_evenly(self):
+        a = balanced_assignment(7, 3)
+        sizes = sorted(a.group_sizes().values())
+        assert sizes == [2, 2, 3]
+
+    def test_stacked_piles_on_one_identifier(self):
+        a = stacked_assignment(8, 3, stacked_id=2)
+        assert a.group_sizes() == {1: 1, 2: 6, 3: 1}
+
+    def test_stacked_rejects_bad_id(self):
+        with pytest.raises(ConfigurationError):
+            stacked_assignment(5, 3, stacked_id=4)
+
+    def test_from_sizes_round_trips(self):
+        a = assignment_from_sizes({1: 2, 2: 1, 3: 3})
+        assert a.group_sizes() == {1: 2, 2: 1, 3: 3}
+        assert a.n == 6
+
+    def test_from_sizes_rejects_zero_group(self):
+        with pytest.raises(ConfigurationError):
+            assignment_from_sizes({1: 0, 2: 2})
+
+    def test_from_sizes_rejects_gap_in_ids(self):
+        with pytest.raises(ConfigurationError):
+            assignment_from_sizes({1: 1, 3: 1})
+
+    def test_random_is_deterministic_per_seed(self):
+        assert random_assignment(9, 4, seed=7).ids == random_assignment(9, 4, seed=7).ids
+
+    def test_random_differs_across_seeds(self):
+        results = {random_assignment(9, 4, seed=s).ids for s in range(8)}
+        assert len(results) > 1
+
+    def test_all_assignments_small_case(self):
+        # 3 processes over 2 identifiers: surjections 2^3 - 2 = 6.
+        assignments = list(all_assignments(3, 2))
+        assert len(assignments) == 6
+        assert len({a.ids for a in assignments}) == 6
+
+
+@given(
+    n=st.integers(min_value=1, max_value=24),
+    ell=st.integers(min_value=1, max_value=24),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=80)
+def test_random_assignment_always_valid(n, ell, seed):
+    """Property: every generated assignment covers all identifiers."""
+    if ell > n:
+        with pytest.raises(ConfigurationError):
+            random_assignment(n, ell, seed)
+        return
+    a = random_assignment(n, ell, seed)
+    assert a.n == n and a.ell == ell
+    assert set(a.ids) == set(range(1, ell + 1))
+    # Groups partition indices.
+    seen = sorted(i for members in a.groups().values() for i in members)
+    assert seen == list(range(n))
+
+
+@given(
+    n=st.integers(min_value=1, max_value=24),
+    ell=st.integers(min_value=1, max_value=24),
+)
+@settings(max_examples=80)
+def test_balanced_group_sizes_differ_by_at_most_one(n, ell):
+    if ell > n:
+        return
+    sizes = balanced_assignment(n, ell).group_sizes().values()
+    assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,83 @@
+"""Tests for the Lemma 17 mirror adversary and the valency-chain scan."""
+
+import pytest
+
+from repro.adversaries.mirror import (
+    mirror_chain_scan,
+    run_mirror_pair,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+from repro.psync.restricted import restricted_factory, restricted_horizon
+
+
+def make_params(n=4, ell=1, t=1):
+    return SystemParams(
+        n=n, ell=ell, t=t,
+        synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+        numerate=True, restricted=True,
+    )
+
+
+def make_factory(params):
+    return restricted_factory(params, BINARY, unchecked=True)
+
+
+class TestLemma17Indistinguishability:
+    @pytest.mark.parametrize("position", [0, 1, 2])
+    def test_non_flipped_processes_cannot_distinguish(self, position):
+        """The heart of Lemma 17: for adjacent configurations, every
+        correct process other than the flipped one receives identical
+        message multisets and must decide identically."""
+        params = make_params()
+        report = run_mirror_pair(
+            params, make_factory(params), position,
+            max_rounds=restricted_horizon(params, 0),
+        )
+        assert report.indistinguishable, report.summary()
+
+    def test_anonymous_system_two_faults(self):
+        params = make_params(n=7, ell=2, t=2)
+        report = run_mirror_pair(
+            params, make_factory(params), 0,
+            max_rounds=restricted_horizon(params, 0),
+        )
+        assert report.indistinguishable
+
+
+class TestChainScan:
+    def test_scan_produces_impossibility_evidence_at_ell_le_t(self):
+        """Proposition 16's premise ell <= t: the scan must surface
+        either an outright violation or a Lemma 21 multivalence witness."""
+        params = make_params(n=4, ell=1, t=1)
+        outcome = mirror_chain_scan(
+            params, make_factory(params),
+            max_rounds=restricted_horizon(params, 0),
+        )
+        assert outcome.impossibility_evidence, outcome.summary()
+
+    def test_endpoint_configurations_respect_validity(self):
+        """All-0 and all-1 configurations must decide 0 and 1 -- the
+        anchors of the valency argument."""
+        params = make_params(n=4, ell=1, t=1)
+        horizon = restricted_horizon(params, 0)
+        first = run_mirror_pair(params, make_factory(params), 0, horizon)
+        last = run_mirror_pair(
+            params, make_factory(params), params.n - params.ell - 1, horizon
+        )
+        assert set(first.run_low.verdict.decisions.values()) == {0}
+        assert set(last.run_high.verdict.decisions.values()) == {1}
+
+    def test_setup_rejects_ell_above_t(self):
+        params = make_params(n=4, ell=2, t=1)
+        with pytest.raises(ConfigurationError):
+            mirror_chain_scan(params, make_factory(params), max_rounds=10)
+
+    def test_scan_summary_readable(self):
+        params = make_params(n=4, ell=1, t=1)
+        outcome = mirror_chain_scan(
+            params, make_factory(params),
+            max_rounds=restricted_horizon(params, 0),
+        )
+        assert "mirror chain scan" in outcome.summary()

@@ -1,0 +1,92 @@
+"""Unit tests for repro.core.params."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import Synchrony, SystemParams, model_space
+
+
+class TestSystemParamsValidation:
+    def test_accepts_classical_configuration(self):
+        p = SystemParams(n=4, ell=4, t=1)
+        assert p.classical and not p.anonymous
+
+    def test_accepts_anonymous_configuration(self):
+        p = SystemParams(n=4, ell=1, t=1)
+        assert p.anonymous and not p.classical
+
+    def test_rejects_ell_greater_than_n(self):
+        with pytest.raises(ConfigurationError):
+            SystemParams(n=3, ell=4, t=0)
+
+    def test_rejects_zero_ell(self):
+        with pytest.raises(ConfigurationError):
+            SystemParams(n=3, ell=0, t=0)
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(ConfigurationError):
+            SystemParams(n=3, ell=2, t=-1)
+
+    def test_rejects_zero_n(self):
+        with pytest.raises(ConfigurationError):
+            SystemParams(n=0, ell=1, t=0)
+
+
+class TestDerivedQuantities:
+    def test_psl_bound(self):
+        assert SystemParams(n=4, ell=4, t=1).meets_psl_bound
+        assert not SystemParams(n=3, ell=3, t=1).meets_psl_bound
+
+    def test_identifier_range_matches_paper_numbering(self):
+        p = SystemParams(n=5, ell=3, t=1)
+        assert list(p.identifiers) == [1, 2, 3]
+
+    def test_id_quorum_is_ell_minus_t(self):
+        assert SystemParams(n=7, ell=6, t=1).id_quorum == 5
+
+    def test_process_quorum_is_n_minus_t(self):
+        assert SystemParams(n=7, ell=6, t=1).process_quorum == 6
+
+    def test_min_sole_owner_ids(self):
+        # n=7, ell=6: at most one identifier is shared, so at least
+        # 2*6 - 7 = 5 identifiers are sole-owner.
+        assert SystemParams(n=7, ell=6, t=1).min_sole_owner_ids == 5
+        # Fully collapsed case: no guarantee.
+        assert SystemParams(n=10, ell=2, t=1).min_sole_owner_ids == 0
+
+    def test_with_model_replaces_flags(self):
+        p = SystemParams(n=4, ell=4, t=1)
+        q = p.with_model(
+            synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+            numerate=True,
+            restricted=True,
+        )
+        assert q.synchrony is Synchrony.PARTIALLY_SYNCHRONOUS
+        assert q.numerate and q.restricted
+        assert (q.n, q.ell, q.t) == (p.n, p.ell, p.t)
+        # Original untouched.
+        assert p.synchrony is Synchrony.SYNCHRONOUS
+
+    def test_describe_mentions_all_flags(self):
+        text = SystemParams(
+            n=4, ell=2, t=1, numerate=True, restricted=True
+        ).describe()
+        assert "numerate" in text and "restricted" in text
+        assert "n=4" in text and "ell=2" in text
+
+
+class TestModelSpace:
+    def test_has_eight_combinations(self):
+        assert len(list(model_space())) == 8
+
+    def test_covers_all_combinations_uniquely(self):
+        combos = set(model_space())
+        assert len(combos) == 8
+        for synchrony, numerate, restricted in combos:
+            assert isinstance(synchrony, Synchrony)
+            assert isinstance(numerate, bool)
+            assert isinstance(restricted, bool)
+
+    def test_synchrony_short_names(self):
+        assert Synchrony.SYNCHRONOUS.short == "sync"
+        assert Synchrony.PARTIALLY_SYNCHRONOUS.short == "psync"

@@ -1,0 +1,131 @@
+"""Tests for the partially synchronous drop schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.sim.partial import (
+    ExplicitDrops,
+    NoDrops,
+    PartitionSchedule,
+    PredicateDrops,
+    RandomDrops,
+    SilenceUntil,
+)
+
+
+class TestNoDrops:
+    def test_never_drops(self):
+        s = NoDrops()
+        assert s.gst == 0
+        assert not any(
+            s.drops(r, a, b) for r in range(5) for a in range(3) for b in range(3)
+        )
+
+
+class TestSilenceUntil:
+    def test_drops_everything_before_gst(self):
+        s = SilenceUntil(3)
+        assert s.drops(0, 0, 1) and s.drops(2, 1, 0)
+        assert not s.drops(3, 0, 1) and not s.drops(10, 0, 1)
+
+    def test_self_messages_never_dropped(self):
+        s = SilenceUntil(3)
+        assert not s.drops(0, 1, 1)
+
+    def test_negative_gst_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SilenceUntil(-1)
+
+
+class TestPartitionSchedule:
+    def test_blocks_cross_traffic_both_directions(self):
+        s = PartitionSchedule(4, block_a=[0, 1], block_b=[2])
+        assert s.drops(0, 0, 2) and s.drops(0, 2, 1)
+
+    def test_intra_block_traffic_flows(self):
+        s = PartitionSchedule(4, block_a=[0, 1], block_b=[2])
+        assert not s.drops(0, 0, 1) and not s.drops(0, 2, 2)
+
+    def test_outside_processes_unaffected(self):
+        s = PartitionSchedule(4, block_a=[0], block_b=[1])
+        assert not s.drops(0, 3, 0) and not s.drops(0, 0, 3)
+
+    def test_heals_at_gst(self):
+        s = PartitionSchedule(4, block_a=[0], block_b=[1])
+        assert not s.drops(4, 0, 1)
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSchedule(4, block_a=[0, 1], block_b=[1, 2])
+
+
+class TestRandomDrops:
+    def test_deterministic_per_seed(self):
+        a = RandomDrops(gst=10, p=0.5, seed=3)
+        b = RandomDrops(gst=10, p=0.5, seed=3)
+        decisions_a = [a.drops(r, s, q) for r in range(10) for s in range(4) for q in range(4)]
+        decisions_b = [b.drops(r, s, q) for r in range(10) for s in range(4) for q in range(4)]
+        assert decisions_a == decisions_b
+
+    def test_order_independent(self):
+        s = RandomDrops(gst=10, p=0.5, seed=3)
+        first = s.drops(2, 1, 0)
+        # query other links, then re-query
+        s.drops(5, 0, 1)
+        s.drops(1, 3, 2)
+        assert s.drops(2, 1, 0) == first
+
+    def test_extreme_probabilities(self):
+        always = RandomDrops(gst=5, p=1.0, seed=0)
+        never = RandomDrops(gst=5, p=0.0, seed=0)
+        assert all(always.drops(r, 0, 1) for r in range(5))
+        assert not any(never.drops(r, 0, 1) for r in range(5))
+
+    def test_probability_validated(self):
+        with pytest.raises(ConfigurationError):
+            RandomDrops(gst=5, p=1.5)
+
+
+class TestExplicitDrops:
+    def test_drops_exactly_the_listed_messages(self):
+        s = ExplicitDrops({(1, 0, 2), (3, 2, 0)})
+        assert s.drops(1, 0, 2) and s.drops(3, 2, 0)
+        assert not s.drops(1, 2, 0) and not s.drops(2, 0, 2)
+
+    def test_gst_derived_from_latest_drop(self):
+        s = ExplicitDrops({(1, 0, 2), (7, 2, 0)})
+        assert s.gst == 8
+
+    def test_empty_set_is_synchronous(self):
+        s = ExplicitDrops(set())
+        assert s.gst == 0
+        assert not s.drops(0, 0, 1)
+
+
+class TestPredicateDrops:
+    def test_predicate_limited_to_pre_gst(self):
+        s = PredicateDrops(3, lambda r, a, b: True)
+        assert s.drops(2, 0, 1)
+        assert not s.drops(3, 0, 1)
+
+
+@given(
+    gst=st.integers(min_value=0, max_value=30),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=100),
+    queries=st.lists(
+        st.tuples(st.integers(0, 60), st.integers(0, 5), st.integers(0, 5)),
+        max_size=40,
+    ),
+)
+@settings(max_examples=60)
+def test_dls_finiteness_invariant(gst, p, seed, queries):
+    """Property: no schedule ever drops at or after its gst (the DLS
+    basic-model guarantee), and never drops self-messages."""
+    schedule = RandomDrops(gst=gst, p=p, seed=seed)
+    for r, s, q in queries:
+        dropped = schedule.drops(r, s, q)
+        if r >= gst or s == q:
+            assert not dropped

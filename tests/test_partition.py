@@ -1,0 +1,103 @@
+"""Tests for the Figure 4 partition attack (Proposition 4)."""
+
+import pytest
+
+from repro.adversaries.partition import (
+    PartitionLayout,
+    partition_attack_feasible,
+    run_partition_attack,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+from repro.psync.dls_homonyms import DLSHomonymProcess, dls_horizon
+
+
+def make_factory(n, ell, t):
+    params = SystemParams(
+        n=n, ell=ell, t=t, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+    )
+
+    def factory(ident, value):
+        return DLSHomonymProcess(params, BINARY, ident, value, unchecked=True)
+
+    return factory, params
+
+
+class TestFeasibility:
+    def test_feasible_exactly_in_the_gap(self):
+        # ell > 3t and 2*ell <= n + 3t.
+        assert partition_attack_feasible(9, 6, 1)
+        assert partition_attack_feasible(12, 6, 1)
+        assert not partition_attack_feasible(7, 6, 1)  # 12 > 10: solvable
+        assert not partition_attack_feasible(9, 3, 1)  # ell = 3t: sync case
+        assert not partition_attack_feasible(9, 6, 0)  # no faults
+
+    def test_layout_rejects_infeasible(self):
+        with pytest.raises(ConfigurationError):
+            PartitionLayout(7, 6, 1)
+
+
+class TestLayoutArithmetic:
+    @pytest.mark.parametrize("n,ell,t", [(9, 6, 1), (12, 6, 1), (16, 11, 2),
+                                         (20, 8, 2)])
+    def test_alpha_beta_have_n_processes(self, n, ell, t):
+        layout = PartitionLayout(n, ell, t)
+        assert sum(layout.alpha_sizes().values()) == n
+        assert sum(layout.beta_sizes().values()) == n
+
+    def test_alpha_stacks(self):
+        layout = PartitionLayout(9, 6, 1)
+        sizes = layout.alpha_sizes()
+        assert sizes[1] == 6 - 3 + 1  # ell - 3t + 1 on the core
+        assert sizes[3] == 9 - 12 + 3 + 1  # n - 2*ell + 3t + 1 on W0
+
+    def test_beta_stack_is_n_minus_ell_plus_one(self):
+        layout = PartitionLayout(9, 6, 1)
+        assert layout.beta_sizes()[1] == 9 - 6 + 1
+
+    def test_wings_cover_all_non_core_identifiers(self):
+        layout = PartitionLayout(16, 11, 2)
+        covered = set(layout.w0_ids()) | set(layout.w1_ids())
+        assert covered == set(range(layout.t + 1, layout.ell + 1))
+
+
+class TestAttackExecution:
+    @pytest.mark.parametrize("n,ell,t", [(9, 6, 1), (10, 6, 1)])
+    def test_attack_splits_the_wings(self, n, ell, t):
+        factory, params = make_factory(n, ell, t)
+        outcome = run_partition_attack(
+            n, ell, t, factory, reference_rounds=dls_horizon(params, 0)
+        )
+        assert outcome.attack_succeeded
+        # The reference executions are clean; gamma carries the blame.
+        assert outcome.alpha.verdict.ok
+        assert outcome.beta.verdict.ok
+        assert outcome.gamma.verdict.violated("agreement")
+
+    def test_wings_decide_their_reference_values(self):
+        factory, params = make_factory(9, 6, 1)
+        outcome = run_partition_attack(
+            9, 6, 1, factory, reference_rounds=dls_horizon(params, 0)
+        )
+        gamma = outcome.gamma
+        for k in outcome.w0:
+            assert gamma.processes[k].decision == 0
+        for k in outcome.w1:
+            assert gamma.processes[k].decision == 1
+
+    def test_alpha_validity_forces_zero(self):
+        factory, params = make_factory(9, 6, 1)
+        outcome = run_partition_attack(
+            9, 6, 1, factory, reference_rounds=dls_horizon(params, 0)
+        )
+        assert outcome.alpha.verdict.agreed_value == 0
+        assert outcome.beta.verdict.agreed_value == 1
+
+    def test_summary_is_readable(self):
+        factory, params = make_factory(9, 6, 1)
+        outcome = run_partition_attack(
+            9, 6, 1, factory, reference_rounds=dls_horizon(params, 0)
+        )
+        text = outcome.summary()
+        assert "alpha" in text and "gamma" in text

@@ -1,0 +1,104 @@
+"""Unit tests for the agreement problem spec and verdict checking."""
+
+import pytest
+
+from repro.core.problem import (
+    BINARY,
+    AgreementProblem,
+    check_agreement_properties,
+)
+
+
+def check(proposals, decisions, correct, rounds=10, require_termination=True,
+          decision_rounds=None):
+    if decision_rounds is None:
+        decision_rounds = {k: 1 for k in decisions}
+    return check_agreement_properties(
+        proposals=proposals,
+        decisions=decisions,
+        decision_rounds=decision_rounds,
+        correct=correct,
+        rounds_executed=rounds,
+        require_termination=require_termination,
+    )
+
+
+class TestAgreementProblem:
+    def test_binary_domain(self):
+        assert BINARY.domain == (0, 1)
+        assert BINARY.default == 0
+
+    def test_needs_two_values(self):
+        with pytest.raises(ValueError):
+            AgreementProblem((0,))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            AgreementProblem((0, 0))
+
+    def test_validate_value(self):
+        assert BINARY.validate_value(1) == 1
+        with pytest.raises(ValueError):
+            BINARY.validate_value(2)
+
+    def test_larger_domains_supported(self):
+        p = AgreementProblem(("a", "b", "c", "d"))
+        assert p.default == "a"
+        assert p.validate_value("d") == "d"
+
+
+class TestVerdicts:
+    def test_clean_execution(self):
+        v = check({0: 1, 1: 1}, {0: 1, 1: 1}, correct=[0, 1])
+        assert v.ok
+        assert v.agreed_value == 1
+        assert v.last_decision_round == 1
+
+    def test_termination_violation(self):
+        v = check({0: 1, 1: 1}, {0: 1}, correct=[0, 1])
+        assert not v.ok
+        assert v.violated("termination")
+        assert "1" in str(v.violations[0])
+
+    def test_termination_waived_for_truncated_runs(self):
+        v = check({0: 1, 1: 1}, {0: 1}, correct=[0, 1], require_termination=False)
+        assert v.ok
+
+    def test_agreement_violation(self):
+        v = check({0: 0, 1: 1}, {0: 0, 1: 1}, correct=[0, 1])
+        assert not v.ok
+        assert v.violated("agreement")
+        assert v.agreed_value is None
+
+    def test_validity_violation(self):
+        v = check({0: 0, 1: 0}, {0: 1, 1: 1}, correct=[0, 1])
+        assert not v.ok
+        assert v.violated("validity")
+
+    def test_mixed_inputs_allow_either_value(self):
+        v = check({0: 0, 1: 1}, {0: 1, 1: 1}, correct=[0, 1])
+        assert v.ok
+
+    def test_byzantine_proposals_are_ignored(self):
+        # Process 2 is not in the correct set; its entries never count.
+        v = check({0: 0, 1: 0, 2: 1}, {0: 0, 1: 0, 2: 1}, correct=[0, 1])
+        assert v.ok
+        assert 2 not in v.decisions
+
+    def test_agreement_and_validity_can_both_fire(self):
+        v = check({0: 0, 1: 0, 2: 0}, {0: 0, 1: 1, 2: 0}, correct=[0, 1, 2])
+        assert v.violated("agreement") and v.violated("validity")
+
+    def test_summary_mentions_violations(self):
+        v = check({0: 0, 1: 0}, {0: 0, 1: 1}, correct=[0, 1])
+        assert "agreement" in v.summary()
+
+    def test_summary_of_clean_run(self):
+        v = check({0: 0}, {0: 0}, correct=[0])
+        assert "OK" in v.summary()
+
+    def test_distinguishes_equal_reprs_only(self):
+        # Values are compared by repr for hashability safety; distinct
+        # reprs are distinct decisions.
+        v = check({0: "a", 1: "a"}, {0: "a", 1: "b"}, correct=[0, 1])
+        assert v.violated("agreement")

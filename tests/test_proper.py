@@ -1,0 +1,118 @@
+"""Tests for proper-set maintenance (both trackers)."""
+
+import pytest
+
+from repro.core.problem import BINARY, AgreementProblem
+from repro.psync.proper import (
+    IdentifierProperTracker,
+    MessageProperTracker,
+    decode_proper,
+    encode_proper,
+)
+
+
+class TestEncoding:
+    def test_encode_sorts_and_dedupes(self):
+        assert encode_proper([1, 0, 1]) == (0, 1)
+
+    def test_decode_filters_out_of_domain(self):
+        assert decode_proper((0, 7, 1), BINARY) == (0, 1)
+
+    def test_decode_rejects_non_tuples(self):
+        assert decode_proper("junk", BINARY) is None
+        assert decode_proper(None, BINARY) is None
+
+
+class TestIdentifierTracker:
+    def test_starts_with_own_value(self):
+        tr = IdentifierProperTracker(BINARY, own_value=1, t=1)
+        assert tr.proper == {1}
+        assert 1 in tr
+
+    def test_t_plus_one_identifiers_admit_a_value(self):
+        tr = IdentifierProperTracker(BINARY, own_value=0, t=1)
+        tr.note(1, (1,))
+        assert 1 not in tr  # only one identifier so far
+        tr.note(2, (1,))
+        assert 1 in tr  # two identifiers >= t+1
+
+    def test_same_identifier_twice_does_not_count_twice(self):
+        tr = IdentifierProperTracker(BINARY, own_value=0, t=1)
+        tr.note(3, (1,))
+        tr.note(3, (1,))
+        assert 1 not in tr
+
+    def test_2t_plus_one_split_admits_whole_domain(self):
+        tr = IdentifierProperTracker(BINARY, own_value=0, t=1)
+        # Three identifiers, each with a different singleton proper set
+        # drawn from a 4-value domain: no value reaches t+1 = 2.
+        problem = AgreementProblem((0, 1, 2, 3))
+        tr = IdentifierProperTracker(problem, own_value=0, t=1)
+        tr.note(1, (1,))
+        tr.note(2, (2,))
+        tr.note(3, (3,))
+        assert tr.proper == {0, 1, 2, 3}
+
+    def test_unanimity_never_triggers_domain_flood(self):
+        tr = IdentifierProperTracker(BINARY, own_value=0, t=1)
+        for ident in (1, 2, 3, 4, 5):
+            tr.note(ident, (0,))
+        assert tr.proper == {0}
+
+    def test_out_of_domain_values_ignored(self):
+        tr = IdentifierProperTracker(BINARY, own_value=0, t=1)
+        tr.note(1, ("bogus",))
+        tr.note(2, ("bogus",))
+        assert "bogus" not in tr.proper
+
+    def test_encoded_form(self):
+        tr = IdentifierProperTracker(BINARY, own_value=1, t=1)
+        assert tr.encoded() == (1,)
+
+
+class TestMessageTracker:
+    def test_counts_messages_within_round(self):
+        tr = MessageProperTracker(BINARY, own_value=0, t=1)
+        tr.note((1,))
+        tr.end_round()
+        assert 1 not in tr  # one message < t+1
+        tr.note((1,))
+        tr.note((1,))
+        tr.end_round()
+        assert 1 in tr
+
+    def test_counts_reset_between_rounds(self):
+        tr = MessageProperTracker(BINARY, own_value=0, t=1)
+        tr.note((1,))
+        tr.end_round()
+        tr.note((1,))
+        tr.end_round()
+        # One message per round never reaches t+1 within a round.
+        assert 1 not in tr
+
+    def test_domain_flood_on_2t_plus_one_split(self):
+        problem = AgreementProblem((0, 1, 2, 3))
+        tr = MessageProperTracker(problem, own_value=0, t=1)
+        tr.note((1,))
+        tr.note((2,))
+        tr.note((3,))
+        tr.end_round()
+        assert tr.proper == {0, 1, 2, 3}
+
+    def test_no_flood_when_value_has_support(self):
+        tr = MessageProperTracker(BINARY, own_value=0, t=1)
+        tr.note((0,))
+        tr.note((0,))
+        tr.note((1,))
+        tr.end_round()
+        assert tr.proper == {0}
+
+    def test_proper_is_monotone(self):
+        tr = MessageProperTracker(BINARY, own_value=0, t=1)
+        tr.note((1,))
+        tr.note((1,))
+        tr.end_round()
+        before = set(tr.proper)
+        tr.end_round()
+        tr.end_round()
+        assert tr.proper >= before

@@ -1,0 +1,102 @@
+"""Tests for the quorum-intersection lemmas (7, 30, 31)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.quorum import (
+    lemma7_exhaustive_check,
+    lemma7_holds,
+    lemma30_min_correct_broadcasters,
+    lemma31_shared_broadcaster_guaranteed,
+    quorum_intersection_size,
+    sole_owner_correct_in_intersection,
+    witness_bounds,
+)
+from repro.core.identity import balanced_assignment, random_assignment
+
+
+class TestLemma7Arithmetic:
+    def test_threshold_matches_the_paper_bound(self):
+        # lemma7 arithmetic holds exactly when 2*ell > n + 3t.
+        assert lemma7_holds(7, 6, 1)  # 12 > 10
+        assert lemma7_holds(8, 6, 1)  # 12 > 11
+        assert not lemma7_holds(9, 6, 1)  # 12 <= 12
+
+    def test_intersection_size(self):
+        assert quorum_intersection_size(6, 5) == 4
+        assert quorum_intersection_size(6, 3) == 0
+
+
+class TestLemma7Concrete:
+    def test_sole_owner_extraction(self):
+        a = balanced_assignment(7, 6)  # identifier 1 shared by 0 and 6
+        result = sole_owner_correct_in_intersection(
+            a, byzantine=(1,), quorum_a=(1, 2, 3, 4, 5), quorum_b=(2, 3, 4, 5, 6)
+        )
+        # Identifier 2 belongs to Byzantine slot 1; identifier 1 is shared.
+        assert result == (3, 4, 5)
+
+    def test_exhaustive_check_above_the_bound(self):
+        # n=7, ell=6, t=1: bound holds; every quorum pair must intersect
+        # in a sole-owner correct identifier whatever the adversary does.
+        a = balanced_assignment(7, 6)
+        for byz in range(7):
+            assert lemma7_exhaustive_check(a, t=1, byzantine=(byz,))
+
+    def test_exhaustive_check_fails_below_the_bound(self):
+        # n=9, ell=6, t=1: 2*ell = n + 3t; there must exist an assignment,
+        # Byzantine placement and quorum pair with no safe identifier.
+        a = balanced_assignment(9, 6)  # ids 1,2,3 shared
+        found_gap = any(
+            not lemma7_exhaustive_check(a, t=1, byzantine=(byz,))
+            for byz in range(9)
+        )
+        assert found_gap
+
+
+class TestLemmas30And31:
+    def test_lemma30_bound(self):
+        assert lemma30_min_correct_broadcasters(7, 2, 2, witnesses=5) == 3
+        assert lemma30_min_correct_broadcasters(7, 2, 2, witnesses=1) == 0
+
+    def test_lemma31_positive_under_psl(self):
+        for n, t in [(4, 1), (7, 2), (10, 3)]:
+            for f in range(t + 1):
+                assert lemma31_shared_broadcaster_guaranteed(n, t, f)
+
+    def test_lemma31_can_fail_without_psl(self):
+        assert not lemma31_shared_broadcaster_guaranteed(6, 2, 2)
+
+    def test_witness_bounds(self):
+        low, high = witness_bounds(3, {1: 1, 2: 0})
+        assert (low, high) == (3, 4)
+
+
+@given(
+    n=st.integers(4, 16),
+    t=st.integers(1, 4),
+    seed=st.integers(0, 20),
+)
+@settings(max_examples=60, deadline=None)
+def test_lemma7_arithmetic_matches_exhaustive_reality(n, t, seed):
+    """Property: whenever the arithmetic says quorum intersections are
+    safe, every concrete quorum pair of a random assignment contains a
+    sole-owner correct identifier, for every Byzantine placement of size
+    t.  (Exhaustive over quorums; sampled over placements.)"""
+    ell = min(n, 3 * t + max(1, (n - t) // 2))
+    if ell > n or ell - t < 1 or ell > 7:
+        return
+    if not lemma7_holds(n, ell, t):
+        return
+    a = random_assignment(n, ell, seed)
+    import random as _random
+
+    rng = _random.Random(seed)
+    placements = [
+        tuple(sorted(rng.sample(range(n), t))) for _ in range(3)
+    ]
+    for byz in placements:
+        assert lemma7_exhaustive_check(a, t=t, byzantine=byz)

@@ -1,0 +1,107 @@
+"""Tests for the Figure 1 scenario construction (Proposition 1)."""
+
+import pytest
+
+from repro.adversaries.scenario import ScenarioSystem, run_scenario
+from repro.classic.eig import EIGSpec
+from repro.core.errors import ConfigurationError
+from repro.core.problem import BINARY
+from repro.homonyms.transform import transform_factory, transform_horizon
+
+
+def eig_factory(t):
+    spec = EIGSpec(3 * t, t, BINARY, unchecked=True)
+    return transform_factory(spec, unchecked=True), transform_horizon(spec)
+
+
+class TestConstruction:
+    def test_total_process_count_is_2n(self):
+        for n, t in [(4, 1), (5, 1), (7, 2), (10, 3)]:
+            system = ScenarioSystem(n, t)
+            assert system.total == 2 * n
+
+    def test_two_stacks_of_correct_size(self):
+        system = ScenarioSystem(7, 2)
+        sizes = sorted(len(m) for m in system.column_members)
+        stack = 7 - 3 * 2 + 1  # n - 3t + 1
+        assert sizes.count(stack) >= 2 or stack == 1
+        assert len(system.column_members[0]) == stack
+        assert len(system.column_members[4 * 2]) == stack
+
+    def test_identifiers_cycle_through_copies(self):
+        system = ScenarioSystem(4, 1)
+        # 6t = 6 columns; identifiers 1..3 twice.
+        idents = [(c % 3) + 1 for c in range(6)]
+        for c, members in enumerate(system.column_members):
+            for k in members:
+                assert system.ids[k] == idents[c]
+
+    def test_inputs_zero_then_one(self):
+        system = ScenarioSystem(4, 1)
+        for c, members in enumerate(system.column_members):
+            expected = 0 if c < 3 else 1
+            for k in members:
+                assert system.inputs[k] == expected
+
+    def test_views_have_n_minus_t_members(self):
+        for n, t in [(4, 1), (6, 1), (7, 2)]:
+            system = ScenarioSystem(n, t)
+            for name, columns in system.view_columns().items():
+                members = system.view_members(columns)
+                assert len(members) == n - t, f"{name} wrong size"
+
+    def test_every_column_hears_itself(self):
+        system = ScenarioSystem(5, 1)
+        for c in range(6):
+            assert c in system.in_columns[c]
+
+    def test_view_members_hear_exactly_one_stream_per_view_identifier(self):
+        """Inside a view, every view identifier comes from exactly one
+        column (the view column itself): the consistency requirement."""
+        system = ScenarioSystem(5, 1)
+        t = 1
+        views = system.view_columns()
+        for name, columns in views.items():
+            view_idents = {(c % (3 * t)) + 1 for c in columns}
+            for c in columns:
+                heard_columns = system.in_columns[c]
+                for ident in view_idents:
+                    sources = [
+                        cc for cc in heard_columns
+                        if (cc % (3 * t)) + 1 == ident
+                    ]
+                    assert len(sources) == 1, (
+                        f"{name}: column {c} hears identifier {ident} "
+                        f"from columns {sources}"
+                    )
+
+    def test_rejects_t_zero(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSystem(4, 0)
+
+    def test_rejects_n_below_3t(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSystem(5, 2)
+
+
+class TestContradiction:
+    """Running a claimed ell = 3t algorithm must break a view."""
+
+    @pytest.mark.parametrize("n,t", [(4, 1), (5, 1), (6, 1), (7, 2)])
+    def test_t_eig_at_3t_identifiers_breaks(self, n, t):
+        factory, horizon = eig_factory(t)
+        outcome = run_scenario(n, t, factory, max_rounds=horizon)
+        assert outcome.contradiction_exhibited, outcome.summary()
+
+    def test_summary_names_the_broken_view(self):
+        factory, horizon = eig_factory(1)
+        outcome = run_scenario(4, 1, factory, max_rounds=horizon)
+        assert "VIOLATED" in outcome.summary()
+
+    def test_minimal_case_matches_flm_hexagon(self):
+        # n = 3t = ell: the degenerate stacks (size 1) reduce the system
+        # to the classic Fischer-Lynch-Merritt ring; the contradiction
+        # must still appear (this is the Theorem 19 reduction endpoint).
+        factory, horizon = eig_factory(1)
+        outcome = run_scenario(3, 1, factory, max_rounds=horizon)
+        assert outcome.contradiction_exhibited

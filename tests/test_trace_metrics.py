@@ -1,0 +1,95 @@
+"""Tests for execution traces and metrics accounting."""
+
+import pytest
+
+from repro.core.errors import ReplayError
+from repro.sim.metrics import Metrics, metrics_from_trace, payload_size
+from repro.sim.trace import RoundRecord, Trace
+
+
+def record(round_no, payloads=None, emissions=None, decisions=None):
+    return RoundRecord(
+        round_no=round_no,
+        payloads=payloads or {},
+        emissions=emissions or {},
+        decisions=decisions or {},
+    )
+
+
+class TestTrace:
+    def test_appends_in_order(self):
+        trace = Trace()
+        trace.append(record(0))
+        trace.append(record(1))
+        assert len(trace) == 2
+
+    def test_rejects_out_of_order_rounds(self):
+        trace = Trace()
+        with pytest.raises(ReplayError):
+            trace.append(record(1))
+
+    def test_payload_lookup(self):
+        trace = Trace()
+        trace.append(record(0, payloads={2: "hello"}))
+        assert trace.payload_of(0, 2) == "hello"
+        assert trace.payload_of(0, 1) is None
+
+    def test_missing_round_raises(self):
+        trace = Trace()
+        with pytest.raises(ReplayError):
+            trace.record(0)
+
+    def test_decisions_keep_first_occurrence(self):
+        trace = Trace()
+        trace.append(record(0, decisions={1: "a"}))
+        trace.append(record(1, decisions={1: "b", 2: "c"}))
+        assert trace.decisions() == {1: "a", 2: "c"}
+        assert trace.decision_rounds() == {1: 0, 2: 1}
+
+    def test_summary_is_bounded(self):
+        trace = Trace()
+        for r in range(30):
+            trace.append(record(r, payloads={0: "x"}))
+        text = trace.summary(max_rounds=5)
+        assert "more rounds" in text
+
+
+class TestRoundRecord:
+    def test_byzantine_message_count(self):
+        rec = record(
+            0,
+            emissions={3: {0: ("a", "b"), 1: ("c",)}},
+        )
+        assert rec.byzantine_message_count == 3
+
+    def test_correct_message_count(self):
+        assert record(0, payloads={0: "x", 1: "y"}).correct_message_count == 2
+
+
+class TestMetrics:
+    def test_payload_size_is_repr_length(self):
+        assert payload_size("ab") == len(repr("ab"))
+
+    def test_metrics_from_trace(self):
+        trace = Trace()
+        trace.append(record(0, payloads={0: "x", 1: "y"},
+                            emissions={2: {0: ("e",)}}))
+        trace.append(record(1, payloads={0: "x"}))
+        m = metrics_from_trace(trace, fanout=3)
+        assert m.rounds == 2
+        assert m.correct_broadcasts == 3
+        assert m.correct_messages == 9
+        assert m.byzantine_messages == 1
+        assert m.total_messages == 10
+
+    def test_merge(self):
+        a = Metrics(rounds=1, correct_broadcasts=2, correct_messages=4,
+                    byzantine_messages=1, payload_bytes=10)
+        b = Metrics(rounds=2, correct_broadcasts=1, correct_messages=2,
+                    byzantine_messages=0, payload_bytes=5)
+        c = a.merge(b)
+        assert (c.rounds, c.correct_broadcasts, c.correct_messages,
+                c.byzantine_messages, c.payload_bytes) == (3, 3, 6, 1, 15)
+
+    def test_summary_format(self):
+        assert "rounds" in Metrics().summary()

@@ -1,0 +1,180 @@
+"""Tests for the Figure 3 transformation T(A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.generic import (
+    CrashAdversary,
+    DuplicatorAdversary,
+    EquivocatorAdversary,
+    InputFlipAdversary,
+    RandomByzantineAdversary,
+)
+from repro.classic.eig import EIGSpec
+from repro.classic.phase_king import PhaseKingSpec
+from repro.core.errors import BoundViolation
+from repro.core.identity import (
+    balanced_assignment,
+    random_assignment,
+    stacked_assignment,
+)
+from repro.core.params import SystemParams
+from repro.core.problem import BINARY
+from repro.homonyms.transform import (
+    HomonymProcess,
+    ROUNDS_PER_PHASE,
+    transform_factory,
+    transform_horizon,
+)
+from repro.sim.runner import run_agreement
+
+
+def run_transform(n, ell, t, proposals, byz=(), adversary=None,
+                  assignment=None, spec_cls=EIGSpec, numerate=False):
+    spec = spec_cls(ell, t, BINARY)
+    params = SystemParams(n=n, ell=ell, t=t, numerate=numerate)
+    if assignment is None:
+        assignment = balanced_assignment(n, ell)
+    return run_agreement(
+        params=params,
+        assignment=assignment,
+        factory=transform_factory(spec),
+        proposals=proposals,
+        byzantine=byz,
+        adversary=adversary,
+        max_rounds=transform_horizon(spec),
+    )
+
+
+class TestConstruction:
+    def test_bound_enforced_at_process_creation(self):
+        spec = EIGSpec(3, 1, BINARY, unchecked=True)
+        with pytest.raises(BoundViolation):
+            HomonymProcess(spec, 1, 0)
+
+    def test_unchecked_escape_hatch(self):
+        spec = EIGSpec(3, 1, BINARY, unchecked=True)
+        proc = HomonymProcess(spec, 1, 0, unchecked=True)
+        assert proc.identifier == 1
+
+    def test_phase_mapping(self):
+        assert HomonymProcess.phase_of(0) == (0, 0)
+        assert HomonymProcess.phase_of(1) == (0, 1)
+        assert HomonymProcess.phase_of(2) == (0, 2)
+        assert HomonymProcess.phase_of(3) == (1, 0)
+        assert HomonymProcess.phase_of(7) == (2, 1)
+
+
+class TestHomonymRuns:
+    """T(EIG) across assignments, Byzantine placements and attacks."""
+
+    def test_no_homonyms_reduces_to_classic(self):
+        result = run_transform(4, 4, 1, {k: 1 for k in range(3)}, byz=(3,))
+        assert result.verdict.ok and result.verdict.agreed_value == 1
+
+    def test_balanced_homonyms(self):
+        result = run_transform(7, 4, 1, {k: k % 2 for k in range(6)}, byz=(6,))
+        assert result.verdict.ok
+
+    def test_stacked_homonyms(self):
+        a = stacked_assignment(8, 4)
+        result = run_transform(8, 4, 1, {k: k % 2 for k in range(7)},
+                               byz=(7,), assignment=a)
+        assert result.verdict.ok
+
+    def test_byzantine_inside_homonym_group_still_terminates(self):
+        # Assignment: id 1 held by slots 0 and 3; corrupt slot 0.  The
+        # correct homonym slot 3 must terminate via the deciding round.
+        a = balanced_assignment(7, 4)  # ids: 1,2,3,4,1,2,3
+        result = run_transform(
+            7, 4, 1, {k: 1 for k in range(1, 7)}, byz=(0,), assignment=a,
+            adversary=RandomByzantineAdversary(seed=2),
+        )
+        assert result.verdict.ok and result.verdict.agreed_value == 1
+        # The sharing slot decided despite its poisoned group.
+        assert 4 in result.verdict.decisions
+
+    def test_validity_all_zero_with_flip_attack(self):
+        spec = EIGSpec(4, 1, BINARY)
+        result = run_transform(
+            7, 4, 1, {k: 0 for k in range(6)}, byz=(6,),
+            adversary=InputFlipAdversary(transform_factory(spec), proposal=1),
+        )
+        assert result.verdict.ok and result.verdict.agreed_value == 0
+
+    def test_equivocator_inside_group(self):
+        spec = EIGSpec(4, 1, BINARY)
+        result = run_transform(
+            7, 4, 1, {k: k % 2 for k in range(1, 7)}, byz=(0,),
+            adversary=EquivocatorAdversary(transform_factory(spec)),
+        )
+        assert result.verdict.ok
+
+    def test_duplicator_attack(self):
+        spec = EIGSpec(4, 1, BINARY)
+        result = run_transform(
+            7, 4, 1, {k: k % 2 for k in range(1, 7)}, byz=(0,),
+            adversary=DuplicatorAdversary(transform_factory(spec)),
+        )
+        assert result.verdict.ok
+
+    def test_crash_attack(self):
+        spec = EIGSpec(4, 1, BINARY)
+        result = run_transform(
+            7, 4, 1, {k: k % 2 for k in range(6)}, byz=(6,),
+            adversary=CrashAdversary(transform_factory(spec), crash_round=4),
+        )
+        assert result.verdict.ok
+
+    def test_two_faults(self):
+        result = run_transform(
+            9, 7, 2, {k: k % 2 for k in range(7)}, byz=(7, 8),
+            adversary=RandomByzantineAdversary(seed=9),
+        )
+        assert result.verdict.ok
+
+    def test_phase_king_as_base_algorithm(self):
+        result = run_transform(
+            7, 5, 1, {k: k % 2 for k in range(6)}, byz=(6,),
+            spec_cls=PhaseKingSpec,
+        )
+        assert result.verdict.ok
+
+    def test_numerate_delivery_also_works(self):
+        # Proposition 2 promises correctness for innumerate processes;
+        # numerate delivery only adds information.
+        result = run_transform(7, 4, 1, {k: 1 for k in range(6)}, byz=(6,),
+                               numerate=True)
+        assert result.verdict.ok and result.verdict.agreed_value == 1
+
+
+class TestRoundOverhead:
+    def test_three_rounds_per_simulated_round(self):
+        """The transformation takes exactly 3x the base algorithm's
+        rounds, plus the deciding round of the following phase."""
+        spec = EIGSpec(4, 1, BINARY)
+        result = run_transform(7, 4, 1, {k: 0 for k in range(6)}, byz=(6,))
+        last = result.verdict.last_decision_round
+        # EIG decides after t+1 = 2 simulated rounds (phases 0 and 1);
+        # the earliest group decision appears in the deciding round of
+        # phase 2, engine round 3*2 + 1 = 7.
+        assert last == ROUNDS_PER_PHASE * spec.max_rounds + 1
+
+
+@given(
+    seed=st.integers(0, 30),
+    byz_slot=st.integers(0, 6),
+    assign_seed=st.integers(0, 10),
+)
+@settings(max_examples=20, deadline=None)
+def test_transform_agreement_fuzz(seed, byz_slot, assign_seed):
+    """Property: T(EIG) at n=7, ell=4, t=1 survives seeded chaos with any
+    Byzantine slot on any random assignment."""
+    assignment = random_assignment(7, 4, seed=assign_seed)
+    proposals = {k: (k * 7 + seed) % 2 for k in range(7) if k != byz_slot}
+    result = run_transform(
+        7, 4, 1, proposals, byz=(byz_slot,), assignment=assignment,
+        adversary=RandomByzantineAdversary(seed=seed),
+    )
+    assert result.verdict.ok

@@ -1,0 +1,104 @@
+"""Tests for the experiment workload generators and reports."""
+
+import pytest
+
+from repro.core.identity import balanced_assignment, byzantine_sets, stacked_assignment
+from repro.core.problem import BINARY, AgreementProblem
+from repro.experiments.report import latency_series_report
+from repro.experiments.workloads import (
+    alternating_inputs,
+    assignment_battery,
+    byzantine_batteries,
+    byzantine_on_homonyms,
+    byzantine_on_sole_owners,
+    input_patterns,
+    random_byzantine,
+    random_inputs,
+    unanimous_inputs,
+)
+
+
+class TestInputGenerators:
+    def test_unanimous(self):
+        assert unanimous_inputs([0, 2, 5], 1) == {0: 1, 2: 1, 5: 1}
+
+    def test_alternating_cycles_domain(self):
+        problem = AgreementProblem(("a", "b", "c"))
+        inputs = alternating_inputs([3, 1, 2], problem)
+        assert inputs == {1: "a", 2: "b", 3: "c"}
+
+    def test_random_deterministic_and_in_domain(self):
+        a = random_inputs(range(10), BINARY, seed=4)
+        b = random_inputs(range(10), BINARY, seed=4)
+        assert a == b
+        assert set(a.values()) <= set(BINARY.domain)
+
+    def test_pattern_battery_shape(self):
+        patterns = input_patterns([0, 1, 2], BINARY, seed=1)
+        names = [name for name, _ in patterns]
+        assert len(patterns) == 4
+        assert any("all-0" in name for name in names)
+        assert any("random" in name for name in names)
+        for _name, proposals in patterns:
+            assert set(proposals) == {0, 1, 2}
+
+
+class TestAssignmentBattery:
+    def test_contains_balanced_and_stacked(self):
+        names = [name for name, _ in assignment_battery(7, 4)]
+        assert "balanced" in names and "stacked" in names
+
+    def test_no_random_when_classical(self):
+        names = [name for name, _ in assignment_battery(4, 4)]
+        assert not any("random" in name for name in names)
+
+    def test_all_assignments_valid(self):
+        for _name, assignment in assignment_battery(9, 4, seed=2):
+            assert assignment.n == 9 and assignment.ell == 4
+
+
+class TestByzantinePlacements:
+    def test_homonym_targeting_prefers_shared_ids(self):
+        assignment = stacked_assignment(6, 4)  # identifier 1 shared
+        placement = byzantine_on_homonyms(assignment, 1)
+        assert assignment.identifier_of(placement[0]) == 1
+
+    def test_sole_owner_targeting_prefers_singletons(self):
+        assignment = stacked_assignment(6, 4)
+        placement = byzantine_on_sole_owners(assignment, 1)
+        assert assignment.identifier_of(placement[0]) in (2, 3, 4)
+
+    def test_random_placement_seeded(self):
+        assignment = balanced_assignment(8, 4)
+        assert random_byzantine(assignment, 2, 5) == \
+            random_byzantine(assignment, 2, 5)
+        assert len(random_byzantine(assignment, 2, 5)) == 2
+
+    def test_batteries_deduplicate(self):
+        assignment = balanced_assignment(4, 4)  # no homonyms at all
+        batteries = byzantine_batteries(assignment, 1, seed=0)
+        placements = [p for _n, p in batteries]
+        assert len(placements) == len(set(placements))
+
+    def test_t_zero_battery(self):
+        assignment = balanced_assignment(4, 4)
+        assert byzantine_batteries(assignment, 0) == [("none", ())]
+
+    def test_core_helper_byzantine_sets(self):
+        assignment = balanced_assignment(8, 4)
+        chosen = byzantine_sets(assignment, 3, seed=1)
+        assert len(chosen) == 3
+        assert all(0 <= k < 8 for k in chosen)
+
+
+class TestReports:
+    def test_latency_series_report_layout(self):
+        text = latency_series_report(
+            "latency", [("gst=0", 23.0), ("gst=16", 39.0)]
+        )
+        assert "latency" in text
+        assert "23.0 rounds" in text and "39.0 rounds" in text
+
+    def test_latency_series_custom_unit(self):
+        text = latency_series_report("bytes", [("x", 1.0)], unit="KiB")
+        assert "KiB" in text
