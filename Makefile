@@ -1,0 +1,29 @@
+# Development targets. Everything runs with src/ on the path; no
+# third-party runtime dependencies (pytest + pytest-benchmark for the
+# suites).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-quick docs-check campaign clean
+
+## tier-1: the full test suite (the bar every change must clear)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## the fast benchmark slice: Table 1 regeneration + campaign throughput
+bench-quick:
+	$(PYTHON) -m pytest benchmarks/test_bench_table1.py \
+	    benchmarks/test_bench_campaign.py -q -s
+
+## README sections + intra-repo doc links
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
+## run the quick Table 1 campaign on all local cores
+campaign:
+	$(PYTHON) -m repro campaign --workers 4 --resume
+
+clean:
+	rm -rf .campaign-cache .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

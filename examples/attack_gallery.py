@@ -1,6 +1,10 @@
 #!/usr/bin/env python
 """Attack gallery: every lower bound of the paper, executed.
 
+Paper scenario: the three impossibility constructions -- the Figure 1
+scenario (Proposition 1), the Figure 4 partition (Proposition 4) and
+the Lemma 17 mirror scan (Proposition 16) -- each run below its bound.
+
 Each section builds the paper's impossibility construction, runs a real
 algorithm configured *below* its bound, and prints the machine-checked
 violation:

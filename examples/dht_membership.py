@@ -1,6 +1,10 @@
 #!/usr/bin/env python
 """Ring membership for a Chord-style DHT with hashed (colliding) node IDs.
 
+Paper scenario: the Section 1 DHT motivation (hashed identifiers
+collide), handled by the Figure 5 partially synchronous protocol under
+the Theorem 13 bound.
+
 The paper's opening motivation: Pastry and Chord assume unique node
 identifiers, derived in practice by hashing.  Hashes collide -- rarely
 by accident, deliberately under attack -- and the moment they do, every

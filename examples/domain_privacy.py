@@ -1,6 +1,10 @@
 #!/usr/bin/env python
 """Privacy through homonyms: agreeing under domain-name identifiers.
 
+Paper scenario: the Section 1 privacy motivation (users sign with a
+shared domain name), solved with the Figure 5 protocol and sized with
+the Theorem 13 bound ``2*ell > n + 3t``.
+
 The paper's motivating scenario (Section 1): users keep some anonymity
 by signing messages only with their *domain name*, not a personal key.
 Several users of one domain become homonyms -- observers see that

@@ -1,6 +1,9 @@
 #!/usr/bin/env python
 """Restricted faults in practice: a fleet of flaky-but-not-malicious nodes.
 
+Paper scenario: Section 5 / Figure 7 and Theorems 14/15 -- restricted
+Byzantine senders plus numerate receivers make ``ell > t`` sufficient.
+
 The paper's Section 5 observation: if Byzantine processes are just
 *malfunctioning* machines -- sending wrong values, but physically unable
 to inject more traffic than a healthy node (one message per recipient

@@ -1,6 +1,10 @@
 #!/usr/bin/env python
 """Quickstart: Byzantine agreement among homonyms in ten minutes.
 
+Paper scenario: Figure 5 / Theorem 13 -- partially synchronous
+agreement among innumerate homonyms, solvable because
+``2*ell > n + 3t``.
+
 Seven processes share six authenticated identifiers (so one identifier
 has two holders -- homonyms), one process is Byzantine, the network is
 partially synchronous (arbitrary message loss before an unknown

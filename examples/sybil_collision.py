@@ -1,6 +1,10 @@
 #!/usr/bin/env python
 """Identifier collisions in a DHT: surviving what breaks classic BFT.
 
+Paper scenario: Section 1's break-the-classics motivation -- classical
+quorum arithmetic vs the homonym-aware Figure 5 protocol on the same
+colliding-identifier cluster (Theorem 13 bound).
+
 The paper's first motivation: systems like Pastry or Chord assume every
 node has a unique, unforgeable identifier.  If a key leaks or two nodes
 are provisioned with the same identity, a classical BFT deployment's

@@ -40,7 +40,16 @@ Package layout:
 * :mod:`repro.adversaries` -- generic attacks plus the Figure 1 / Figure
   4 / Lemma 17 lower-bound constructions;
 * :mod:`repro.analysis` -- solvability predicates, quorum lemmas, Table 1;
-* :mod:`repro.experiments` -- the cell-validation harness and reports.
+* :mod:`repro.experiments` -- the cell-validation harness, the parallel
+  campaign engine (:mod:`repro.experiments.campaign`: worker-pool
+  fan-out, on-disk unit cache, sharding, JSON/Markdown reports), and
+  text reports;
+* :mod:`repro.cli` -- the ``python -m repro`` command line
+  (``table1`` / ``check`` / ``run`` / ``attack`` / ``campaign``).
+
+Start with the top-level ``README.md`` for a worked CLI session and
+``docs/ARCHITECTURE.md`` for the package <-> paper map and the module
+dependency diagram.
 """
 
 __version__ = "1.0.0"

@@ -9,7 +9,10 @@ Subcommands:
   and drop schedule selectable) and print the verdict, optionally with
   the ASCII execution timeline;
 * ``attack`` -- run a lower-bound construction (``fig1``/``fig4``/
-  ``mirror``) and print the machine-checked violation.
+  ``mirror``) and print the machine-checked violation;
+* ``campaign`` -- validate the whole Table 1 battery through the
+  parallel campaign engine (worker pool, disk cache, shardable,
+  JSON/Markdown reports).
 
 Examples::
 
@@ -17,6 +20,8 @@ Examples::
     python -m repro check 9 6 1
     python -m repro run --n 7 --ell 6 --t 1 --model psync --gst 16 --timeline
     python -m repro attack fig4 --n 9 --ell 6 --t 1
+    python -m repro campaign --workers 4 --report table1.json
+    python -m repro campaign --workers 4 --resume --shard 0/2
 """
 
 from __future__ import annotations
@@ -38,7 +43,14 @@ from repro.classic.eig import EIGSpec
 from repro.core.identity import balanced_assignment, random_assignment
 from repro.core.params import SystemParams, Synchrony
 from repro.core.problem import BINARY
+from repro.core.errors import ConfigurationError
+from repro.experiments.campaign import (
+    CampaignCache,
+    run_campaign,
+    table1_cells,
+)
 from repro.experiments.harness import algorithm_for
+from repro.experiments.report import cell_grid_report, failures_report
 from repro.homonyms.transform import transform_factory, transform_horizon
 from repro.psync.dls_homonyms import DLSHomonymProcess, dls_horizon
 from repro.psync.restricted import restricted_factory, restricted_horizon
@@ -48,6 +60,17 @@ from repro.sim.runner import run_agreement
 
 
 def _params(args, synchrony=None) -> SystemParams:
+    """Build :class:`SystemParams` from parsed CLI arguments.
+
+    Args:
+        args: The parsed namespace (``n``/``ell``/``t`` required;
+            ``model``/``numerate``/``restricted`` optional).
+        synchrony: Override the synchrony instead of deriving it from
+            ``args.model``.
+
+    Returns:
+        The parameter object for the requested model.
+    """
     if synchrony is None:
         synchrony = (
             Synchrony.PARTIALLY_SYNCHRONOUS
@@ -66,6 +89,14 @@ def _params(args, synchrony=None) -> SystemParams:
 # Subcommands
 # ----------------------------------------------------------------------
 def cmd_table1(args) -> int:
+    """``table1``: print the symbolic table (and optional boundary map).
+
+    Args:
+        args: Parsed namespace with optional ``n`` and ``t``.
+
+    Returns:
+        Process exit code (always 0).
+    """
     print(table1_text())
     if args.n is not None:
         print()
@@ -74,6 +105,14 @@ def cmd_table1(args) -> int:
 
 
 def cmd_check(args) -> int:
+    """``check``: classify one ``(n, ell, t)`` in all four model families.
+
+    Args:
+        args: Parsed namespace with ``n``, ``ell``, ``t``.
+
+    Returns:
+        Process exit code (always 0).
+    """
     n, ell, t = args.n, args.ell, args.t
     rows = [
         ("synchronous, unrestricted", Synchrony.SYNCHRONOUS, False, False,
@@ -98,6 +137,16 @@ def cmd_check(args) -> int:
 
 
 def cmd_run(args) -> int:
+    """``run``: execute one agreement instance and print the verdict.
+
+    Args:
+        args: Parsed namespace (model, assignment, attack, drop
+            schedule, timeline options).
+
+    Returns:
+        0 on a clean verdict, 1 on violations, 2 when the
+        configuration is unsolvable per the paper.
+    """
     params = _params(args)
     problem = BINARY
     if not solvable(params):
@@ -155,6 +204,16 @@ def cmd_run(args) -> int:
 
 
 def cmd_attack(args) -> int:
+    """``attack``: run one lower-bound construction.
+
+    Args:
+        args: Parsed namespace with ``construction`` in
+            ``fig1``/``fig4``/``mirror`` plus ``n``, ``ell``, ``t``.
+
+    Returns:
+        0 when the construction exhibits the paper's violation,
+        1 otherwise.
+    """
     n, ell, t = args.n, args.ell, args.t
     if args.construction == "fig1":
         spec = EIGSpec(3 * t, t, BINARY, unchecked=True)
@@ -190,10 +249,95 @@ def cmd_attack(args) -> int:
     return 0 if outcome.impossibility_evidence else 1
 
 
+def _parse_shard(text: str | None) -> tuple[int, int] | None:
+    """Parse an ``INDEX/COUNT`` shard selector.
+
+    Args:
+        text: The raw flag value, or ``None``.
+
+    Returns:
+        The ``(index, count)`` pair, or ``None`` when unset.
+
+    Raises:
+        ConfigurationError: On malformed selectors.
+    """
+    if text is None:
+        return None
+    try:
+        index_text, count_text = text.split("/", 1)
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"--shard wants INDEX/COUNT (e.g. 0/4), got {text!r}"
+        ) from None
+
+
+def cmd_campaign(args) -> int:
+    """``campaign``: validate the Table 1 battery via the campaign engine.
+
+    Runs the full cell/workload grid through
+    :func:`repro.experiments.campaign.run_campaign` -- parallel across
+    ``--workers`` processes, resumable from the on-disk unit cache, and
+    shardable across machines -- then prints the empirical Table 1 grid
+    and writes the JSON/Markdown reports.
+
+    Args:
+        args: Parsed namespace (``workers``, ``seed``, ``full``,
+            ``shard``, ``resume``, ``cache_dir``, ``report``,
+            ``markdown``, ``verbose``).
+
+    Returns:
+        0 when every evaluated cell is consistent with the paper,
+        1 otherwise.
+    """
+    shard = _parse_shard(args.shard)
+    cache_dir = args.cache_dir
+    if args.resume and cache_dir is None:
+        cache_dir = ".campaign-cache"
+    cache = CampaignCache(cache_dir) if cache_dir else None
+    progress = print if args.verbose else None
+
+    report = run_campaign(
+        cells=table1_cells(),
+        seed=args.seed,
+        quick=not args.full,
+        workers=args.workers,
+        cache=cache,
+        resume=args.resume,
+        shard=shard,
+        progress=progress,
+    )
+
+    cells = report.cell_results()
+    print(cell_grid_report(cells))
+    if not report.all_consistent:
+        print()
+        print(failures_report(cells))
+    print()
+    print(f"{len(report.unit_results)} units "
+          f"({report.executed} executed, {report.cached} cached) "
+          f"on {report.workers} worker(s) in {report.elapsed_s:.2f}s")
+
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(report.to_json())
+        print(f"JSON report written to {args.report}")
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(report.to_markdown() + "\n")
+        print(f"Markdown report written to {args.markdown}")
+    return 0 if report.all_consistent else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser with all subcommands.
+
+    Returns:
+        The configured :class:`argparse.ArgumentParser`.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Byzantine Agreement with Homonyms (PODC 2011) "
@@ -241,16 +385,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--t", type=int, required=True)
     p.set_defaults(func=cmd_attack)
 
+    p = sub.add_parser(
+        "campaign",
+        help="validate the Table 1 battery via the parallel campaign engine",
+    )
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (<=1 runs inline)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="battery seed shared by every unit")
+    p.add_argument("--full", action="store_true",
+                   help="run the full battery instead of the quick one")
+    p.add_argument("--shard", default=None, metavar="INDEX/COUNT",
+                   help="run only this stripe of the unit grid")
+    p.add_argument("--resume", action="store_true",
+                   help="skip units already present in the cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="unit cache directory (default .campaign-cache "
+                        "when --resume is set)")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="write the JSON report here")
+    p.add_argument("--markdown", default=None, metavar="PATH",
+                   help="write the Markdown report here")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per finished unit")
+    p.set_defaults(func=cmd_campaign)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point.
+
+    Args:
+        argv: Argument vector (defaults to ``sys.argv[1:]``).
+
+    Returns:
+        The exit code of the selected subcommand (2 on configuration
+        errors such as inconsistent parameters or a malformed
+        ``--shard``).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:  # e.g. `python -m repro ... | head`
         return 0
+    except OSError as exc:  # e.g. unwritable --report path
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,5 +1,29 @@
-"""Experiment harness: workloads, per-cell validation, reports."""
+"""Experiment harness: workloads, per-cell validation, campaigns, reports.
 
+Three layers:
+
+* :mod:`repro.experiments.workloads` -- deterministic battery building
+  blocks (inputs, assignments, Byzantine placements);
+* :mod:`repro.experiments.harness` -- sequential validation of one
+  Table 1 cell, sliced into picklable workload units;
+* :mod:`repro.experiments.campaign` -- the parallel campaign engine:
+  unit enumeration, worker-pool fan-out, disk cache, and the
+  JSON/Markdown :class:`~repro.experiments.campaign.CampaignReport`.
+
+:mod:`repro.experiments.report` renders harness results as text the way
+the paper presents them.
+"""
+
+from repro.experiments.campaign import (
+    CampaignCache,
+    CampaignReport,
+    CampaignUnit,
+    enumerate_units,
+    execute_unit,
+    run_campaign,
+    shard_units,
+    table1_cells,
+)
 from repro.experiments.harness import (
     CellResult,
     RunRecord,
@@ -8,6 +32,8 @@ from repro.experiments.harness import (
     evaluate_cell,
     evaluate_solvable_cell,
     evaluate_unsolvable_cell,
+    run_solvable_slice,
+    solvable_slice_keys,
 )
 from repro.experiments.report import (
     cell_grid_report,
@@ -27,6 +53,9 @@ from repro.experiments.workloads import (
 )
 
 __all__ = [
+    "CampaignCache",
+    "CampaignReport",
+    "CampaignUnit",
     "CellResult",
     "RunRecord",
     "algorithm_for",
@@ -37,13 +66,20 @@ __all__ = [
     "byzantine_on_sole_owners",
     "cell_grid_report",
     "drop_schedules",
+    "enumerate_units",
     "evaluate_cell",
     "evaluate_solvable_cell",
     "evaluate_unsolvable_cell",
+    "execute_unit",
     "failures_report",
     "input_patterns",
     "latency_series_report",
     "random_byzantine",
     "random_inputs",
+    "run_campaign",
+    "run_solvable_slice",
+    "shard_units",
+    "solvable_slice_keys",
+    "table1_cells",
     "unanimous_inputs",
 ]

@@ -1,0 +1,704 @@
+"""Campaign engine: shard the Table 1 battery across a worker pool.
+
+The sequential harness (:mod:`repro.experiments.harness`) validates one
+cell at a time in one process.  A *campaign* runs a whole battery of
+cells -- by default the eight canonical Table 1 boundary cells -- as a
+set of independent, serialisable work units:
+
+* :class:`CampaignUnit` describes one unit of work as plain data: the
+  cell parameters plus either a workload-slice key (solvable cells,
+  one unit per assignment x Byzantine-placement pair) or the
+  impossibility demonstration (unsolvable cells, one unit per cell).
+  Units are pure specs, so they pickle, shard, and cache by content
+  hash.
+* :func:`enumerate_units` expands a cell list into the ordered unit
+  grid; :func:`shard_units` selects a ``shard/of`` stripe of it for
+  multi-machine splits.
+* :func:`execute_unit` is the picklable worker entry point: it rebuilds
+  everything from the spec and returns a plain-dict result.
+* :func:`run_campaign` fans units out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (or runs them inline
+  for ``workers <= 1``), consults a :class:`CampaignCache` so re-runs
+  only execute the delta, and folds everything into a
+  :class:`CampaignReport` with JSON and Markdown emitters.
+
+Determinism: unit results depend only on the unit spec, and the report
+assembles them in enumeration order, so the same seed yields an
+identical canonical report for any ``--workers`` count and for cached
+vs fresh execution.  The records are byte-identical to the sequential
+harness because both paths share the slice layer of
+:mod:`repro.experiments.harness`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+import repro
+from repro.analysis.bounds import solvable
+from repro.core.errors import ConfigurationError
+from repro.core.params import Synchrony, SystemParams
+from repro.core.problem import BINARY, AgreementProblem
+from repro.experiments.harness import (
+    CellResult,
+    RunRecord,
+    algorithm_for,
+    evaluate_unsolvable_cell,
+    run_solvable_slice,
+    solvable_slice_keys,
+)
+
+#: Problems a unit spec may name (specs carry strings, not objects).
+PROBLEMS: dict[str, AgreementProblem] = {"binary": BINARY}
+
+#: Salt folded into every unit id.  Bump the schema component when the
+#: shape of a unit result changes; the package version component makes
+#: caches written by a different release miss rather than serve results
+#: computed by different code.
+CACHE_SCHEMA = "campaign/1"
+
+_SYNCHRONY = {s.short: s for s in Synchrony}
+
+PSYNC = Synchrony.PARTIALLY_SYNCHRONOUS
+
+
+def table1_cells() -> list[tuple[str, SystemParams]]:
+    """The canonical campaign battery: both sides of every Table 1 boundary.
+
+    Returns:
+        ``(label, params)`` pairs -- one solvable and one unsolvable
+        cell for each of the four model families of Table 1.
+    """
+    return [
+        # -- synchronous, unrestricted (Theorem 3: ell > 3t) ------------
+        ("sync solvable", SystemParams(n=5, ell=4, t=1)),
+        ("sync unsolvable", SystemParams(n=5, ell=3, t=1)),
+        # -- synchronous, restricted + innumerate (Theorem 19) ----------
+        ("sync-restricted-innum solvable",
+         SystemParams(n=5, ell=4, t=1, restricted=True)),
+        ("sync-restricted-innum unsolvable",
+         SystemParams(n=5, ell=3, t=1, restricted=True)),
+        # -- partially synchronous, unrestricted (Theorem 13) -----------
+        ("psync solvable", SystemParams(n=7, ell=6, t=1, synchrony=PSYNC)),
+        ("psync unsolvable", SystemParams(n=9, ell=6, t=1, synchrony=PSYNC)),
+        # -- restricted + numerate (Theorems 14/15: ell > t) ------------
+        ("restricted-numerate solvable",
+         SystemParams(n=4, ell=2, t=1, synchrony=PSYNC,
+                      numerate=True, restricted=True)),
+        ("restricted-numerate unsolvable",
+         SystemParams(n=4, ell=1, t=1, synchrony=PSYNC,
+                      numerate=True, restricted=True)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Unit specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One serialisable unit of campaign work.
+
+    ``kind`` is ``"slice"`` for one workload slice of a solvable cell
+    (``assignment_index``/``byzantine_index`` name the slice) or
+    ``"demonstration"`` for the whole impossibility demonstration of an
+    unsolvable cell (indices are ``-1``).
+    """
+
+    label: str
+    n: int
+    ell: int
+    t: int
+    synchrony: str
+    numerate: bool
+    restricted: bool
+    kind: str
+    assignment_index: int = -1
+    byzantine_index: int = -1
+    seed: int = 0
+    quick: bool = True
+    problem: str = "binary"
+
+    def params(self) -> SystemParams:
+        """Reconstruct the cell's :class:`SystemParams` from the spec."""
+        return SystemParams(
+            n=self.n, ell=self.ell, t=self.t,
+            synchrony=_SYNCHRONY[self.synchrony],
+            numerate=self.numerate, restricted=self.restricted,
+        )
+
+    @property
+    def unit_id(self) -> str:
+        """Content hash of the spec -- the cache key and dedup identity.
+
+        The hash covers the full spec plus :data:`CACHE_SCHEMA` and the
+        package version, so a cache directory never serves results
+        computed by a different release or result schema.
+        """
+        payload = json.dumps(
+            [CACHE_SCHEMA, repro.__version__, asdict(self)], sort_keys=True
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        where = (
+            f"slice a{self.assignment_index}b{self.byzantine_index}"
+            if self.kind == "slice" else "demonstration"
+        )
+        return f"{self.label} [{where}]"
+
+    def to_dict(self) -> dict:
+        """Serialise the spec to plain JSON-compatible data."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CampaignUnit":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Args:
+            data: A mapping with exactly the dataclass fields.
+
+        Returns:
+            The reconstructed unit.
+        """
+        return cls(**dict(data))
+
+    @classmethod
+    def for_cell(
+        cls,
+        label: str,
+        params: SystemParams,
+        kind: str,
+        assignment_index: int = -1,
+        byzantine_index: int = -1,
+        seed: int = 0,
+        quick: bool = True,
+        problem: str = "binary",
+    ) -> "CampaignUnit":
+        """Build a unit spec from live parameters.
+
+        Args:
+            label: The cell's display label (groups units into cells).
+            params: The cell's system parameters.
+            kind: ``"slice"`` or ``"demonstration"``.
+            assignment_index: Slice key part (slices only).
+            byzantine_index: Slice key part (slices only).
+            seed: The battery seed.
+            quick: Whether the trimmed quick battery is used.
+            problem: Name of the agreement problem (key of
+                :data:`PROBLEMS`).
+
+        Returns:
+            The frozen, hashable unit spec.
+        """
+        return cls(
+            label=label,
+            n=params.n, ell=params.ell, t=params.t,
+            synchrony=params.synchrony.short,
+            numerate=params.numerate, restricted=params.restricted,
+            kind=kind,
+            assignment_index=assignment_index,
+            byzantine_index=byzantine_index,
+            seed=seed, quick=quick, problem=problem,
+        )
+
+
+def enumerate_units(
+    cells: Sequence[tuple[str, SystemParams]] | None = None,
+    seed: int = 0,
+    quick: bool = True,
+    problem: str = "binary",
+) -> list[CampaignUnit]:
+    """Expand a cell battery into the ordered campaign unit grid.
+
+    Solvable cells contribute one unit per workload slice; unsolvable
+    cells contribute a single demonstration unit.  The order is the
+    sequential harness's order, which makes report assembly (and the
+    determinism guarantee) a plain sort-free fold.
+
+    Args:
+        cells: ``(label, params)`` pairs; defaults to
+            :func:`table1_cells`.
+        seed: The battery seed shared by every unit.
+        quick: Use the trimmed quick battery.
+        problem: Name of the agreement problem.
+
+    Returns:
+        The ordered list of units.
+
+    Raises:
+        ConfigurationError: On duplicate cell labels (labels are the
+            aggregation key).
+    """
+    if cells is None:
+        cells = table1_cells()
+    labels = [label for label, _ in cells]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError(f"duplicate cell labels in {labels}")
+    units: list[CampaignUnit] = []
+    for label, params in cells:
+        if solvable(params):
+            for a_idx, b_idx in solvable_slice_keys(params, seed, quick):
+                units.append(CampaignUnit.for_cell(
+                    label, params, "slice",
+                    assignment_index=a_idx, byzantine_index=b_idx,
+                    seed=seed, quick=quick, problem=problem,
+                ))
+        else:
+            units.append(CampaignUnit.for_cell(
+                label, params, "demonstration",
+                seed=seed, quick=quick, problem=problem,
+            ))
+    return units
+
+
+def shard_units(
+    units: Sequence[CampaignUnit], index: int, count: int
+) -> list[CampaignUnit]:
+    """Select stripe ``index`` of ``count`` from the unit grid.
+
+    Striping by position keeps each shard a representative mix of cheap
+    and expensive units; the ``count`` shards partition the grid.
+
+    Args:
+        units: The full unit list (enumeration order).
+        index: Zero-based shard index, ``0 <= index < count``.
+        count: Total number of shards.
+
+    Returns:
+        The units of this shard, in enumeration order.
+
+    Raises:
+        ConfigurationError: If ``index``/``count`` are out of range.
+    """
+    if count < 1 or not 0 <= index < count:
+        raise ConfigurationError(
+            f"bad shard {index}/{count}: need 0 <= index < count"
+        )
+    return [u for pos, u in enumerate(units) if pos % count == index]
+
+
+# ----------------------------------------------------------------------
+# Worker entry point
+# ----------------------------------------------------------------------
+def execute_unit(unit: CampaignUnit | Mapping) -> dict:
+    """Execute one unit and return its plain-dict result.
+
+    This is the function a pool worker runs: it accepts either a
+    :class:`CampaignUnit` or its ``to_dict`` form (what actually crosses
+    the process boundary), rebuilds the workload deterministically, and
+    returns JSON-compatible data only.
+
+    Args:
+        unit: The unit spec (object or dict).
+
+    Returns:
+        A dict with ``unit_id``, ``label``, ``kind``, ``algorithm``,
+        ``records`` (one per execution: label/ok/detail/rounds/
+        messages), ``demonstration`` and ``elapsed_s``.
+    """
+    if not isinstance(unit, CampaignUnit):
+        unit = CampaignUnit.from_dict(unit)
+    start = time.perf_counter()
+    params = unit.params()
+    problem = PROBLEMS[unit.problem]
+    demonstration = ""
+    if unit.kind == "slice":
+        algorithm, _, _ = algorithm_for(params, problem)
+        records = run_solvable_slice(
+            params,
+            (unit.assignment_index, unit.byzantine_index),
+            problem, unit.seed, unit.quick,
+        )
+    elif unit.kind == "demonstration":
+        cell = evaluate_unsolvable_cell(params, problem, unit.seed)
+        algorithm = cell.algorithm
+        records = cell.runs
+        demonstration = cell.demonstration
+    else:
+        raise ConfigurationError(f"unknown unit kind {unit.kind!r}")
+    return {
+        "unit_id": unit.unit_id,
+        "label": unit.label,
+        "kind": unit.kind,
+        "assignment_index": unit.assignment_index,
+        "byzantine_index": unit.byzantine_index,
+        "algorithm": algorithm,
+        "demonstration": demonstration,
+        "records": [asdict(r) for r in records],
+        "elapsed_s": time.perf_counter() - start,
+    }
+
+
+def _unit_weight(unit: CampaignUnit) -> int:
+    """Crude cost estimate used to schedule heavy units first."""
+    weight = unit.n * unit.n
+    if unit.synchrony == "psync":
+        weight *= 8 if not (unit.restricted and unit.numerate) else 2
+    return weight
+
+
+# ----------------------------------------------------------------------
+# Disk cache
+# ----------------------------------------------------------------------
+class CampaignCache:
+    """One-JSON-file-per-unit result cache keyed by unit content hash.
+
+    Because the key hashes the full unit spec (cell, slice, seed,
+    quick flag, problem), a cache can be shared between campaigns: only
+    identical work is reused, and re-runs execute just the delta.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    def path(self, unit: CampaignUnit) -> Path:
+        """Cache file for a unit."""
+        return self.root / f"{unit.unit_id}.json"
+
+    #: Keys every cached result must carry, and every record within it.
+    _RESULT_KEYS = frozenset(
+        ("unit_id", "label", "kind", "algorithm", "demonstration", "records")
+    )
+    _RECORD_KEYS = frozenset(RunRecord.__dataclass_fields__)
+
+    def load(self, unit: CampaignUnit) -> dict | None:
+        """Return the cached result for ``unit``, or ``None``.
+
+        Corrupt, mismatched, or wrong-shaped files (e.g. written by a
+        build with a different record schema) are treated as misses.
+        """
+        path = self.path(unit)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("unit_id") != unit.unit_id:
+            return None
+        if not self._RESULT_KEYS <= set(data):
+            return None
+        records = data["records"]
+        if not isinstance(records, list) or any(
+            not isinstance(r, dict) or set(r) != self._RECORD_KEYS
+            for r in records
+        ):
+            return None
+        return data
+
+    def store(self, unit: CampaignUnit, result: Mapping) -> None:
+        """Persist a unit result atomically (write-then-rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(unit)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(dict(result), sort_keys=True))
+        tmp.replace(path)
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of one campaign run.
+
+    ``unit_results`` is in unit-enumeration order regardless of the
+    completion order of the pool, which is what makes
+    :meth:`canonical_dict` identical across worker counts.
+    """
+
+    cells: list[tuple[str, SystemParams]]
+    seed: int
+    quick: bool
+    unit_results: list[dict] = field(default_factory=list)
+    workers: int = 1
+    executed: int = 0
+    cached: int = 0
+    elapsed_s: float = 0.0
+
+    # -- aggregation ---------------------------------------------------
+    def _labelled_cell_results(self) -> list[tuple[str, CellResult]]:
+        """``(label, CellResult)`` per cell with unit results, in order.
+
+        The fold is memoised: a report is not mutated after
+        :func:`run_campaign` builds it, and the emitters all lean on
+        this result.
+        """
+        cached = self.__dict__.get("_labelled_cache")
+        if cached is not None:
+            return cached
+        by_label: dict[str, list[dict]] = {}
+        for result in self.unit_results:
+            by_label.setdefault(result["label"], []).append(result)
+        cells: list[tuple[str, CellResult]] = []
+        for label, params in self.cells:
+            results = by_label.get(label)
+            if not results:
+                continue
+            cell = CellResult(
+                params=params,
+                predicted_solvable=solvable(params),
+                algorithm=results[0]["algorithm"],
+            )
+            for result in results:
+                cell.runs.extend(
+                    RunRecord(**record) for record in result["records"]
+                )
+                if result["demonstration"]:
+                    cell.demonstration = result["demonstration"]
+            cells.append((label, cell))
+        self.__dict__["_labelled_cache"] = cells
+        return cells
+
+    def cell_results(self) -> list[CellResult]:
+        """Fold unit results back into per-cell :class:`CellResult`.
+
+        Returns:
+            One :class:`CellResult` per campaign cell that has at least
+            one unit result, in battery order -- directly comparable to
+            (and, for a full unsharded run, equal in verdicts to) the
+            sequential harness's output.
+        """
+        return [cell for _, cell in self._labelled_cell_results()]
+
+    @property
+    def all_consistent(self) -> bool:
+        """True when every evaluated cell matches its prediction."""
+        return all(c.empirically_consistent for c in self.cell_results())
+
+    # -- emitters ------------------------------------------------------
+    def to_dict(self, canonical: bool = False) -> dict:
+        """Serialise the report.
+
+        Args:
+            canonical: Drop everything execution-dependent (worker
+                count, cache hits, timings).  Two runs of the same
+                campaign spec produce identical canonical dicts no
+                matter how they were scheduled.
+
+        Returns:
+            A JSON-compatible dict with ``campaign``, ``cells``,
+            ``units`` and ``summary`` sections (plus ``execution``
+            unless canonical).
+        """
+        labelled = self._labelled_cell_results()
+        cell_results = [cell for _, cell in labelled]
+        cells = [
+            {
+                "label": label,
+                "params": cell.params.describe(),
+                "predicted": (
+                    "solvable" if cell.predicted_solvable else "unsolvable"
+                ),
+                "algorithm": cell.algorithm,
+                "runs": len(cell.runs),
+                "failures": [
+                    {"label": r.label, "detail": r.detail}
+                    for r in cell.failures()
+                ],
+                "rounds_total": sum(r.rounds for r in cell.runs),
+                "messages_total": sum(r.messages for r in cell.runs),
+                "demonstration": cell.demonstration,
+                "consistent": cell.empirically_consistent,
+            }
+            for label, cell in labelled
+        ]
+        units = []
+        for result in self.unit_results:
+            unit = {k: v for k, v in result.items() if k != "elapsed_s"}
+            if not canonical:
+                unit["elapsed_s"] = result.get("elapsed_s", 0.0)
+            units.append(unit)
+        data = {
+            "campaign": {
+                "seed": self.seed,
+                "quick": self.quick,
+                "cells": len(self.cells),
+                "units": len(self.unit_results),
+            },
+            "cells": cells,
+            "units": units,
+            "summary": {
+                "consistent_cells": sum(
+                    1 for c in cell_results if c.empirically_consistent
+                ),
+                "evaluated_cells": len(cell_results),
+                "total_runs": sum(len(c.runs) for c in cell_results),
+                "failures": sum(len(c.failures()) for c in cell_results),
+                "all_consistent": all(
+                    c.empirically_consistent for c in cell_results
+                ),
+            },
+        }
+        if not canonical:
+            data["execution"] = {
+                "workers": self.workers,
+                "executed": self.executed,
+                "cached": self.cached,
+                "elapsed_s": self.elapsed_s,
+            }
+        return data
+
+    def canonical_dict(self) -> dict:
+        """Shorthand for ``to_dict(canonical=True)``."""
+        return self.to_dict(canonical=True)
+
+    def to_json(self, canonical: bool = False, indent: int = 2) -> str:
+        """Serialise :meth:`to_dict` as JSON text.
+
+        Args:
+            canonical: See :meth:`to_dict`.
+            indent: JSON indentation.
+
+        Returns:
+            The JSON document.
+        """
+        return json.dumps(self.to_dict(canonical=canonical), indent=indent,
+                          sort_keys=True)
+
+    def to_markdown(self) -> str:
+        """Render the report as a Markdown document."""
+        labelled = self._labelled_cell_results()
+        cell_results = [cell for _, cell in labelled]
+        lines = [
+            "# Campaign report",
+            "",
+            f"- battery: {'quick' if self.quick else 'full'}, "
+            f"seed {self.seed}",
+            f"- units: {len(self.unit_results)} "
+            f"({self.executed} executed, {self.cached} from cache) "
+            f"on {self.workers} worker(s) in {self.elapsed_s:.2f}s",
+            "",
+            "| cell | params | predicted | algorithm | runs | consistent |",
+            "|---|---|---|---|---:|---|",
+        ]
+        for label, cell in labelled:
+            lines.append(
+                f"| {label} | `{cell.params.describe()}` "
+                f"| {'solvable' if cell.predicted_solvable else 'unsolvable'} "
+                f"| {cell.algorithm} | {len(cell.runs)} "
+                f"| {'yes' if cell.empirically_consistent else '**NO**'} |"
+            )
+        failures = [
+            (cell, record)
+            for cell in cell_results for record in cell.failures()
+        ]
+        if failures:
+            lines += ["", "## Failures", ""]
+            lines += [
+                f"- `{cell.params.describe()}` {record.label}: "
+                f"{record.detail}"
+                for cell, record in failures
+            ]
+        demos = [c for c in cell_results
+                 if not c.predicted_solvable and c.demonstration]
+        if demos:
+            lines += ["", "## Impossibility demonstrations", ""]
+            lines += [
+                f"- `{cell.params.describe()}`: {cell.demonstration}"
+                for cell in demos
+            ]
+        consistent = sum(1 for c in cell_results if c.empirically_consistent)
+        lines += [
+            "",
+            f"**{consistent}/{len(cell_results)} cells consistent with "
+            f"the paper.**",
+        ]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_campaign(
+    cells: Sequence[tuple[str, SystemParams]] | None = None,
+    seed: int = 0,
+    quick: bool = True,
+    workers: int = 1,
+    cache: CampaignCache | None = None,
+    resume: bool = False,
+    shard: tuple[int, int] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignReport:
+    """Run a campaign and aggregate its report.
+
+    Args:
+        cells: ``(label, params)`` battery; defaults to
+            :func:`table1_cells`.
+        seed: The battery seed.
+        quick: Use the trimmed quick battery.
+        workers: Pool size; ``<= 1`` runs inline in this process.
+        cache: Optional result cache; completed units are always stored
+            when a cache is given.
+        resume: Also *read* the cache, so only uncached units execute.
+        shard: Optional ``(index, count)`` stripe of the unit grid.
+        progress: Optional callback receiving one line per finished
+            unit.
+
+    Returns:
+        The aggregated :class:`CampaignReport`.
+    """
+    start = time.perf_counter()
+    cells = table1_cells() if cells is None else list(cells)
+    units = enumerate_units(cells, seed=seed, quick=quick)
+    if shard is not None:
+        units = shard_units(units, *shard)
+
+    results: dict[str, dict] = {}
+    cached = 0
+    pending: list[CampaignUnit] = []
+    for unit in units:
+        hit = cache.load(unit) if (cache is not None and resume) else None
+        if hit is not None:
+            results[unit.unit_id] = hit
+            cached += 1
+            if progress:
+                progress(f"cached   {unit.describe()}")
+        else:
+            pending.append(unit)
+
+    def finish(unit: CampaignUnit, result: dict) -> None:
+        results[unit.unit_id] = result
+        if cache is not None:
+            cache.store(unit, result)
+        if progress:
+            progress(
+                f"executed {unit.describe()} "
+                f"({result['elapsed_s']:.2f}s, "
+                f"{len(result['records'])} runs)"
+            )
+
+    if workers <= 1:
+        for unit in pending:
+            finish(unit, execute_unit(unit))
+    else:
+        # Heavy units first: better makespan under LPT-style greedy
+        # scheduling, identical results in any order.
+        ordered = sorted(pending, key=_unit_weight, reverse=True)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_unit, unit.to_dict()): unit
+                for unit in ordered
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining,
+                                       return_when=FIRST_COMPLETED)
+                for future in done:
+                    finish(futures[future], future.result())
+
+    return CampaignReport(
+        cells=cells,
+        seed=seed,
+        quick=quick,
+        unit_results=[results[u.unit_id] for u in units],
+        workers=max(1, workers),
+        executed=len(pending),
+        cached=cached,
+        elapsed_s=time.perf_counter() - start,
+    )

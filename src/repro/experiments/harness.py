@@ -17,12 +17,22 @@ For one cell ``(n, ell, t, synchrony, numeracy, restriction)``:
 
 The Table 1 benchmark and several integration tests drive this module;
 ``quick=True`` trims the battery to keep the wall-clock sane.
+
+The workload of a solvable cell is enumerated as *slices* -- one per
+(assignment, Byzantine placement) pair -- via :func:`solvable_slice_keys`
+and executed via :func:`run_solvable_slice`.  The sequential path
+(:func:`evaluate_solvable_cell`) iterates the slices in order; the
+parallel campaign engine (:mod:`repro.experiments.campaign`) ships each
+slice key to a worker process and merges the records back.  Both paths
+therefore produce byte-identical run records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Hashable
+from typing import Callable, Hashable, Iterator
+
+from repro.core.errors import ConfigurationError
 
 from repro.adversaries.generic import standard_attack_suite
 from repro.adversaries.mirror import mirror_chain_scan
@@ -58,10 +68,21 @@ def algorithm_for(
     problem: AgreementProblem = BINARY,
     unchecked: bool = False,
 ) -> tuple[str, AlgorithmFactory, int]:
-    """Pick the paper's algorithm for a model; returns (name, factory, horizon).
+    """Pick the paper's algorithm for a model.
 
     The horizon assumes the worst drop schedule used by the harness
     (``SilenceUntil`` with the harness's largest GST).
+
+    Args:
+        params: The system parameters selecting the model family.
+        problem: The agreement problem instance (defaults to binary).
+        unchecked: Build the algorithm without its safety guards
+            (used by the impossibility demonstrations).
+
+    Returns:
+        A ``(name, factory, horizon)`` triple: a human-readable
+        algorithm name, a ``(identifier, proposal) -> Process`` factory,
+        and the round horizon to run it for.
     """
     if params.restricted and params.numerate:
         factory = restricted_factory(params, problem, unchecked=unchecked)
@@ -86,7 +107,15 @@ def _max_gst(params: SystemParams) -> int:
 
 
 def drop_schedules(params: SystemParams, seed: int = 0):
-    """Schedules exercised per cell (synchronous cells get none)."""
+    """Schedules exercised per cell (synchronous cells get none).
+
+    Args:
+        params: The cell's system parameters.
+        seed: Seed for the randomised drop schedule.
+
+    Returns:
+        A list of ``(name, DropSchedule | None)`` pairs.
+    """
     if params.synchrony is Synchrony.SYNCHRONOUS:
         return [("none", None)]
     return [
@@ -101,11 +130,19 @@ def drop_schedules(params: SystemParams, seed: int = 0):
 # ----------------------------------------------------------------------
 @dataclass
 class RunRecord:
-    """One execution inside a cell evaluation."""
+    """One execution inside a cell evaluation.
+
+    ``rounds`` and ``messages`` carry the execution cost so that
+    aggregated reports (notably :class:`repro.experiments.campaign.
+    CampaignReport`) can total the battery's work without retaining
+    traces.
+    """
 
     label: str
     ok: bool
     detail: str
+    rounds: int = 0
+    messages: int = 0
 
 
 @dataclass
@@ -143,60 +180,159 @@ class CellResult:
         )
 
 
+# ----------------------------------------------------------------------
+# Workload slices (shared by the sequential path and the campaign engine)
+# ----------------------------------------------------------------------
+def _solvable_slices(
+    params: SystemParams, seed: int, quick: bool
+) -> Iterator[tuple[int, int, str, object, str, tuple[int, ...]]]:
+    """Yield ``(a_idx, b_idx, a_name, assignment, b_name, byzantine)``."""
+    assignments = assignment_battery(params.n, params.ell, seed)
+    if quick:
+        assignments = assignments[:2]
+    for a_idx, (a_name, assignment) in enumerate(assignments):
+        byz_options = byzantine_batteries(assignment, params.t, seed)
+        if quick:
+            byz_options = byz_options[:2]
+        for b_idx, (b_name, byzantine) in enumerate(byz_options):
+            yield a_idx, b_idx, a_name, assignment, b_name, byzantine
+
+
+def solvable_slice_keys(
+    params: SystemParams, seed: int = 0, quick: bool = False
+) -> list[tuple[int, int]]:
+    """Enumerate the workload slices of a solvable cell.
+
+    A slice is one (assignment, Byzantine placement) pair of the cell's
+    battery; running all slices of a cell reproduces exactly the runs of
+    :func:`evaluate_solvable_cell`.  The keys are pure indices, so they
+    are trivially serialisable and a worker process can reconstruct the
+    slice deterministically from ``(params, seed, quick, key)``.
+
+    Args:
+        params: The (solvable) cell's system parameters.
+        seed: The battery seed (must match the execution seed).
+        quick: Whether the trimmed quick battery is used.
+
+    Returns:
+        The ordered list of ``(assignment_index, byzantine_index)`` keys.
+    """
+    return [(a, b) for a, b, *_ in _solvable_slices(params, seed, quick)]
+
+
+def run_solvable_slice(
+    params: SystemParams,
+    key: tuple[int, int],
+    problem: AgreementProblem = BINARY,
+    seed: int = 0,
+    quick: bool = False,
+) -> list[RunRecord]:
+    """Execute one workload slice of a solvable cell.
+
+    This is the picklable unit of work the campaign engine fans out:
+    everything an execution needs (batteries, attacks, schedules) is
+    rebuilt deterministically from the arguments, so the records are
+    identical whether the slice runs in-process or in a worker.
+
+    Args:
+        params: The (solvable) cell's system parameters.
+        key: An ``(assignment_index, byzantine_index)`` pair from
+            :func:`solvable_slice_keys`.
+        problem: The agreement problem instance.
+        seed: The battery seed.
+        quick: Whether the trimmed quick battery is used.
+
+    Returns:
+        The run records of the slice, in sequential-harness order.
+
+    Raises:
+        ConfigurationError: If ``key`` does not name a slice of this
+            cell's battery.
+    """
+    a_idx, b_idx = key
+    assignments = assignment_battery(params.n, params.ell, seed)
+    if quick:
+        assignments = assignments[:2]
+    if not 0 <= a_idx < len(assignments):
+        raise ConfigurationError(
+            f"no workload slice {key!r} in the battery of {params.describe()}"
+        )
+    a_name, assignment = assignments[a_idx]
+    byz_options = byzantine_batteries(assignment, params.t, seed)
+    if quick:
+        byz_options = byz_options[:2]
+    if not 0 <= b_idx < len(byz_options):
+        raise ConfigurationError(
+            f"no workload slice {key!r} in the battery of {params.describe()}"
+        )
+    b_name, byzantine = byz_options[b_idx]
+
+    name, factory, horizon = algorithm_for(params, problem)
+    schedules = drop_schedules(params, seed)
+    if quick:
+        schedules = schedules[:2]
+    attacks = standard_attack_suite(
+        factory, params.restricted,
+        seeds=(seed + 1,) if quick else (seed + 1, seed + 2),
+    )
+    if quick:
+        attacks = attacks[:4]
+    correct = [k for k in range(params.n) if k not in byzantine]
+    patterns = input_patterns(correct, problem, seed)
+    if quick:
+        patterns = patterns[:3]
+
+    records: list[RunRecord] = []
+    for p_name, proposals in patterns:
+        for s_name, schedule in schedules:
+            for atk_name, adversary in attacks:
+                label = "/".join((a_name, b_name, p_name, s_name, atk_name))
+                run = run_agreement(
+                    params=params,
+                    assignment=assignment,
+                    factory=factory,
+                    proposals=proposals,
+                    byzantine=byzantine,
+                    adversary=adversary,
+                    drop_schedule=schedule,
+                    max_rounds=horizon,
+                )
+                brief = run.brief()
+                records.append(
+                    RunRecord(
+                        label=label,
+                        ok=brief.ok,
+                        detail=brief.detail,
+                        rounds=brief.rounds,
+                        messages=brief.messages,
+                    )
+                )
+    return records
+
+
 def evaluate_solvable_cell(
     params: SystemParams,
     problem: AgreementProblem = BINARY,
     seed: int = 0,
     quick: bool = False,
 ) -> CellResult:
-    """Run the cell's algorithm across the workload battery."""
-    name, factory, horizon = algorithm_for(params, problem)
+    """Run the cell's algorithm across the workload battery.
+
+    Args:
+        params: The (solvable) cell's system parameters.
+        problem: The agreement problem instance.
+        seed: The battery seed.
+        quick: Trim the battery to keep the wall-clock sane.
+
+    Returns:
+        The :class:`CellResult` with one record per execution.
+    """
+    name, _, _ = algorithm_for(params, problem)
     result = CellResult(params=params, predicted_solvable=True, algorithm=name)
-
-    assignments = assignment_battery(params.n, params.ell, seed)
-    schedules = drop_schedules(params, seed)
-    if quick:
-        assignments = assignments[:2]
-        schedules = schedules[:2]
-
-    for a_name, assignment in assignments:
-        byz_options = byzantine_batteries(assignment, params.t, seed)
-        if quick:
-            byz_options = byz_options[:2]
-        for b_name, byzantine in byz_options:
-            attacks = standard_attack_suite(
-                factory, params.restricted,
-                seeds=(seed + 1,) if quick else (seed + 1, seed + 2),
-            )
-            if quick:
-                attacks = attacks[:4]
-            correct = [k for k in range(params.n) if k not in byzantine]
-            patterns = input_patterns(correct, problem, seed)
-            if quick:
-                patterns = patterns[:3]
-            for p_name, proposals in patterns:
-                for s_name, schedule in schedules:
-                    for atk_name, adversary in attacks:
-                        label = "/".join(
-                            (a_name, b_name, p_name, s_name, atk_name)
-                        )
-                        run = run_agreement(
-                            params=params,
-                            assignment=assignment,
-                            factory=factory,
-                            proposals=proposals,
-                            byzantine=byzantine,
-                            adversary=adversary,
-                            drop_schedule=schedule,
-                            max_rounds=horizon,
-                        )
-                        result.runs.append(
-                            RunRecord(
-                                label=label,
-                                ok=run.verdict.ok,
-                                detail=run.verdict.summary(),
-                            )
-                        )
+    for slice_key in solvable_slice_keys(params, seed, quick):
+        result.runs.extend(
+            run_solvable_slice(params, slice_key, problem, seed, quick)
+        )
     return result
 
 
@@ -205,7 +341,18 @@ def evaluate_unsolvable_cell(
     problem: AgreementProblem = BINARY,
     seed: int = 0,
 ) -> CellResult:
-    """Run the constructive impossibility demonstration for the cell."""
+    """Run the constructive impossibility demonstration for the cell.
+
+    Args:
+        params: The (unsolvable) cell's system parameters.
+        problem: The agreement problem instance.
+        seed: Unused by the demonstrations today; accepted for symmetry
+            with :func:`evaluate_solvable_cell`.
+
+    Returns:
+        The :class:`CellResult`; ``demonstration`` carries the
+        machine-checked impossibility evidence.
+    """
     name, factory, horizon = algorithm_for(params, problem, unchecked=True)
     result = CellResult(params=params, predicted_solvable=False, algorithm=name)
 
@@ -263,7 +410,19 @@ def evaluate_cell(
     seed: int = 0,
     quick: bool = False,
 ) -> CellResult:
-    """Dispatch on the predicted solvability of the cell."""
+    """Dispatch on the predicted solvability of the cell.
+
+    Args:
+        params: The cell's system parameters.
+        problem: The agreement problem instance.
+        seed: The battery seed (solvable cells only).
+        quick: Trim the battery (solvable cells only).
+
+    Returns:
+        The cell's :class:`CellResult`, from either
+        :func:`evaluate_solvable_cell` or
+        :func:`evaluate_unsolvable_cell`.
+    """
     if solvable(params):
         return evaluate_solvable_cell(params, problem, seed, quick)
     return evaluate_unsolvable_cell(params, problem, seed)

@@ -8,7 +8,15 @@ from repro.experiments.harness import CellResult
 
 
 def cell_grid_report(results: Sequence[CellResult]) -> str:
-    """One line per cell: parameters, prediction, empirical verdict."""
+    """One line per cell: parameters, prediction, empirical verdict.
+
+    Args:
+        results: Cell results, e.g. from the harness or from
+            :meth:`repro.experiments.campaign.CampaignReport.cell_results`.
+
+    Returns:
+        The fixed-width text grid, ending in a consistency tally.
+    """
     lines = ["Table 1 empirical validation", "=" * 64]
     consistent = 0
     for cell in results:
@@ -21,7 +29,14 @@ def cell_grid_report(results: Sequence[CellResult]) -> str:
 
 
 def failures_report(results: Iterable[CellResult]) -> str:
-    """Details of every run that disagreed with the prediction."""
+    """Details of every run that disagreed with the prediction.
+
+    Args:
+        results: Cell results to scan for mismatches.
+
+    Returns:
+        One block per inconsistent cell, or ``"no mismatches"``.
+    """
     lines: list[str] = []
     for cell in results:
         if cell.empirically_consistent:
@@ -38,7 +53,16 @@ def failures_report(results: Iterable[CellResult]) -> str:
 def latency_series_report(
     title: str, rows: Sequence[tuple[str, float]], unit: str = "rounds"
 ) -> str:
-    """A small fixed-width series table (used by the figure benches)."""
+    """A small fixed-width series table (used by the figure benches).
+
+    Args:
+        title: Table heading.
+        rows: ``(name, value)`` pairs, printed in order.
+        unit: Unit suffix appended to each value.
+
+    Returns:
+        The rendered table text.
+    """
     width = max((len(name) for name, _ in rows), default=8) + 2
     lines = [title, "-" * (width + 12)]
     for name, value in rows:

@@ -24,6 +24,7 @@ from repro.sim.process import EchoProcess, Process, SilentProcess
 from repro.sim.runner import (
     ExecutionResult,
     ProcessFactory,
+    RunSummary,
     make_processes,
     run_agreement,
     run_execution,
@@ -57,6 +58,7 @@ __all__ = [
     "RandomDrops",
     "RoundEngine",
     "RoundRecord",
+    "RunSummary",
     "SilenceUntil",
     "SilentProcess",
     "Topology",

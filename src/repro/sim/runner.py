@@ -30,6 +30,26 @@ from repro.sim.trace import Trace
 ProcessFactory = Callable[[int, Hashable], Process]
 
 
+@dataclass(frozen=True)
+class RunSummary:
+    """Compact, picklable digest of one execution.
+
+    :class:`ExecutionResult` drags the full trace and the live process
+    objects along (process objects may close over factories, which do
+    not pickle).  Anything that crosses a process boundary -- notably
+    the campaign engine's worker pool -- ships this summary instead.
+    """
+
+    ok: bool
+    detail: str
+    rounds: int
+    messages: int
+    decisions: tuple[Hashable, ...]
+
+    def summary(self) -> str:
+        return self.detail
+
+
 @dataclass
 class ExecutionResult:
     """Everything produced by one simulated execution."""
@@ -45,6 +65,26 @@ class ExecutionResult:
     @property
     def ok(self) -> bool:
         return self.verdict.ok
+
+    def brief(self) -> RunSummary:
+        """Digest this result into a trace-free, picklable summary.
+
+        Returns:
+            A :class:`RunSummary` carrying the verdict flag and text,
+            the round/message costs and the sorted set of distinct
+            decided values.
+        """
+        decisions = sorted(
+            {p.decision for p in self.processes if p is not None and p.decided},
+            key=repr,
+        )
+        return RunSummary(
+            ok=self.verdict.ok,
+            detail=self.verdict.summary(),
+            rounds=self.metrics.rounds,
+            messages=self.metrics.total_messages,
+            decisions=tuple(decisions),
+        )
 
     def summary(self) -> str:
         return (

@@ -1,0 +1,186 @@
+"""Campaign engine: determinism, caching, sharding, harness equality.
+
+The engine's contract is that scheduling is invisible: the same seed
+produces the same canonical report whether units run inline, across a
+worker pool of any size, or half from the disk cache.  These tests pin
+that contract on a cheap four-cell battery (one solvable and one
+unsolvable cell from two model families) so the whole file stays fast.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import SystemParams, Synchrony
+from repro.experiments.campaign import (
+    CampaignCache,
+    CampaignUnit,
+    enumerate_units,
+    execute_unit,
+    run_campaign,
+    shard_units,
+    table1_cells,
+)
+from repro.experiments.harness import evaluate_cell, solvable_slice_keys
+
+PSYNC = Synchrony.PARTIALLY_SYNCHRONOUS
+
+#: A cheap battery: seconds, not minutes (no heavy psync-unrestricted cells).
+CHEAP_CELLS = [
+    ("sync solvable", SystemParams(n=5, ell=4, t=1)),
+    ("sync unsolvable", SystemParams(n=5, ell=3, t=1)),
+    ("restricted-numerate solvable",
+     SystemParams(n=4, ell=2, t=1, synchrony=PSYNC,
+                  numerate=True, restricted=True)),
+    ("restricted-numerate unsolvable",
+     SystemParams(n=4, ell=1, t=1, synchrony=PSYNC,
+                  numerate=True, restricted=True)),
+]
+
+
+class TestUnitEnumeration:
+    def test_solvable_cells_expand_to_their_slices(self):
+        units = enumerate_units(CHEAP_CELLS, seed=0, quick=True)
+        for label, params in CHEAP_CELLS:
+            cell_units = [u for u in units if u.label == label]
+            if label.endswith("unsolvable"):
+                assert [u.kind for u in cell_units] == ["demonstration"]
+            else:
+                keys = solvable_slice_keys(params, seed=0, quick=True)
+                assert [
+                    (u.assignment_index, u.byzantine_index)
+                    for u in cell_units
+                ] == keys
+                assert all(u.kind == "slice" for u in cell_units)
+
+    def test_unit_ids_unique_and_content_addressed(self):
+        units = enumerate_units(CHEAP_CELLS, quick=True)
+        ids = [u.unit_id for u in units]
+        assert len(set(ids)) == len(ids)
+        # Same spec -> same id; different seed -> different id.
+        rebuilt = enumerate_units(CHEAP_CELLS, quick=True)
+        assert [u.unit_id for u in rebuilt] == ids
+        reseeded = enumerate_units(CHEAP_CELLS, seed=1, quick=True)
+        assert set(u.unit_id for u in reseeded).isdisjoint(ids)
+
+    def test_unit_roundtrips_through_dict(self):
+        for unit in enumerate_units(CHEAP_CELLS, quick=True):
+            clone = CampaignUnit.from_dict(
+                json.loads(json.dumps(unit.to_dict()))
+            )
+            assert clone == unit
+            assert clone.unit_id == unit.unit_id
+            assert clone.params() == unit.params()
+
+    def test_duplicate_labels_rejected(self):
+        cells = [CHEAP_CELLS[0], CHEAP_CELLS[0]]
+        with pytest.raises(ConfigurationError):
+            enumerate_units(cells)
+
+    def test_default_battery_is_table1(self):
+        units = enumerate_units(quick=True)
+        assert {u.label for u in units} == {l for l, _ in table1_cells()}
+
+
+class TestSharding:
+    def test_shards_partition_the_grid(self):
+        units = enumerate_units(CHEAP_CELLS, quick=True)
+        shards = [shard_units(units, i, 3) for i in range(3)]
+        all_ids = [u.unit_id for shard in shards for u in shard]
+        assert sorted(all_ids) == sorted(u.unit_id for u in units)
+        assert len(set(all_ids)) == len(all_ids)
+
+    def test_bad_shard_rejected(self):
+        units = enumerate_units(CHEAP_CELLS, quick=True)
+        with pytest.raises(ConfigurationError):
+            shard_units(units, 3, 3)
+        with pytest.raises(ConfigurationError):
+            shard_units(units, 0, 0)
+
+
+class TestHarnessEquality:
+    def test_campaign_records_match_sequential_harness(self):
+        report = run_campaign(CHEAP_CELLS, workers=1)
+        sequential = [evaluate_cell(p, quick=True) for _, p in CHEAP_CELLS]
+        campaign = report.cell_results()
+        assert len(campaign) == len(sequential)
+        for seq, par in zip(sequential, campaign):
+            assert par.params == seq.params
+            assert par.algorithm == seq.algorithm
+            assert par.demonstration == seq.demonstration
+            assert [(r.label, r.ok, r.detail) for r in par.runs] == [
+                (r.label, r.ok, r.detail) for r in seq.runs
+            ]
+        assert report.all_consistent
+
+
+class TestDeterminism:
+    def test_same_seed_same_report_for_any_worker_count(self):
+        inline = run_campaign(CHEAP_CELLS, seed=3, workers=1)
+        pooled = run_campaign(CHEAP_CELLS, seed=3, workers=2)
+        assert inline.canonical_dict() == pooled.canonical_dict()
+        assert inline.to_json(canonical=True) == pooled.to_json(
+            canonical=True
+        )
+
+    def test_resume_from_cache_equals_fresh_run(self, tmp_path):
+        cache = CampaignCache(tmp_path / "units")
+        fresh = run_campaign(CHEAP_CELLS, cache=cache, resume=True)
+        assert fresh.executed == len(fresh.unit_results)
+        assert fresh.cached == 0
+        resumed = run_campaign(CHEAP_CELLS, cache=cache, resume=True)
+        assert resumed.executed == 0
+        assert resumed.cached == len(resumed.unit_results)
+        assert fresh.canonical_dict() == resumed.canonical_dict()
+
+    def test_partial_cache_executes_only_the_delta(self, tmp_path):
+        cache = CampaignCache(tmp_path / "units")
+        units = enumerate_units(CHEAP_CELLS, quick=True)
+        for unit in units[: len(units) // 2]:
+            cache.store(unit, execute_unit(unit))
+        report = run_campaign(CHEAP_CELLS, cache=cache, resume=True)
+        assert report.cached == len(units) // 2
+        assert report.executed == len(units) - len(units) // 2
+        baseline = run_campaign(CHEAP_CELLS)
+        assert report.canonical_dict() == baseline.canonical_dict()
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        cache = CampaignCache(tmp_path)
+        unit = enumerate_units(CHEAP_CELLS, quick=True)[0]
+        cache.root.mkdir(parents=True, exist_ok=True)
+        cache.path(unit).write_text("not json {")
+        assert cache.load(unit) is None
+        cache.path(unit).write_text(json.dumps({"unit_id": "wrong"}))
+        assert cache.load(unit) is None
+
+
+class TestReportEmitters:
+    def test_json_report_shape(self):
+        report = run_campaign(CHEAP_CELLS)
+        data = json.loads(report.to_json())
+        assert set(data) == {
+            "campaign", "cells", "units", "summary", "execution",
+        }
+        assert data["summary"]["all_consistent"] is True
+        assert data["summary"]["evaluated_cells"] == len(CHEAP_CELLS)
+        assert {c["label"] for c in data["cells"]} == {
+            l for l, _ in CHEAP_CELLS
+        }
+        canonical = json.loads(report.to_json(canonical=True))
+        assert "execution" not in canonical
+        assert all("elapsed_s" not in u for u in canonical["units"])
+
+    def test_markdown_report_mentions_every_cell(self):
+        report = run_campaign(CHEAP_CELLS)
+        text = report.to_markdown()
+        for label, _ in CHEAP_CELLS:
+            assert label in text
+        assert "cells consistent" in text
+        assert "Impossibility demonstrations" in text
+
+    def test_sharded_report_covers_only_its_cells(self):
+        units = enumerate_units(CHEAP_CELLS, quick=True)
+        report = run_campaign(CHEAP_CELLS, shard=(0, len(units)))
+        assert len(report.unit_results) == 1
+        assert len(report.cell_results()) == 1

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Documentation checker: required README sections + intra-repo links.
+
+Fails (exit 1) when:
+
+* ``README.md`` is missing, or missing any required section heading;
+* any relative link target in a checked Markdown file does not exist;
+* a heading anchor referenced as ``file.md#anchor`` does not match a
+  heading in the target file.
+
+External (``http(s)://``) links are not fetched. Run from anywhere;
+paths resolve against the repository root (the parent of ``tools/``).
+
+Usage::
+
+    python tools/docs_check.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose links must resolve.
+CHECKED_FILES = ["README.md", "docs/ARCHITECTURE.md"]
+
+#: Headings the README must contain (substring match on heading text).
+REQUIRED_README_SECTIONS = [
+    "Byzantine Agreement with Homonyms",
+    "What the paper is about",
+    "Install",
+    "Quickstart",
+    "A worked CLI session",
+    "The campaign engine",
+    "Examples",
+    "Architecture",
+    "Testing and benchmarks",
+]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _anchor(heading: str) -> str:
+    """GitHub-style anchor for a heading."""
+    text = re.sub(r"[^\w\s-]", "", heading.strip().lower())
+    return re.sub(r"\s+", "-", text)
+
+
+def check_readme_sections(errors: list[str]) -> None:
+    """Verify every required section heading exists in the README."""
+    readme = REPO_ROOT / "README.md"
+    if not readme.exists():
+        errors.append("README.md is missing")
+        return
+    headings = _HEADING.findall(readme.read_text())
+    for required in REQUIRED_README_SECTIONS:
+        if not any(required in heading for heading in headings):
+            errors.append(f"README.md: missing section {required!r}")
+
+
+def check_links(errors: list[str]) -> None:
+    """Verify every relative link in the checked files resolves."""
+    for name in CHECKED_FILES:
+        source = REPO_ROOT / name
+        if not source.exists():
+            errors.append(f"{name} is missing")
+            continue
+        text = source.read_text()
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            resolved = (
+                (source.parent / path_part).resolve()
+                if path_part else source
+            )
+            if path_part and not resolved.exists():
+                errors.append(f"{name}: broken link -> {target}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                anchors = {
+                    _anchor(h) for h in _HEADING.findall(resolved.read_text())
+                }
+                if fragment not in anchors:
+                    errors.append(f"{name}: broken anchor -> {target}")
+
+
+def main() -> int:
+    """Run all checks; print findings.
+
+    Returns:
+        0 when the docs are clean, 1 otherwise.
+    """
+    errors: list[str] = []
+    check_readme_sections(errors)
+    check_links(errors)
+    if errors:
+        print("docs-check: FAILED")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    checked = ", ".join(CHECKED_FILES)
+    print(f"docs-check: ok ({checked}; "
+          f"{len(REQUIRED_README_SECTIONS)} required README sections)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
