@@ -5,16 +5,22 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick docs-check campaign clean
+.PHONY: test bench-quick bench-fabric docs-check campaign clean
 
-## tier-1: the full test suite (the bar every change must clear)
-test:
+## tier-1: docs consistency plus the full test suite (the bar every
+## change must clear). docs-check runs first so a stale README section
+## fails fast, before the two-minute suite.
+test: docs-check
 	$(PYTHON) -m pytest -x -q
 
 ## the fast benchmark slice: Table 1 regeneration + campaign throughput
 bench-quick:
 	$(PYTHON) -m pytest benchmarks/test_bench_table1.py \
 	    benchmarks/test_bench_campaign.py -q -s
+
+## message-fabric engine throughput vs the pre-fabric reference loop
+bench-fabric:
+	$(PYTHON) -m pytest benchmarks/test_bench_fabric.py -q -s
 
 ## README sections + intra-repo doc links
 docs-check:

@@ -1,0 +1,95 @@
+"""Canonical, cross-version-stable keys for ordering and hashing.
+
+Several layers need a deterministic total order (or a deterministic
+serialisation) over heterogeneous values:
+
+* :meth:`repro.sim.runner.ExecutionResult.brief` sorts the distinct
+  decided values of an execution;
+* the campaign engine's content-hash cache keys
+  (:attr:`repro.experiments.campaign.CampaignUnit.unit_id`) must not
+  drift between runs, machines, or Python versions.
+
+``sorted(values, key=repr)`` is *not* that: ``repr`` of sets and
+frozensets follows hash-table iteration order (randomised per process
+for strings), and ``repr`` formatting of builtins has changed across
+Python releases.  This module provides the one canonicalisation both
+layers share:
+
+* :func:`canonical_key` -- a type-tagged, recursively canonical string;
+  container contents are themselves canonicalised and unordered
+  containers are sorted by their elements' canonical keys, so equal
+  values always map to equal keys and the induced order is stable.
+* :func:`canonical_json` -- compact JSON with sorted object keys and a
+  :func:`canonical_key` fallback for non-JSON values; byte-stable input
+  for content hashes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+__all__ = ["canonical_key", "canonical_json"]
+
+
+def canonical_key(value: Any) -> str:
+    """A deterministic, type-tagged string key for ``value``.
+
+    Equal values produce equal keys; distinct primitive types are kept
+    apart by an explicit tag (so ``1``, ``True`` and ``"1"`` never
+    collide the way ad-hoc ``repr`` schemes can).  Sets, frozensets and
+    mappings are serialised in the order of their elements' canonical
+    keys -- never in hash-table iteration order.
+
+    Free-form text (string contents, fallback reprs) is JSON-quoted, so
+    a child key can never forge the structural separators (``,``, ``=``,
+    brackets) and structurally distinct values cannot collide.
+
+    Args:
+        value: Any value; containers are handled recursively, unknown
+            objects fall back to ``obj:type-name:quoted-repr``.
+
+    Returns:
+        The canonical key string.
+    """
+    if value is None:
+        return "null"
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return f"bool:{value}"
+    if isinstance(value, int):
+        return f"int:{value}"
+    if isinstance(value, float):
+        return f"float:{value!r}"
+    if isinstance(value, str):
+        return f"str:{json.dumps(value)}"
+    if isinstance(value, bytes):
+        return f"bytes:{value.hex()}"
+    if isinstance(value, (tuple, list)):
+        return "seq:[" + ",".join(canonical_key(v) for v in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "set:{" + ",".join(sorted(canonical_key(v) for v in value)) + "}"
+    if isinstance(value, Mapping):
+        items = sorted(
+            (canonical_key(k), canonical_key(v)) for k, v in value.items()
+        )
+        return "map:{" + ",".join(f"{k}={v}" for k, v in items) + "}"
+    return f"obj:{type(value).__name__}:{json.dumps(repr(value))}"
+
+
+def canonical_json(value: Any) -> str:
+    """Compact, byte-stable JSON serialisation of ``value``.
+
+    Object keys are sorted and separators carry no whitespace, so the
+    output is suitable as content-hash input.  Values JSON cannot
+    express are replaced by their :func:`canonical_key`.
+
+    Args:
+        value: A JSON-compatible value (other objects degrade to their
+            canonical key string).
+
+    Returns:
+        The JSON document as a string.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=canonical_key
+    )

@@ -100,6 +100,33 @@ class Inbox:
         self._messages: tuple[Message, ...] = tuple(msgs)
         self._numerate = bool(numerate)
 
+    @classmethod
+    def from_canonical(
+        cls, messages: tuple[Message, ...], numerate: bool
+    ) -> "Inbox":
+        """Wrap an already-canonical message tuple without re-sorting.
+
+        The network engine's message fabric canonicalises each round's
+        shared delivery multiset exactly once and then stamps out one
+        inbox per receiver from it; this constructor skips the sort and
+        dedup work :meth:`__init__` would repeat.  The caller guarantees
+        ``messages`` is the ``messages()`` tuple of an :class:`Inbox`
+        built with the same ``numerate`` flag -- passing anything else
+        breaks the deterministic-ordering contract.
+
+        Args:
+            messages: A canonically ordered (and, if innumerate,
+                deduplicated) message tuple.
+            numerate: The delivery semantics flag.
+
+        Returns:
+            An inbox sharing ``messages`` without copying.
+        """
+        inbox = cls.__new__(cls)
+        inbox._messages = messages
+        inbox._numerate = bool(numerate)
+        return inbox
+
     # ------------------------------------------------------------------
     # Basic container behaviour
     # ------------------------------------------------------------------

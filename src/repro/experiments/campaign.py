@@ -43,6 +43,7 @@ from typing import Callable, Mapping, Sequence
 
 import repro
 from repro.analysis.bounds import solvable
+from repro.core.canonical import canonical_json
 from repro.core.errors import ConfigurationError
 from repro.core.params import Synchrony, SystemParams
 from repro.core.problem import BINARY, AgreementProblem
@@ -59,10 +60,12 @@ from repro.experiments.harness import (
 PROBLEMS: dict[str, AgreementProblem] = {"binary": BINARY}
 
 #: Salt folded into every unit id.  Bump the schema component when the
-#: shape of a unit result changes; the package version component makes
-#: caches written by a different release miss rather than serve results
-#: computed by different code.
-CACHE_SCHEMA = "campaign/1"
+#: shape *or semantics* of a unit result changes; the package version
+#: component makes caches written by a different release miss rather
+#: than serve results computed by different code.  ``campaign/2``:
+#: record ``messages`` counts switched from the full-fanout estimate to
+#: the message fabric's exact delivered-edge accounting.
+CACHE_SCHEMA = "campaign/2"
 
 _SYNCHRONY = {s.short: s for s in Synchrony}
 
@@ -139,11 +142,13 @@ class CampaignUnit:
 
         The hash covers the full spec plus :data:`CACHE_SCHEMA` and the
         package version, so a cache directory never serves results
-        computed by a different release or result schema.
+        computed by a different release or result schema.  The hash
+        input is :func:`repro.core.canonical.canonical_json` -- the same
+        canonicalisation :meth:`ExecutionResult.brief
+        <repro.sim.runner.ExecutionResult.brief>` orders decisions with
+        -- so keys cannot drift across Python versions or hash seeds.
         """
-        payload = json.dumps(
-            [CACHE_SCHEMA, repro.__version__, asdict(self)], sort_keys=True
-        )
+        payload = canonical_json([CACHE_SCHEMA, repro.__version__, asdict(self)])
         return hashlib.sha1(payload.encode()).hexdigest()[:16]
 
     def describe(self) -> str:

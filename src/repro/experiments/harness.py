@@ -135,7 +135,10 @@ class RunRecord:
     ``rounds`` and ``messages`` carry the execution cost so that
     aggregated reports (notably :class:`repro.experiments.campaign.
     CampaignReport`) can total the battery's work without retaining
-    traces.
+    traces.  ``messages`` is the message fabric's *exact* delivered-edge
+    count (:func:`repro.sim.metrics.metrics_from_deliveries`): edges a
+    drop schedule lost are not in it, unlike the pre-fabric full-fanout
+    estimate.
     """
 
     label: str

@@ -1,6 +1,12 @@
 """Round-based simulator: engine, processes, adversaries, schedules."""
 
-from repro.sim.adversary import Adversary, AdversaryView, Emission, NullAdversary
+from repro.sim.adversary import (
+    Adversary,
+    AdversaryView,
+    Emission,
+    NullAdversary,
+    normalize_emissions,
+)
 from repro.sim.delay import (
     AlwaysBoundedUnknownDelays,
     DelayPolicy,
@@ -9,8 +15,14 @@ from repro.sim.delay import (
     EventuallyBoundedDelays,
     equivalent_basic_gst,
 )
-from repro.sim.metrics import Metrics, metrics_from_trace, payload_size
-from repro.sim.network import RoundEngine
+from repro.sim.metrics import (
+    Metrics,
+    RoundDeliveries,
+    metrics_from_deliveries,
+    metrics_from_trace,
+    payload_size,
+)
+from repro.sim.network import ReferenceRoundEngine, RoundEngine
 from repro.sim.partial import (
     DropSchedule,
     ExplicitDrops,
@@ -56,6 +68,8 @@ __all__ = [
     "Process",
     "ProcessFactory",
     "RandomDrops",
+    "ReferenceRoundEngine",
+    "RoundDeliveries",
     "RoundEngine",
     "RoundRecord",
     "RunSummary",
@@ -64,7 +78,9 @@ __all__ = [
     "Topology",
     "Trace",
     "make_processes",
+    "metrics_from_deliveries",
     "metrics_from_trace",
+    "normalize_emissions",
     "payload_size",
     "run_agreement",
     "run_execution",

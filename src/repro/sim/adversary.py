@@ -23,7 +23,9 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable, Mapping, Sequence
 
+from repro.core.errors import AdversaryViolation
 from repro.core.identity import IdentityAssignment
+from repro.core.messages import ensure_hashable
 from repro.core.params import SystemParams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -106,6 +108,65 @@ class Adversary(ABC):
         means silence.  The engine stamps each payload with the slot's
         authenticated identifier and enforces the restricted-model cap.
         """
+
+
+def normalize_emissions(
+    params: SystemParams,
+    byzantine: Sequence[int],
+    raw: Mapping[int, Emission],
+    round_no: int,
+) -> dict[int, dict[int, tuple[Hashable, ...]]]:
+    """Validate and canonicalise one round of adversary emissions.
+
+    This is the single enforcement point of the model rules both
+    engines (:class:`repro.sim.network.RoundEngine` and
+    :class:`repro.sim.delay.DelayRoundSimulator`) share:
+
+    * only Byzantine slots may emit;
+    * recipients must be process indices;
+    * payloads must be hashable (checked eagerly, at send time);
+    * under the restricted model at most one message per recipient per
+      slot per round.
+
+    Slots and recipients are iterated in sorted order and empty batches
+    are elided, so the result is the canonical form the trace records.
+
+    Args:
+        params: The system parameters (model flags).
+        byzantine: The Byzantine slot indices the adversary owns.
+        raw: The adversary's :meth:`Adversary.emissions` answer.
+        round_no: The current round (for error messages).
+
+    Returns:
+        ``byz slot -> recipient -> tuple of payloads``, sorted, with
+        silent slots and empty batches removed.
+
+    Raises:
+        AdversaryViolation: On any model-rule violation.
+    """
+    byz_set = set(byzantine)
+    emissions: dict[int, dict[int, tuple[Hashable, ...]]] = {}
+    for b, per_recipient in sorted(raw.items()):
+        if b not in byz_set:
+            raise AdversaryViolation(
+                f"adversary emitted for non-Byzantine slot {b}"
+            )
+        clean: dict[int, tuple[Hashable, ...]] = {}
+        for q, payload_seq in sorted(per_recipient.items()):
+            if not 0 <= q < params.n:
+                raise AdversaryViolation(f"recipient {q} out of range")
+            batch = tuple(ensure_hashable(p) for p in payload_seq)
+            if not batch:
+                continue
+            if params.restricted and len(batch) > 1:
+                raise AdversaryViolation(
+                    f"restricted Byzantine slot {b} sent {len(batch)} "
+                    f"messages to recipient {q} in round {round_no}"
+                )
+            clean[q] = batch
+        if clean:
+            emissions[b] = clean
+    return emissions
 
 
 class NullAdversary(Adversary):

@@ -39,7 +39,12 @@ from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.identity import IdentityAssignment
 from repro.core.messages import Inbox, Message, ensure_hashable
 from repro.core.params import SystemParams
-from repro.sim.adversary import Adversary, AdversaryView, NullAdversary
+from repro.sim.adversary import (
+    Adversary,
+    AdversaryView,
+    NullAdversary,
+    normalize_emissions,
+)
 from repro.sim.process import Process
 from repro.sim.trace import RoundRecord, Trace
 
@@ -280,23 +285,7 @@ class DelayRoundSimulator:
             trace=self.trace,
         )
         raw = self.adversary.emissions(view)
-        emissions: dict[int, dict[int, tuple[Hashable, ...]]] = {}
-        for b, per_recipient in sorted(raw.items()):
-            clean = {}
-            for q, batch in sorted(per_recipient.items()):
-                batch = tuple(ensure_hashable(p) for p in batch)
-                if batch:
-                    if self.params.restricted and len(batch) > 1:
-                        from repro.core.errors import AdversaryViolation
-
-                        raise AdversaryViolation(
-                            f"restricted Byzantine slot {b} sent {len(batch)} "
-                            f"messages to {q} in round {round_no}"
-                        )
-                    clean[q] = batch
-            if clean:
-                emissions[b] = clean
-        return emissions
+        return normalize_emissions(self.params, self.byzantine, raw, round_no)
 
     def _collect_arrivals(
         self, round_no: int, tick: int, window_end: int

@@ -6,16 +6,32 @@ relative costs of the algorithms (e.g. the 3x round overhead of the
 Figure 3 transformation, or the echo amplification of authenticated
 broadcast) are visible in the regenerated tables.
 
-Costs are derived from the trace.  "Bytes" are approximated by the
-length of ``repr(payload)``, which is stable, cheap, and good enough to
-compare algorithms against each other within this package.
+Two accounting paths exist:
+
+* **exact** -- the network engine's message fabric counts every edge it
+  actually delivers (after topology cuts and drop schedules) and logs a
+  :class:`RoundDeliveries` record per round;
+  :func:`metrics_from_deliveries` folds the log into :class:`Metrics`.
+  This is what :func:`repro.sim.runner.run_execution` reports.
+* **estimated** (deprecated) -- :func:`metrics_from_trace` multiplies
+  each broadcast by a uniform ``fanout``.  That is exact only on the
+  complete topology with no drops; under a restricting
+  :class:`~repro.sim.topology.Topology` it *overcounts*, which is why
+  it now refuses restricted topologies outright and warns on every
+  call.
+
+"Bytes" are approximated by the length of ``repr(payload)``, which is
+stable, cheap, and good enough to compare algorithms against each other
+within this package.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Hashable, Iterable
 
+from repro.core.errors import ConfigurationError
 from repro.sim.trace import Trace
 
 
@@ -52,17 +68,111 @@ class Metrics:
         )
 
 
+@dataclass(frozen=True)
+class RoundDeliveries:
+    """Exact per-round delivery counts, as observed by the message fabric.
+
+    One record per executed round.  "Deliveries" are edges that actually
+    carried a message into a correct process's inbox: self-delivery
+    counts, topology-cut and schedule-dropped edges do not, and
+    adversary messages addressed to Byzantine slots (which have no
+    process to receive them) do not.  Counts are physical -- innumerate
+    set-collapse happens *after* delivery and does not reduce them.
+
+    Attributes
+    ----------
+    round_no:
+        The 0-indexed round.
+    correct_broadcasts:
+        Correct processes that composed a payload this round.
+    correct_deliveries:
+        Correct-sender edges delivered (including self-delivery).
+    byzantine_deliveries:
+        Adversary messages delivered to correct processes.
+    correct_payload_bytes:
+        Approximate bytes over the delivered correct edges.
+    byzantine_payload_bytes:
+        Approximate bytes over the delivered adversary messages.
+    """
+
+    round_no: int
+    correct_broadcasts: int
+    correct_deliveries: int
+    byzantine_deliveries: int
+    correct_payload_bytes: int
+    byzantine_payload_bytes: int
+
+
 def payload_size(payload: Hashable) -> int:
     """Approximate wire size of a payload (repr length)."""
     return len(repr(payload))
 
 
-def metrics_from_trace(trace: Trace, fanout: int) -> Metrics:
-    """Compute metrics from a finished trace.
+def metrics_from_deliveries(deliveries: Iterable[RoundDeliveries]) -> Metrics:
+    """Fold an engine's per-round delivery log into :class:`Metrics`.
+
+    This is the exact accounting path: every count comes from an edge
+    the fabric actually delivered, so the totals are correct under any
+    topology and drop schedule.
+
+    Args:
+        deliveries: Per-round records, e.g.
+            :attr:`repro.sim.network.RoundEngine.deliveries`.
+
+    Returns:
+        The aggregated metrics.
+    """
+    m = Metrics()
+    for d in deliveries:
+        m.rounds += 1
+        m.correct_broadcasts += d.correct_broadcasts
+        m.correct_messages += d.correct_deliveries
+        m.byzantine_messages += d.byzantine_deliveries
+        m.payload_bytes += d.correct_payload_bytes + d.byzantine_payload_bytes
+    return m
+
+
+def metrics_from_trace(trace: Trace, fanout: int, topology=None) -> Metrics:
+    """Estimate metrics from a finished trace.  **Deprecated.**
 
     ``fanout`` is the number of recipients of each correct broadcast
-    (``n`` under the complete topology with self-delivery).
+    (``n`` under the complete topology with self-delivery).  The
+    estimate is exact only there: restricted topologies and drop
+    schedules deliver fewer edges than ``broadcasts * fanout``.  Use
+    :func:`metrics_from_deliveries` with the engine's delivery log for
+    exact costs; this shim remains for trace-only consumers and will be
+    removed once none are left.
+
+    Args:
+        trace: The finished execution trace.
+        fanout: Recipients per correct broadcast.
+        topology: The topology the execution ran under, when known.
+            Anything other than ``None`` or a complete topology raises,
+            because the uniform-fanout estimate would silently
+            overcount.
+
+    Returns:
+        The estimated metrics.
+
+    Raises:
+        ConfigurationError: When ``topology`` restricts delivery.
     """
+    warnings.warn(
+        "metrics_from_trace estimates costs from a uniform fanout; "
+        "use metrics_from_deliveries(engine.deliveries) for exact "
+        "accounting",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if topology is not None:
+        from repro.sim.topology import CompleteTopology
+
+        if not isinstance(topology, CompleteTopology):
+            raise ConfigurationError(
+                f"metrics_from_trace assumes full fanout but the execution "
+                f"ran under {topology!r}; use metrics_from_deliveries for "
+                f"exact accounting under restricted topologies"
+            )
     m = Metrics(rounds=len(trace))
     for record in trace:
         m.correct_broadcasts += len(record.payloads)

@@ -1,4 +1,4 @@
-"""The round-based network engine.
+"""The round-based network engine, built around a batched message fabric.
 
 One engine covers both synchrony models: the synchronous model is the
 partially synchronous model with the :class:`~repro.sim.partial.NoDrops`
@@ -16,6 +16,30 @@ schedule.  Each :meth:`RoundEngine.step` executes one round:
    model is numerate, a set otherwise;
 4. new decisions are collected into the trace.
 
+**The message fabric.**  Because correct processes broadcast, the
+inboxes of one round are overwhelmingly shared: on the complete
+topology after stabilisation every receiver gets exactly the same
+multiset of correct messages.  Delivery therefore materialises the
+round's *common base* once -- one :class:`~repro.core.messages.Message`
+per broadcast, canonically sorted a single time -- and derives each
+receiver's inbox as that base plus a small per-receiver *delta*:
+topology cuts (:meth:`Topology.blocked_senders
+<repro.sim.topology.Topology.blocked_senders>`), schedule drops
+(:meth:`DropSchedule.dropped_senders
+<repro.sim.partial.DropSchedule.dropped_senders>`), and adversary
+emissions.  Receivers with an empty delta share the base's canonical
+tuple directly (:meth:`Inbox.from_canonical
+<repro.core.messages.Inbox.from_canonical>`), replacing the old
+O(n^2 log n) per-receiver rebuild-and-sort with one O(n log n) sort
+per round.  The fabric also counts every edge it delivers, logging a
+:class:`~repro.sim.metrics.RoundDeliveries` record per round into
+:attr:`RoundEngine.deliveries` -- the exact-cost input of
+:func:`~repro.sim.metrics.metrics_from_deliveries`.
+
+:class:`ReferenceRoundEngine` keeps the pre-fabric per-receiver loop as
+a differential oracle: equivalence tests and the fabric benchmark pin
+the fabric's traces, verdicts and delivery counts against it.
+
 Determinism: given identical processes, adversary, schedule and
 topology, the engine produces byte-identical traces.  All iteration is
 over sorted indices and inboxes are canonically ordered.
@@ -25,14 +49,17 @@ from __future__ import annotations
 
 from typing import Hashable, Mapping, Sequence
 
-from repro.core.errors import (
-    AdversaryViolation,
-    ConfigurationError,
-)
+from repro.core.errors import ConfigurationError
 from repro.core.identity import IdentityAssignment
 from repro.core.messages import Inbox, Message, ensure_hashable
 from repro.core.params import SystemParams
-from repro.sim.adversary import Adversary, AdversaryView, NullAdversary
+from repro.sim.adversary import (
+    Adversary,
+    AdversaryView,
+    NullAdversary,
+    normalize_emissions,
+)
+from repro.sim.metrics import RoundDeliveries, payload_size
 from repro.sim.partial import DropSchedule, NoDrops
 from repro.sim.process import Process
 from repro.sim.topology import CompleteTopology, Topology
@@ -70,6 +97,8 @@ class RoundEngine:
         self.drop_schedule = drop_schedule if drop_schedule is not None else NoDrops()
         self.topology = topology if topology is not None else CompleteTopology()
         self.trace = Trace()
+        #: Exact per-round delivery log (one entry per executed round).
+        self.deliveries: list[RoundDeliveries] = []
         self.round_no = 0
 
         byz_set = set(self.byzantine)
@@ -137,9 +166,7 @@ class RoundEngine:
         decided_before = {
             k: self.processes[k].decided for k in self._correct
         }
-        for q in self._correct:
-            inbox = self._build_inbox(r, q, payloads, emissions)
-            self.processes[q].deliver(r, inbox)
+        deliveries = self._deliver_round(r, payloads, emissions)
 
         # Phase 4: record the round.
         decisions = {
@@ -154,6 +181,7 @@ class RoundEngine:
             decisions=decisions,
         )
         self.trace.append(record)
+        self.deliveries.append(deliveries)
         self.round_no += 1
         return record
 
@@ -183,51 +211,133 @@ class RoundEngine:
             trace=self.trace,
         )
         raw = self.adversary.emissions(view)
-        byz_set = set(self.byzantine)
-        emissions: dict[int, dict[int, tuple[Hashable, ...]]] = {}
-        for b, per_recipient in sorted(raw.items()):
-            if b not in byz_set:
-                raise AdversaryViolation(
-                    f"adversary emitted for non-Byzantine slot {b}"
-                )
-            clean: dict[int, tuple[Hashable, ...]] = {}
-            for q, payload_seq in sorted(per_recipient.items()):
-                if not 0 <= q < self.params.n:
-                    raise AdversaryViolation(f"recipient {q} out of range")
-                batch = tuple(ensure_hashable(p) for p in payload_seq)
-                if not batch:
-                    continue
-                if self.params.restricted and len(batch) > 1:
-                    raise AdversaryViolation(
-                        f"restricted Byzantine slot {b} sent {len(batch)} "
-                        f"messages to recipient {q} in round {self.round_no}"
-                    )
-                clean[q] = batch
-            if clean:
-                emissions[b] = clean
-        return emissions
+        return normalize_emissions(self.params, self.byzantine, raw, self.round_no)
 
-    def _build_inbox(
+    def _deliver_round(
         self,
         round_no: int,
-        recipient: int,
         payloads: Mapping[int, Hashable],
         emissions: Mapping[int, Mapping[int, tuple[Hashable, ...]]],
-    ) -> Inbox:
-        messages: list[Message] = []
-        for sender, payload in payloads.items():
-            if sender == recipient:
+    ) -> RoundDeliveries:
+        """Deliver one round through the batched message fabric."""
+        numerate = self.params.numerate
+        ident_of = self.assignment.identifier_of
+        topology = self.topology
+        schedule = self.drop_schedule
+        drops_possible = schedule.active(round_no)
+
+        # The common base: one message per broadcast, canonicalised once.
+        senders = tuple(payloads)  # ascending (composed over sorted indices)
+        base = [Message(ident_of(s), payloads[s]) for s in senders]
+        sizes = {s: payload_size(payloads[s]) for s in senders}
+        base_bytes = sum(sizes.values())
+        canonical = Inbox(base, numerate=numerate).messages()
+
+        # Adversary delta: recipient -> delivered messages.
+        additions: dict[int, list[Message]] = {}
+        for b, per_recipient in emissions.items():
+            ident = ident_of(b)
+            for q, batch in per_recipient.items():
+                additions.setdefault(q, []).extend(
+                    Message(ident, p) for p in batch
+                )
+
+        correct_deliveries = 0
+        correct_bytes = 0
+        byz_deliveries = 0
+        byz_bytes = 0
+        for q in self._correct:
+            blocked = topology.blocked_senders(q, senders)
+            dropped = (
+                schedule.dropped_senders(round_no, q, senders)
+                if drops_possible else ()
+            )
+            extra = additions.get(q)
+            if not blocked and not dropped and extra is None:
+                # Empty delta: share the round's canonical base tuple.
+                correct_deliveries += len(senders)
+                correct_bytes += base_bytes
+                self.processes[q].deliver(
+                    round_no, Inbox.from_canonical(canonical, numerate)
+                )
+                continue
+            removed = set(blocked)
+            removed.update(dropped)
+            if removed:
+                messages = [
+                    m for s, m in zip(senders, base) if s not in removed
+                ]
+                correct_deliveries += len(messages)
+                correct_bytes += base_bytes - sum(sizes[s] for s in removed)
+            else:
+                messages = list(base)
+                correct_deliveries += len(senders)
+                correct_bytes += base_bytes
+            if extra:
+                messages.extend(extra)
+                byz_deliveries += len(extra)
+                byz_bytes += sum(payload_size(m.payload) for m in extra)
+            self.processes[q].deliver(
+                round_no, Inbox(messages, numerate=numerate)
+            )
+        return RoundDeliveries(
+            round_no=round_no,
+            correct_broadcasts=len(senders),
+            correct_deliveries=correct_deliveries,
+            byzantine_deliveries=byz_deliveries,
+            correct_payload_bytes=correct_bytes,
+            byzantine_payload_bytes=byz_bytes,
+        )
+
+
+class ReferenceRoundEngine(RoundEngine):
+    """The pre-fabric delivery loop, kept as a differential oracle.
+
+    Rebuilds and sorts every receiver's inbox from scratch --
+    O(n^2 log n) per round -- exactly as the engine did before the
+    message fabric landed.  The equivalence tests pin the fabric's
+    traces, verdicts, inboxes and delivery counts against this class,
+    and ``benchmarks/test_bench_fabric.py`` measures the speedup over
+    it.  Not for production use.
+    """
+
+    def _deliver_round(
+        self,
+        round_no: int,
+        payloads: Mapping[int, Hashable],
+        emissions: Mapping[int, Mapping[int, tuple[Hashable, ...]]],
+    ) -> RoundDeliveries:
+        correct_deliveries = 0
+        correct_bytes = 0
+        byz_deliveries = 0
+        byz_bytes = 0
+        for q in self._correct:
+            messages: list[Message] = []
+            for sender, payload in payloads.items():
+                if sender != q:
+                    if not self.topology.delivers(sender, q):
+                        continue
+                    if self.drop_schedule.drops(round_no, sender, q):
+                        continue
                 messages.append(
                     Message(self.assignment.identifier_of(sender), payload)
                 )
-                continue
-            if not self.topology.delivers(sender, recipient):
-                continue
-            if self.drop_schedule.drops(round_no, sender, recipient):
-                continue
-            messages.append(Message(self.assignment.identifier_of(sender), payload))
-        for b, per_recipient in emissions.items():
-            ident = self.assignment.identifier_of(b)
-            for payload in per_recipient.get(recipient, ()):
-                messages.append(Message(ident, payload))
-        return Inbox(messages, numerate=self.params.numerate)
+                correct_deliveries += 1
+                correct_bytes += payload_size(payload)
+            for b, per_recipient in emissions.items():
+                ident = self.assignment.identifier_of(b)
+                for payload in per_recipient.get(q, ()):
+                    messages.append(Message(ident, payload))
+                    byz_deliveries += 1
+                    byz_bytes += payload_size(payload)
+            self.processes[q].deliver(
+                round_no, Inbox(messages, numerate=self.params.numerate)
+            )
+        return RoundDeliveries(
+            round_no=round_no,
+            correct_broadcasts=len(payloads),
+            correct_deliveries=correct_deliveries,
+            byzantine_deliveries=byz_deliveries,
+            correct_payload_bytes=correct_bytes,
+            byzantine_payload_bytes=byz_bytes,
+        )

@@ -49,6 +49,41 @@ class DropSchedule(ABC):
             return False
         return self._drops_before_gst(round_no, sender, recipient)
 
+    def active(self, round_no: int) -> bool:
+        """True when this schedule may still lose messages in ``round_no``.
+
+        The message fabric uses this to skip per-link drop queries
+        entirely from the stabilisation round on -- the common case of
+        every synchronous execution (``gst == 0``) and of every
+        partially synchronous round after GST.
+        """
+        return round_no < self._gst
+
+    def dropped_senders(
+        self, round_no: int, recipient: int, senders: Collection[int]
+    ) -> tuple[int, ...]:
+        """The subset of ``senders`` whose message to ``recipient`` is lost.
+
+        Per-receiver delta query of the message fabric, mirroring
+        :meth:`Topology.blocked_senders
+        <repro.sim.topology.Topology.blocked_senders>`.  Self-delivery
+        is never dropped, so the recipient is never reported.
+
+        Args:
+            round_no: The current round.
+            recipient: The receiving process index.
+            senders: Candidate sender indices (ascending).
+
+        Returns:
+            The dropped senders, in ``senders`` order.
+        """
+        if round_no >= self._gst:
+            return ()
+        return tuple(
+            s for s in senders
+            if s != recipient and self._drops_before_gst(round_no, s, recipient)
+        )
+
     @abstractmethod
     def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
         """Drop decision for rounds strictly before ``gst``."""

@@ -12,12 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Hashable, Mapping, Sequence
 
+from repro.core.canonical import canonical_key
 from repro.core.errors import ConfigurationError
 from repro.core.identity import IdentityAssignment
 from repro.core.params import SystemParams
 from repro.core.problem import Verdict, check_agreement_properties
 from repro.sim.adversary import Adversary
-from repro.sim.metrics import Metrics, metrics_from_trace
+from repro.sim.metrics import Metrics, metrics_from_deliveries
 from repro.sim.network import RoundEngine
 from repro.sim.partial import DropSchedule
 from repro.sim.process import Process
@@ -71,12 +72,16 @@ class ExecutionResult:
 
         Returns:
             A :class:`RunSummary` carrying the verdict flag and text,
-            the round/message costs and the sorted set of distinct
-            decided values.
+            the round/message costs and the distinct decided values in
+            canonical-key order.  The order comes from
+            :func:`repro.core.canonical.canonical_key` -- the same
+            canonicalisation the campaign cache hashes with -- not from
+            ``repr``, whose formatting (and, for sets, iteration order)
+            can differ across Python versions and hash seeds.
         """
         decisions = sorted(
             {p.decision for p in self.processes if p is not None and p.decided},
-            key=repr,
+            key=canonical_key,
         )
         return RunSummary(
             ok=self.verdict.ok,
@@ -148,11 +153,12 @@ def run_execution(
     )
     engine.run(max_rounds=max_rounds, stop_when_all_decided=stop_when_all_decided)
 
-    proposals = {
-        k: processes[k].proposal
-        for k in engine.correct
-        if processes[k].proposal is not None
-    }
+    # Every correct slot's proposal is handed to the validity check,
+    # explicitly including ``None``: silently dropping a None proposal
+    # would let the check conclude unanimity from the remaining
+    # processes and mis-verdict executions where one correct process
+    # proposed nothing.
+    proposals = {k: processes[k].proposal for k in engine.correct}
     decisions = {
         k: processes[k].decision for k in engine.correct if processes[k].decided
     }
@@ -169,7 +175,7 @@ def run_execution(
         rounds_executed=len(engine.trace),
         require_termination=require_termination,
     )
-    metrics = metrics_from_trace(engine.trace, fanout=params.n)
+    metrics = metrics_from_deliveries(engine.deliveries)
     return ExecutionResult(
         params=params,
         assignment=assignment,

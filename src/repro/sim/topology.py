@@ -15,7 +15,7 @@ only govern links between distinct processes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.core.errors import ConfigurationError
 
@@ -27,12 +27,41 @@ class Topology(ABC):
     def delivers(self, sender: int, recipient: int) -> bool:
         """True when messages from ``sender`` reach ``recipient``."""
 
+    def blocked_senders(
+        self, recipient: int, senders: Sequence[int]
+    ) -> tuple[int, ...]:
+        """The subset of ``senders`` whose link to ``recipient`` is cut.
+
+        This is the message fabric's per-receiver delta query: the
+        engine materialises the round's common delivery multiset once
+        and only subtracts what a topology actually removes.  The
+        recipient itself is never reported (self-delivery is not subject
+        to topology filtering).  Subclasses with structural knowledge
+        override this with something cheaper than the per-link loop.
+
+        Args:
+            recipient: The receiving process index.
+            senders: Candidate sender indices (ascending).
+
+        Returns:
+            The blocked senders, in ``senders`` order.
+        """
+        return tuple(
+            s for s in senders
+            if s != recipient and not self.delivers(s, recipient)
+        )
+
 
 class CompleteTopology(Topology):
     """The paper's default: every process reaches every other."""
 
     def delivers(self, sender: int, recipient: int) -> bool:
         return True
+
+    def blocked_senders(
+        self, recipient: int, senders: Sequence[int]
+    ) -> tuple[int, ...]:
+        return ()
 
     def __repr__(self) -> str:
         return "CompleteTopology()"
@@ -60,6 +89,16 @@ class DirectedTopology(Topology):
         if senders is None:
             return True
         return sender in senders
+
+    def blocked_senders(
+        self, recipient: int, senders: Sequence[int]
+    ) -> tuple[int, ...]:
+        allowed = self._in.get(recipient)
+        if allowed is None:
+            return ()
+        return tuple(
+            s for s in senders if s != recipient and s not in allowed
+        )
 
     def in_neighbors(self, recipient: int) -> frozenset[int] | None:
         """The configured in-set, or ``None`` when the recipient is open."""

@@ -1,10 +1,14 @@
 """Cross-engine equivalence and "continue running" semantics.
 
-Two engines implement the basic round model: the direct
-:class:`~repro.sim.network.RoundEngine` and the delay-based
-:class:`~repro.sim.delay.DelayRoundSimulator`.  On a punctual network
-they must produce byte-identical traces -- the executable form of the
-paper's Section 2 equivalence claim.  And per the paper's algorithms
+Three engines implement the basic round model: the fabric-based
+:class:`~repro.sim.network.RoundEngine`, its pre-fabric differential
+oracle :class:`~repro.sim.network.ReferenceRoundEngine`, and the
+delay-based :class:`~repro.sim.delay.DelayRoundSimulator`.  On a
+punctual network they must produce byte-identical traces -- the
+executable form of the paper's Section 2 equivalence claim -- and the
+fabric must match the reference receiver by receiver (inboxes, traces,
+verdicts *and* the exact delivery counts) under every topology, drop
+schedule and adversary combination.  Per the paper's algorithms
 ("decide v, but continue running the algorithm"), decided processes
 must keep participating so laggards can still finish.
 """
@@ -16,9 +20,19 @@ from repro.core.identity import balanced_assignment
 from repro.core.params import SystemParams, Synchrony
 from repro.core.problem import BINARY
 from repro.psync.dls_homonyms import dls_factory, dls_horizon
+from repro.sim.adversary import NullAdversary
 from repro.sim.delay import AlwaysBoundedUnknownDelays, DelayRoundSimulator
-from repro.sim.network import RoundEngine
+from repro.sim.metrics import metrics_from_deliveries
+from repro.sim.network import ReferenceRoundEngine, RoundEngine
+from repro.sim.partial import (
+    ExplicitDrops,
+    PartitionSchedule,
+    RandomDrops,
+    SilenceUntil,
+)
+from repro.sim.process import EchoProcess
 from repro.sim.runner import make_processes
+from repro.sim.topology import DirectedTopology
 
 
 def build_processes(params, assignment, byz):
@@ -72,6 +86,133 @@ class TestEngineEquivalence:
         assert canonical(engine.trace) == canonical(simulator.trace)
         assert [p.decision for p in procs_a if p] == \
                [p.decision for p in procs_b if p]
+
+
+def _fabric_scenarios():
+    """(name, topology factory, schedule factory, adversary factory)."""
+    return [
+        ("clean", lambda: None, lambda: None, NullAdversary),
+        ("byz", lambda: None, lambda: None,
+         lambda: RandomByzantineAdversary(seed=5)),
+        ("directed", lambda: DirectedTopology({0: {1, 2, 3}, 2: {0, 5, 6}}),
+         lambda: None, lambda: RandomByzantineAdversary(seed=5)),
+        ("silence", lambda: None, lambda: SilenceUntil(4),
+         lambda: RandomByzantineAdversary(seed=5)),
+        ("partition", lambda: None,
+         lambda: PartitionSchedule(5, {0, 1, 2}, {3, 4}),
+         lambda: RandomByzantineAdversary(seed=5)),
+        ("random-drops", lambda: None,
+         lambda: RandomDrops(gst=6, p=0.5, seed=3),
+         lambda: RandomByzantineAdversary(seed=5)),
+        ("explicit", lambda: None,
+         lambda: ExplicitDrops({(0, 1, 2), (1, 0, 3), (2, 4, 0)}),
+         lambda: RandomByzantineAdversary(seed=5)),
+        ("kitchen-sink", lambda: DirectedTopology({1: {0, 2, 4, 6}}),
+         lambda: RandomDrops(gst=5, p=0.4, seed=9),
+         lambda: RandomByzantineAdversary(seed=5)),
+    ]
+
+
+class TestFabricMatchesReference:
+    """The batched fabric vs the pre-fabric per-receiver loop."""
+
+    N, ELL, BYZ = 7, 6, (6,)
+
+    def _engines(self, topo_fn, sched_fn, adv_fn, numerate, procs_fn):
+        params = SystemParams(
+            n=self.N, ell=self.ELL, t=1, numerate=numerate,
+            synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+        )
+        assignment = balanced_assignment(self.N, self.ELL)
+        engines = []
+        for cls in (RoundEngine, ReferenceRoundEngine):
+            procs = procs_fn(params, assignment)
+            engines.append((cls(
+                params=params, assignment=assignment, processes=procs,
+                byzantine=self.BYZ, adversary=adv_fn(),
+                drop_schedule=sched_fn(), topology=topo_fn(),
+            ), procs))
+        return engines
+
+    @pytest.mark.parametrize("numerate", [False, True])
+    @pytest.mark.parametrize(
+        "name,topo_fn,sched_fn,adv_fn", _fabric_scenarios(),
+        ids=[s[0] for s in _fabric_scenarios()],
+    )
+    def test_inboxes_traces_and_deliveries(
+        self, name, topo_fn, sched_fn, adv_fn, numerate
+    ):
+        """Receiver-by-receiver inbox equality on echo processes."""
+        def echo_procs(params, assignment):
+            return [
+                None if k in self.BYZ
+                else EchoProcess(assignment.identifier_of(k))
+                for k in range(params.n)
+            ]
+
+        (fabric, procs_f), (reference, procs_r) = self._engines(
+            topo_fn, sched_fn, adv_fn, numerate, echo_procs
+        )
+        rounds = 8
+        fabric.run(max_rounds=rounds, stop_when_all_decided=False)
+        reference.run(max_rounds=rounds, stop_when_all_decided=False)
+
+        assert canonical(fabric.trace) == canonical(reference.trace)
+        assert fabric.deliveries == reference.deliveries
+        assert metrics_from_deliveries(fabric.deliveries) == \
+               metrics_from_deliveries(reference.deliveries)
+        for k in fabric.correct:
+            for r in range(rounds):
+                got, want = procs_f[k].received[r], procs_r[k].received[r]
+                assert got.numerate == want.numerate == numerate
+                assert got.messages() == want.messages(), (
+                    f"{name}: inbox of process {k} differs in round {r}"
+                )
+
+    @pytest.mark.parametrize(
+        "name,topo_fn,sched_fn,adv_fn", _fabric_scenarios(),
+        ids=[s[0] for s in _fabric_scenarios()],
+    )
+    def test_dls_verdicts_and_decisions(self, name, topo_fn, sched_fn, adv_fn):
+        """Full-algorithm runs: byte-identical traces and decisions."""
+        def dls_procs(params, assignment):
+            procs, _ = build_processes(params, assignment, self.BYZ)
+            return procs
+
+        (fabric, procs_f), (reference, procs_r) = self._engines(
+            topo_fn, sched_fn, adv_fn, False, dls_procs
+        )
+        rounds = dls_horizon(fabric.params, 8)
+        fabric.run(max_rounds=rounds, stop_when_all_decided=False)
+        reference.run(max_rounds=rounds, stop_when_all_decided=False)
+
+        assert canonical(fabric.trace) == canonical(reference.trace)
+        assert fabric.deliveries == reference.deliveries
+        assert [(p.decision, p.decision_round)
+                for p in procs_f if p is not None] == \
+               [(p.decision, p.decision_round)
+                for p in procs_r if p is not None]
+
+    def test_exact_deliveries_under_directed_topology(self):
+        """The fabric counts cut edges out instead of assuming full fanout."""
+        params = SystemParams(n=4, ell=4, t=0)
+        assignment = balanced_assignment(4, 4)
+        # Receiver 0 hears only sender 1; everyone else hears everyone.
+        topology = DirectedTopology({0: {1}})
+        procs = [EchoProcess(assignment.identifier_of(k)) for k in range(4)]
+        engine = RoundEngine(
+            params=params, assignment=assignment, processes=procs,
+            topology=topology,
+        )
+        engine.run(max_rounds=3, stop_when_all_decided=False)
+        for d in engine.deliveries:
+            # Receiver 0: self + sender 1 = 2; receivers 1..3: 4 each.
+            assert d.correct_broadcasts == 4
+            assert d.correct_deliveries == 2 + 3 * 4
+        metrics = metrics_from_deliveries(engine.deliveries)
+        assert metrics.correct_messages == 3 * (2 + 12)
+        # The old uniform-fanout estimate would have claimed 3 * 16.
+        assert metrics.correct_messages < 3 * 16
 
 
 class TestContinueRunning:

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.core.errors import ReplayError
-from repro.sim.metrics import Metrics, metrics_from_trace, payload_size
+from repro.sim.metrics import (
+    Metrics,
+    RoundDeliveries,
+    metrics_from_deliveries,
+    metrics_from_trace,
+    payload_size,
+)
 from repro.sim.trace import RoundRecord, Trace
 
 
@@ -93,3 +99,50 @@ class TestMetrics:
 
     def test_summary_format(self):
         assert "rounds" in Metrics().summary()
+
+
+class TestMetricsFromDeliveries:
+    def test_fold(self):
+        deliveries = [
+            RoundDeliveries(
+                round_no=0, correct_broadcasts=2, correct_deliveries=5,
+                byzantine_deliveries=1, correct_payload_bytes=40,
+                byzantine_payload_bytes=3,
+            ),
+            RoundDeliveries(
+                round_no=1, correct_broadcasts=1, correct_deliveries=3,
+                byzantine_deliveries=0, correct_payload_bytes=9,
+                byzantine_payload_bytes=0,
+            ),
+        ]
+        m = metrics_from_deliveries(deliveries)
+        assert m.rounds == 2
+        assert m.correct_broadcasts == 3
+        assert m.correct_messages == 8
+        assert m.byzantine_messages == 1
+        assert m.total_messages == 9
+        assert m.payload_bytes == 52
+
+    def test_empty_log(self):
+        assert metrics_from_deliveries([]) == Metrics()
+
+    def test_matches_trace_estimate_on_full_fanout(self):
+        """On the complete topology with no drops the estimate is exact."""
+        from repro.core.identity import balanced_assignment
+        from repro.core.params import SystemParams
+        from repro.sim.network import RoundEngine
+        from repro.sim.process import EchoProcess
+
+        n = 5
+        assignment = balanced_assignment(n, n)
+        engine = RoundEngine(
+            params=SystemParams(n=n, ell=n, t=0),
+            assignment=assignment,
+            processes=[EchoProcess(assignment.identifier_of(k))
+                       for k in range(n)],
+        )
+        engine.run(max_rounds=4, stop_when_all_decided=False)
+        exact = metrics_from_deliveries(engine.deliveries)
+        with pytest.warns(DeprecationWarning):
+            estimate = metrics_from_trace(engine.trace, fanout=n)
+        assert exact == estimate

@@ -35,6 +35,7 @@ REQUIRED_README_SECTIONS = [
     "Quickstart",
     "A worked CLI session",
     "The campaign engine",
+    "The message fabric and exact metrics",
     "Examples",
     "Architecture",
     "Testing and benchmarks",
