@@ -5,13 +5,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick bench-fabric docs-check campaign clean
+.PHONY: test test-all bench-quick bench-fabric bench-explore docs-check \
+	campaign explore-frontier clean
 
-## tier-1: docs consistency plus the full test suite (the bar every
+## tier-1: docs consistency plus the fast test suite (the bar every
 ## change must clear). docs-check runs first so a stale README section
-## fails fast, before the two-minute suite.
+## fails fast, before the two-minute suite. Tests marked `exhaustive`
+## (full small-scope sweeps, the explorer tightness matrix) are skipped
+## here; `make test-all` runs everything.
 test: docs-check
 	$(PYTHON) -m pytest -x -q
+
+## the whole suite including the exhaustive tier
+test-all: docs-check
+	$(PYTHON) -m pytest -q --exhaustive
 
 ## the fast benchmark slice: Table 1 regeneration + campaign throughput
 bench-quick:
@@ -22,6 +29,10 @@ bench-quick:
 bench-fabric:
 	$(PYTHON) -m pytest benchmarks/test_bench_fabric.py -q -s
 
+## strategy-explorer pruning: measured reduction vs the raw tree
+bench-explore:
+	$(PYTHON) -m pytest benchmarks/test_bench_explore.py -q -s
+
 ## README sections + intra-repo doc links
 docs-check:
 	$(PYTHON) tools/docs_check.py
@@ -29,6 +40,10 @@ docs-check:
 ## run the quick Table 1 campaign on all local cores
 campaign:
 	$(PYTHON) -m repro campaign --workers 4 --resume
+
+## machine-check the Table 1 tightness frontier via the explorer
+explore-frontier:
+	$(PYTHON) -m repro campaign --explore --workers 4 --resume
 
 clean:
 	rm -rf .campaign-cache .pytest_cache

@@ -1,0 +1,42 @@
+"""Repository-level pytest configuration: the ``exhaustive`` tier.
+
+Tier-1 (``pytest -x -q``, what every change must keep green) runs the
+fast subset.  Tests marked ``exhaustive`` (alias ``slow``) -- the
+full-product small-scope sweeps and the explorer tightness matrix --
+are skipped by default and enabled with ``--exhaustive``
+(``make test-all``).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--exhaustive",
+        action="store_true",
+        default=False,
+        help="also run tests marked exhaustive/slow "
+             "(full small-scope sweeps; see `make test-all`)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "exhaustive: exhaustive small-scope sweep; excluded from tier-1, "
+        "run via --exhaustive / make test-all",
+    )
+    config.addinivalue_line(
+        "markers", "slow: alias of exhaustive"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--exhaustive"):
+        return
+    skip = pytest.mark.skip(
+        reason="exhaustive tier: run with --exhaustive (make test-all)"
+    )
+    for item in items:
+        if "exhaustive" in item.keywords or "slow" in item.keywords:
+            item.add_marker(skip)

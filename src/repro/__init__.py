@@ -44,8 +44,14 @@ Package layout:
   campaign engine (:mod:`repro.experiments.campaign`: worker-pool
   fan-out, on-disk unit cache, sharding, JSON/Markdown reports), and
   text reports;
+* :mod:`repro.explore` -- the bounded adversary-strategy explorer:
+  systematic small-scope search over every strategy in a finite
+  emission alphabet, producing replayable violation witnesses at the
+  unsolvable edge of Table 1 and bounded exhaustiveness certificates
+  just inside it;
 * :mod:`repro.cli` -- the ``python -m repro`` command line
-  (``table1`` / ``check`` / ``run`` / ``attack`` / ``campaign``).
+  (``table1`` / ``check`` / ``run`` / ``attack`` / ``explore`` /
+  ``campaign``).
 
 Start with the top-level ``README.md`` for a worked CLI session and
 ``docs/ARCHITECTURE.md`` for the package <-> paper map and the module
@@ -61,6 +67,7 @@ __all__ = [
     "classic",
     "core",
     "experiments",
+    "explore",
     "homonyms",
     "psync",
     "sim",

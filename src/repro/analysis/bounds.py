@@ -143,6 +143,58 @@ def more_correct_processes_hurt(ell: int, t: int) -> GapExample | None:
     )
 
 
+@dataclass(frozen=True)
+class TightnessPair:
+    """One tightness check: a configuration just past a bound and the
+    minimal one just inside it.
+
+    The bounded strategy explorer (:mod:`repro.explore`) consumes these:
+    it must find a violating adversary strategy at ``outside`` and
+    certify the absence of one (within its bounded family) at
+    ``inside``.
+    """
+
+    family: str
+    outside: SystemParams
+    inside: SystemParams
+    theorem: str
+
+
+def tightness_pairs(t: int = 1) -> list[TightnessPair]:
+    """The Table 1 boundaries as explorable outside/inside pairs.
+
+    Synchronous (Theorem 3, ``ell > 3t``): ``n = ell = 3t`` sits just
+    past the bound, ``n = ell = 3t + 1`` just inside.  Partially
+    synchronous (Theorem 13, ``2*ell > n + 3t``): at ``n = ell = 3t``
+    the boundary case ``ell = (n + 3t) / 2`` is realised with the
+    fewest processes (larger ``n`` needs ``ell <= n`` slack), and
+    ``n = ell = 3t + 1`` is again the minimal solvable neighbour.
+
+    Args:
+        t: The fault budget (``t = 1`` is the intended small scope).
+
+    Returns:
+        One pair per synchrony family.
+    """
+    n_out = 3 * t
+    n_in = 3 * t + 1
+    psync = Synchrony.PARTIALLY_SYNCHRONOUS
+    return [
+        TightnessPair(
+            family="synchronous",
+            outside=SystemParams(n=n_out, ell=n_out, t=t),
+            inside=SystemParams(n=n_in, ell=n_in, t=t),
+            theorem="Theorem 3: ell > 3t",
+        ),
+        TightnessPair(
+            family="partially synchronous",
+            outside=SystemParams(n=n_out, ell=n_out, t=t, synchrony=psync),
+            inside=SystemParams(n=n_in, ell=n_in, t=t, synchrony=psync),
+            theorem="Theorem 13: 2*ell > n + 3t",
+        ),
+    ]
+
+
 def restriction_gain(n: int, t: int) -> tuple[int | None, int | None]:
     """Identifier requirements (psync, numerate): unrestricted vs restricted.
 

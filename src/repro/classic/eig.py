@@ -40,6 +40,12 @@ class EIGState:
     rounds_done: int
     tree: tuple[tuple[Path, Hashable], ...]  # sorted by (len(path), path)
 
+    def __deepcopy__(self, memo) -> "EIGState":
+        # Frozen tuple-of-tuples content: transitions build new states
+        # instead of mutating, so sharing across deep copies is safe
+        # (and the tree is the bulk of a checkpointed process).
+        return self
+
     def tree_dict(self) -> dict[Path, Hashable]:
         return dict(self.tree)
 

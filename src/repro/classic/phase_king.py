@@ -40,6 +40,11 @@ class PhaseKingState:
     maj: Hashable  # plurality value from the last round-1 tally
     mult: int      # its count
 
+    def __deepcopy__(self, memo) -> "PhaseKingState":
+        # Frozen scalar content; transitions build new states, so deep
+        # copies (engine checkpoints) can share one instance.
+        return self
+
 
 class PhaseKingSpec(ClassicSpec):
     """Phase-King agreement for ``ell`` processes, ``ell > 4t``."""

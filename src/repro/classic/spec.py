@@ -57,6 +57,13 @@ class ClassicSpec(ABC):
         #: algorithms outside their solvability region.
         self.unchecked = bool(unchecked)
 
+    def __deepcopy__(self, memo) -> "ClassicSpec":
+        # Specs are pure Figure 2 function tables: configuration set in
+        # ``__init__`` and never mutated.  Every process of an execution
+        # (and every deep copy the strategy explorer's checkpointing
+        # takes) can share one instance.
+        return self
+
     # ------------------------------------------------------------------
     # Figure 2 functions
     # ------------------------------------------------------------------

@@ -10,9 +10,14 @@ Subcommands:
   the ASCII execution timeline;
 * ``attack`` -- run a lower-bound construction (``fig1``/``fig4``/
   ``mirror``) and print the machine-checked violation;
+* ``explore`` -- bounded adversary-strategy exploration: search *every*
+  strategy in a finite emission alphabet instead of running one fixed
+  attack, and print either a replayable violating strategy trace or a
+  bounded exhaustiveness certificate with pruning counters;
 * ``campaign`` -- validate the whole Table 1 battery through the
   parallel campaign engine (worker pool, disk cache, shardable,
-  JSON/Markdown reports).
+  JSON/Markdown reports); ``--explore`` runs the tightness frontier
+  through the same pool instead.
 
 Examples::
 
@@ -20,8 +25,11 @@ Examples::
     python -m repro check 9 6 1
     python -m repro run --n 7 --ell 6 --t 1 --model psync --gst 16 --timeline
     python -m repro attack fig4 --n 9 --ell 6 --t 1
+    python -m repro explore --n 3 --ell 3 --t 1 --model sync
+    python -m repro explore --n 4 --ell 4 --t 1 --model sync --json cert.json
     python -m repro campaign --workers 4 --report table1.json
     python -m repro campaign --workers 4 --resume --shard 0/2
+    python -m repro campaign --explore --workers 4
 """
 
 from __future__ import annotations
@@ -40,15 +48,15 @@ from repro.adversaries.scenario import run_scenario
 from repro.analysis.bounds import solvable
 from repro.analysis.tables import boundary_map, table1_text
 from repro.classic.eig import EIGSpec
-from repro.core.identity import balanced_assignment, random_assignment
+from repro.core.identity import (
+    balanced_assignment,
+    random_assignment,
+    stacked_assignment,
+)
 from repro.core.params import SystemParams, Synchrony
 from repro.core.problem import BINARY
 from repro.core.errors import ConfigurationError
-from repro.experiments.campaign import (
-    CampaignCache,
-    run_campaign,
-    table1_cells,
-)
+from repro.experiments.campaign import CampaignCache, run_campaign
 from repro.experiments.harness import algorithm_for
 from repro.experiments.report import cell_grid_report, failures_report
 from repro.homonyms.transform import transform_factory, transform_horizon
@@ -249,6 +257,102 @@ def cmd_attack(args) -> int:
     return 0 if outcome.impossibility_evidence else 1
 
 
+def cmd_explore(args) -> int:
+    """``explore``: bounded strategy exploration of one configuration.
+
+    Builds the standard exploration scenario for ``(n, ell, t)`` in the
+    selected model, searches every strategy in its bounded family, and
+    prints the outcome: a violating strategy trace (re-confirmed by a
+    replay through the normal execution pipeline) or a bounded
+    exhaustiveness certificate with pruning counters.
+
+    Args:
+        args: Parsed namespace (model flags, assignment/byzantine/input
+            selectors, depth, mode overrides, ``--json``).
+
+    Returns:
+        0 when the outcome is consistent with the paper's Table 1
+        prediction for the configuration, 1 otherwise.
+    """
+    from repro.core.problem import BINARY
+    from repro.explore import default_scenario, explore, replay_witness
+
+    params = _params(args)
+    assignment = (
+        stacked_assignment(params.n, params.ell)
+        if args.assignment == "stacked"
+        else balanced_assignment(params.n, params.ell)
+    )
+    byzantine = (
+        tuple(sorted(set(args.byz))) if args.byz
+        else tuple(range(params.n - params.t, params.n))
+    )
+    if len(byzantine) > params.t:
+        raise ConfigurationError(
+            f"--byz names {len(byzantine)} slots but t={params.t}; the "
+            f"Table 1 prediction (and the consistency verdict) assume at "
+            f"most t Byzantine processes"
+        )
+    correct = tuple(k for k in range(params.n) if k not in set(byzantine))
+    proposals = {
+        "mixed": {k: pos % 2 for pos, k in enumerate(correct)},
+        "zeros": {k: 0 for k in correct},
+        "ones": {k: 1 for k in correct},
+    }[args.inputs]
+    persistent = None
+    if args.per_round:
+        persistent = False
+    elif args.persistent:
+        persistent = True
+
+    scenario = default_scenario(
+        params,
+        assignment=assignment,
+        byzantine=byzantine,
+        proposals=proposals,
+        depth=args.depth,
+        problem=BINARY,
+        persistent=persistent,
+    )
+    print(f"exploring {params.describe()}")
+    print(f"  algorithm: {scenario.algorithm}, depth {scenario.depth}, "
+          f"{'persistent-face' if scenario.persistent_faces else 'per-round'}"
+          f" mode, {len(scenario.ghost_plans)} ghosts, "
+          f"{len(scenario.cuts)} cut alternatives")
+    certificate = explore(scenario)
+    print()
+    print(certificate.summary())
+
+    if certificate.found_violation:
+        result = replay_witness(scenario, certificate.witness)
+        print()
+        print("witness replayed through the normal engine:")
+        print("  " + result.verdict.summary().replace("\n", "\n  "))
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(certificate.to_json() + "\n")
+        print(f"certificate written to {args.json}")
+
+    predicted = solvable(params)
+    consistent = certificate.consistent_with(predicted)
+    print()
+    if consistent:
+        verdict = "consistent"
+    elif predicted:
+        # A violation inside the solvable region falsifies the paper
+        # (or, far more likely, the implementation).
+        verdict = "INCONSISTENT (violation inside the solvable region)"
+    else:
+        verdict = (
+            "inconclusive (no violation in this bounded family; widen "
+            "the scope, e.g. --inputs mixed or a larger --depth)"
+        )
+    print(f"paper predicts {'solvable' if predicted else 'unsolvable'}: "
+          f"{verdict}")
+    return 0 if consistent else 1
+
+
 def _parse_shard(text: str | None) -> tuple[int, int] | None:
     """Parse an ``INDEX/COUNT`` shard selector.
 
@@ -298,7 +402,7 @@ def cmd_campaign(args) -> int:
     progress = print if args.verbose else None
 
     report = run_campaign(
-        cells=table1_cells(),
+        cells=None,
         seed=args.seed,
         quick=not args.full,
         workers=args.workers,
@@ -306,6 +410,7 @@ def cmd_campaign(args) -> int:
         resume=args.resume,
         shard=shard,
         progress=progress,
+        unit_kind="explore" if args.explore else "validate",
     )
 
     cells = report.cell_results()
@@ -386,6 +491,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_attack)
 
     p = sub.add_parser(
+        "explore",
+        help="bounded adversary-strategy exploration of one configuration",
+    )
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--ell", type=int, required=True)
+    p.add_argument("--t", type=int, required=True)
+    p.add_argument("--model", choices=("sync", "psync"), default="sync")
+    p.add_argument("--numerate", action="store_true")
+    p.add_argument("--restricted", action="store_true")
+    p.add_argument("--assignment", choices=("balanced", "stacked"),
+                   default="balanced")
+    p.add_argument("--byz", type=int, nargs="*", default=None,
+                   metavar="SLOT", help="Byzantine slot indices "
+                   "(default: the last t slots)")
+    p.add_argument("--inputs", choices=("mixed", "zeros", "ones"),
+                   default="mixed")
+    p.add_argument("--depth", type=int, default=None,
+                   help="round horizon (default: model-specific)")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--per-round", action="store_true",
+                      help="branch every round (synchronous default)")
+    mode.add_argument("--persistent", action="store_true",
+                      help="commit faces per partition block for the "
+                           "whole run (partially synchronous default)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the certificate JSON here")
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser(
         "campaign",
         help="validate the Table 1 battery via the parallel campaign engine",
     )
@@ -408,6 +542,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the Markdown report here")
     p.add_argument("--verbose", action="store_true",
                    help="print one line per finished unit")
+    p.add_argument("--explore", action="store_true",
+                   help="run the bounded strategy explorer over the "
+                        "tightness frontier instead of the validation "
+                        "battery")
     p.set_defaults(func=cmd_campaign)
 
     return parser

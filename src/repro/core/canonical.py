@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 from typing import Any, Mapping
 
-__all__ = ["canonical_key", "canonical_json"]
+__all__ = ["canonical_key", "canonical_json", "canonical_state_key"]
 
 
 def canonical_key(value: Any) -> str:
@@ -73,6 +73,79 @@ def canonical_key(value: Any) -> str:
             (canonical_key(k), canonical_key(v)) for k, v in value.items()
         )
         return "map:{" + ",".join(f"{k}={v}" for k, v in items) + "}"
+    return f"obj:{type(value).__name__}:{json.dumps(repr(value))}"
+
+
+def canonical_state_key(value: Any, _seen: frozenset[int] = frozenset()) -> str:
+    """A :func:`canonical_key` that recurses into plain objects.
+
+    :func:`canonical_key` degrades unknown objects to ``repr``, which
+    embeds memory addresses for anything without a custom ``__repr__``
+    -- useless as an equivalence key across deep copies.  The strategy
+    explorer needs exactly that equivalence: two process objects that
+    went through different Byzantine histories but ended in the *same
+    state* must produce the *same* digest, or its transposition table
+    never collapses anything.
+
+    This variant therefore serialises objects structurally: instance
+    attributes from ``__dict__`` and ``__slots__`` (including inherited
+    slots), tagged with the type name and sorted by attribute name.
+    Mapping/set contents are canonically sorted exactly as in
+    :func:`canonical_key`.  Cycles degrade to a ``cycle`` marker rather
+    than recursing forever.
+
+    Args:
+        value: Any value; objects are decomposed recursively.
+        _seen: Internal cycle guard (ids on the current recursion path).
+
+    Returns:
+        The canonical state-key string.
+    """
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return f"bool:{value}"
+    if isinstance(value, int):
+        return f"int:{value}"
+    if isinstance(value, float):
+        return f"float:{value!r}"
+    if isinstance(value, str):
+        return f"str:{json.dumps(value)}"
+    if isinstance(value, bytes):
+        return f"bytes:{value.hex()}"
+    if id(value) in _seen:
+        return "cycle"
+    seen = _seen | {id(value)}
+    if isinstance(value, (tuple, list)):
+        return "seq:[" + ",".join(canonical_state_key(v, seen) for v in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return (
+            "set:{"
+            + ",".join(sorted(canonical_state_key(v, seen) for v in value))
+            + "}"
+        )
+    if isinstance(value, Mapping):
+        items = sorted(
+            (canonical_state_key(k, seen), canonical_state_key(v, seen))
+            for k, v in value.items()
+        )
+        return "map:{" + ",".join(f"{k}={v}" for k, v in items) + "}"
+    attrs: dict[str, Any] = {}
+    for klass in reversed(type(value).__mro__):
+        for slot in getattr(klass, "__slots__", ()):
+            if hasattr(value, slot):
+                attrs[slot] = getattr(value, slot)
+    attrs.update(getattr(value, "__dict__", {}))
+    # Dunder entries (e.g. an enum member's __objclass__) point back at
+    # class-level machinery whose digest would be address-dependent
+    # noise; instance state never lives under dunder names.
+    attrs = {k: v for k, v in attrs.items() if not k.startswith("__")}
+    if attrs:
+        body = ",".join(
+            f"{json.dumps(name)}={canonical_state_key(attr, seen)}"
+            for name, attr in sorted(attrs.items())
+        )
+        return f"obj:{type(value).__name__}:{{{body}}}"
     return f"obj:{type(value).__name__}:{json.dumps(repr(value))}"
 
 

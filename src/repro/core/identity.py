@@ -65,6 +65,10 @@ class IdentityAssignment:
             {i: tuple(members) for i, members in groups.items()},
         )
 
+    def __deepcopy__(self, memo) -> "IdentityAssignment":
+        # Frozen after __post_init__; engine checkpoints share it.
+        return self
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -81,6 +81,11 @@ class SystemParams:
         if self.t < 0:
             raise ConfigurationError(f"t must be >= 0, got {self.t}")
 
+    def __deepcopy__(self, memo) -> "SystemParams":
+        # Frozen and shared by every process of an execution; copying it
+        # per process dominates engine checkpoint costs for no benefit.
+        return self
+
     # ------------------------------------------------------------------
     # Structural predicates
     # ------------------------------------------------------------------

@@ -184,6 +184,10 @@ class AgreementProblem:
         if len(set(self.domain)) != len(self.domain):
             raise ValueError("value domain contains duplicates")
 
+    def __deepcopy__(self, memo) -> "AgreementProblem":
+        # Frozen; shared across processes, specs and ghost instances.
+        return self
+
     @property
     def default(self) -> Hashable:
         """Deterministic tie-break value."""

@@ -62,10 +62,11 @@ PROBLEMS: dict[str, AgreementProblem] = {"binary": BINARY}
 #: Salt folded into every unit id.  Bump the schema component when the
 #: shape *or semantics* of a unit result changes; the package version
 #: component makes caches written by a different release miss rather
-#: than serve results computed by different code.  ``campaign/2``:
-#: record ``messages`` counts switched from the full-fanout estimate to
-#: the message fabric's exact delivered-edge accounting.
-CACHE_SCHEMA = "campaign/2"
+#: than serve results computed by different code.  ``campaign/3``:
+#: added the ``"explore"`` unit kind (bounded strategy exploration
+#: slices), whose records reuse the RunRecord shape with search-effort
+#: semantics for the cost fields.
+CACHE_SCHEMA = "campaign/3"
 
 _SYNCHRONY = {s.short: s for s in Synchrony}
 
@@ -109,9 +110,12 @@ class CampaignUnit:
     """One serialisable unit of campaign work.
 
     ``kind`` is ``"slice"`` for one workload slice of a solvable cell
-    (``assignment_index``/``byzantine_index`` name the slice) or
+    (``assignment_index``/``byzantine_index`` name the slice),
     ``"demonstration"`` for the whole impossibility demonstration of an
-    unsolvable cell (indices are ``-1``).
+    unsolvable cell (indices are ``-1``), or ``"explore"`` for one
+    bounded strategy-exploration slice of the tightness frontier
+    (indices name the assignment x Byzantine-placement pair of
+    :func:`repro.explore.units.explore_slice_keys`).
     """
 
     label: str
@@ -152,10 +156,12 @@ class CampaignUnit:
         return hashlib.sha1(payload.encode()).hexdigest()[:16]
 
     def describe(self) -> str:
-        where = (
-            f"slice a{self.assignment_index}b{self.byzantine_index}"
-            if self.kind == "slice" else "demonstration"
-        )
+        if self.kind == "demonstration":
+            where = "demonstration"
+        else:  # "slice" and "explore" are both (assignment, byz) slices
+            where = (
+                f"{self.kind} a{self.assignment_index}b{self.byzantine_index}"
+            )
         return f"{self.label} [{where}]"
 
     def to_dict(self) -> dict:
@@ -263,6 +269,50 @@ def enumerate_units(
     return units
 
 
+def enumerate_explore_units(
+    cells: Sequence[tuple[str, SystemParams]] | None = None,
+    seed: int = 0,
+    quick: bool = True,
+    problem: str = "binary",
+) -> list[CampaignUnit]:
+    """Expand a tightness-frontier battery into exploration units.
+
+    One unit per (assignment, Byzantine placement) pair of each cell --
+    the frontier sharding that lets the process pool (or ``--shard``
+    stripes across machines) fan the bounded strategy exploration out.
+
+    Args:
+        cells: ``(label, params)`` pairs; defaults to
+            :func:`repro.explore.units.explore_battery`.
+        seed: Battery seed (recorded in the unit id; exploration itself
+            is deterministic).
+        quick: Trim the placement battery.
+        problem: Name of the agreement problem.
+
+    Returns:
+        The ordered unit list.
+
+    Raises:
+        ConfigurationError: On duplicate cell labels.
+    """
+    from repro.explore.units import explore_battery, explore_slice_keys
+
+    if cells is None:
+        cells = explore_battery()
+    labels = [label for label, _ in cells]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError(f"duplicate cell labels in {labels}")
+    return [
+        CampaignUnit.for_cell(
+            label, params, "explore",
+            assignment_index=a_idx, byzantine_index=b_idx,
+            seed=seed, quick=quick, problem=problem,
+        )
+        for label, params in cells
+        for a_idx, b_idx in explore_slice_keys(params, seed, quick)
+    ]
+
+
 def shard_units(
     units: Sequence[CampaignUnit], index: int, count: int
 ) -> list[CampaignUnit]:
@@ -326,6 +376,24 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
         algorithm = cell.algorithm
         records = cell.runs
         demonstration = cell.demonstration
+    elif unit.kind == "explore":
+        from repro.explore.units import run_explore_unit
+
+        outcome = run_explore_unit(
+            params, unit.assignment_index, unit.byzantine_index,
+            unit.seed, unit.quick, problem,
+        )
+        return {
+            "unit_id": unit.unit_id,
+            "label": unit.label,
+            "kind": unit.kind,
+            "assignment_index": unit.assignment_index,
+            "byzantine_index": unit.byzantine_index,
+            "algorithm": outcome["algorithm"],
+            "demonstration": outcome["demonstration"],
+            "records": outcome["records"],
+            "elapsed_s": time.perf_counter() - start,
+        }
     else:
         raise ConfigurationError(f"unknown unit kind {unit.kind!r}")
     return {
@@ -343,6 +411,10 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
 
 def _unit_weight(unit: CampaignUnit) -> int:
     """Crude cost estimate used to schedule heavy units first."""
+    if unit.kind == "explore":
+        # Per-round tree exploration (synchronous scopes) dwarfs the
+        # persistent-face sweeps, and certificates dwarf violations.
+        return unit.n ** 3 * (40 if unit.synchrony == "sync" else 4)
     weight = unit.n * unit.n
     if unit.synchrony == "psync":
         weight *= 8 if not (unit.restricted and unit.numerate) else 2
@@ -629,12 +701,14 @@ def run_campaign(
     resume: bool = False,
     shard: tuple[int, int] | None = None,
     progress: Callable[[str], None] | None = None,
+    unit_kind: str = "validate",
 ) -> CampaignReport:
     """Run a campaign and aggregate its report.
 
     Args:
         cells: ``(label, params)`` battery; defaults to
-            :func:`table1_cells`.
+            :func:`table1_cells` (or the explore battery for
+            ``unit_kind="explore"``).
         seed: The battery seed.
         quick: Use the trimmed quick battery.
         workers: Pool size; ``<= 1`` runs inline in this process.
@@ -644,13 +718,27 @@ def run_campaign(
         shard: Optional ``(index, count)`` stripe of the unit grid.
         progress: Optional callback receiving one line per finished
             unit.
+        unit_kind: ``"validate"`` runs the Table 1 validation battery;
+            ``"explore"`` runs bounded strategy exploration over the
+            tightness frontier instead.
 
     Returns:
         The aggregated :class:`CampaignReport`.
+
+    Raises:
+        ConfigurationError: On an unknown ``unit_kind``.
     """
     start = time.perf_counter()
-    cells = table1_cells() if cells is None else list(cells)
-    units = enumerate_units(cells, seed=seed, quick=quick)
+    if unit_kind == "validate":
+        cells = table1_cells() if cells is None else list(cells)
+        units = enumerate_units(cells, seed=seed, quick=quick)
+    elif unit_kind == "explore":
+        from repro.explore.units import explore_battery
+
+        cells = explore_battery() if cells is None else list(cells)
+        units = enumerate_explore_units(cells, seed=seed, quick=quick)
+    else:
+        raise ConfigurationError(f"unknown unit kind {unit_kind!r}")
     if shard is not None:
         units = shard_units(units, *shard)
 

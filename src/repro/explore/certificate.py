@@ -1,0 +1,149 @@
+"""Explorer results: violation witnesses and exhaustiveness certificates.
+
+A bounded exploration ends in exactly one of two ways, and both are
+first-class artifacts:
+
+* a :class:`Certificate` with ``outcome == "violation"`` carries a
+  concrete, replayable :class:`~repro.explore.strategy.StrategyScript`
+  plus the property it violated -- the machine-checked analogue of the
+  paper's lower-bound constructions;
+* a :class:`Certificate` with ``outcome == "exhausted"`` states that
+  *no* strategy within the explored family (alphabet, cut set, depth --
+  all recorded in the certificate) produces a safety violation, with
+  the search counters that make the claim auditable.
+
+The counters include the **exact** size the strategy tree would have
+had without transposition/symmetry sharing (``raw_tree_size``, computed
+bottom-up by crediting every table hit with the full subtree it
+avoided), so the pruning factor reported by benchmarks and the CLI is a
+measurement, not an estimate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.explore.strategy import StrategyScript
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated by one exploration."""
+
+    #: Nodes whose children were actually expanded (engine rounds run
+    #: from them).
+    nodes_expanded: int = 0
+    #: Children generated across all expanded nodes, after per-node
+    #: payload deduplication.
+    children_generated: int = 0
+    #: Per-slot face options discarded because another source produced
+    #: a byte-identical payload (alphabet collisions, counted before
+    #: the per-receiver product -- each one removes a whole slice of
+    #: would-be duplicate children).
+    children_deduped: int = 0
+    #: Children answered from the transposition table instead of being
+    #: explored.
+    transposition_hits: int = 0
+    #: Exact node count of the unshared strategy tree (what a naive
+    #: enumeration would have visited).
+    raw_tree_size: int = 0
+    #: Deepest round reached.
+    max_depth: int = 0
+    #: Wall-clock seconds.
+    elapsed_s: float = 0.0
+
+    @property
+    def pruning_factor(self) -> float:
+        """How many raw-tree nodes each explored node stood in for."""
+        return self.raw_tree_size / max(1, self.nodes_expanded)
+
+    def summary(self) -> str:
+        # raw_tree_size is only complete for exhausted searches; a
+        # violation aborts mid-count, so the comparison is omitted.
+        raw = (
+            f"raw tree {self.raw_tree_size} nodes "
+            f"-> {self.pruning_factor:.1f}x reduction; "
+            if self.raw_tree_size else ""
+        )
+        return (
+            f"{self.nodes_expanded} nodes expanded "
+            f"({self.children_generated} children, "
+            f"{self.children_deduped} duplicate faces, "
+            f"{self.transposition_hits} transposition hits); "
+            + raw
+            + f"depth {self.max_depth}, {self.elapsed_s:.2f}s"
+        )
+
+
+@dataclass
+class Certificate:
+    """Outcome of one bounded exploration.
+
+    ``outcome`` is ``"violation"`` (a witness strategy was found) or
+    ``"exhausted"`` (the whole bounded family was searched clean).
+    """
+
+    outcome: str
+    scenario: dict
+    stats: SearchStats
+    witness: StrategyScript | None = None
+    violation: str = ""
+    violation_round: int | None = None
+    decisions: dict = field(default_factory=dict)
+
+    @property
+    def found_violation(self) -> bool:
+        return self.outcome == "violation"
+
+    def consistent_with(self, predicted_solvable: bool) -> bool:
+        """Does this outcome agree with the Table 1 prediction?
+
+        A solvable configuration must certify clean; an unsolvable one
+        is confirmed by a violation (an exhausted search below the
+        bound is *not* a contradiction -- the bounded family simply
+        missed the attack -- but it is reported as inconsistent so the
+        caller widens the scope).
+        """
+        return self.found_violation is (not predicted_solvable)
+
+    def summary(self) -> str:
+        lines = [f"explore: {self.outcome.upper()}"]
+        for key in ("params", "assignment", "byzantine", "proposals",
+                    "depth", "mode", "ghosts", "cuts"):
+            if key in self.scenario:
+                lines.append(f"  {key}: {self.scenario[key]}")
+        if self.found_violation:
+            lines.append(f"  violated: {self.violation} "
+                         f"(round {self.violation_round})")
+            if self.decisions:
+                lines.append(f"  decisions: {self.decisions}")
+            if self.witness is not None:
+                lines.append("  witness " + self.witness.describe())
+        else:
+            lines.append("  no safety violation within the explored family")
+        lines.append(f"  search: {self.stats.summary()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "outcome": self.outcome,
+            "scenario": self.scenario,
+            "violation": self.violation,
+            "violation_round": self.violation_round,
+            "decisions": {str(k): repr(v) for k, v in self.decisions.items()},
+            "witness": None if self.witness is None else self.witness.to_dict(),
+            "stats": {
+                "nodes_expanded": self.stats.nodes_expanded,
+                "children_generated": self.stats.children_generated,
+                "children_deduped": self.stats.children_deduped,
+                "transposition_hits": self.stats.transposition_hits,
+                "raw_tree_size": self.stats.raw_tree_size,
+                "pruning_factor": self.stats.pruning_factor,
+                "max_depth": self.stats.max_depth,
+                "elapsed_s": self.stats.elapsed_s,
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

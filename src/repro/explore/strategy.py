@@ -1,0 +1,124 @@
+"""Strategy scripts: one branch of the strategy tree, made replayable.
+
+The explorer's depth-first search works directly on the engine's
+split-phase API, but everything it finds is exported as a
+:class:`StrategyScript` -- a plain round-indexed table of emissions plus
+an optional network cut.  A script replays through the *normal*
+execution pipeline (:func:`repro.sim.runner.run_agreement` with a
+:class:`StrategyTreeAdversary` and an
+:class:`~repro.sim.partial.ExplicitDrops` schedule), which is what turns
+an explorer-found violation into an ordinary regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from repro.sim.adversary import Adversary, AdversaryView, Emission
+from repro.sim.partial import DropSchedule, ExplicitDrops, NoDrops
+
+#: One round of scripted emissions: ``byz slot -> recipient -> payloads``.
+RoundEmissions = Mapping[int, Mapping[int, tuple[Hashable, ...]]]
+
+
+@dataclass(frozen=True)
+class StrategyScript:
+    """A concrete adversary strategy, round by round.
+
+    Attributes
+    ----------
+    emissions:
+        ``round -> byz slot -> recipient -> payloads``.  Rounds absent
+        from the mapping are silent.
+    cut:
+        Optional partition ``(block_a, block_b)`` of correct process
+        indices whose crossing messages are dropped while the cut is
+        active (the explorer's network-adversary dimension; only
+        meaningful under partial synchrony).
+    cut_until:
+        First round from which the cut no longer drops (the drop set is
+        finite, as the DLS basic model requires).
+    """
+
+    emissions: Mapping[int, RoundEmissions] = field(default_factory=dict)
+    cut: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+    cut_until: int = 0
+
+    def drop_schedule(self) -> DropSchedule:
+        """The script's network behaviour as an engine drop schedule."""
+        if self.cut is None or self.cut_until <= 0:
+            return NoDrops()
+        block_a, block_b = self.cut
+        drops = [
+            (r, s, q)
+            for r in range(self.cut_until)
+            for s in block_a for q in block_b
+        ]
+        drops += [(r, q, s) for r, s, q in drops]
+        return ExplicitDrops(drops)
+
+    def rounds(self) -> int:
+        """Rounds the script says anything about (emissions or cut)."""
+        last_emission = max(self.emissions, default=-1) + 1
+        return max(last_emission, self.cut_until)
+
+    def describe(self) -> str:
+        lines = [f"strategy over {self.rounds()} rounds"]
+        if self.cut is not None:
+            lines.append(
+                f"  cut {list(self.cut[0])} | {list(self.cut[1])} "
+                f"until round {self.cut_until}"
+            )
+        for r in sorted(self.emissions):
+            per_slot = self.emissions[r]
+            parts = []
+            for slot in sorted(per_slot):
+                for q in sorted(per_slot[slot]):
+                    for payload in per_slot[slot][q]:
+                        parts.append(f"{slot}->{q}: {payload!r}")
+            if parts:
+                lines.append(f"  r{r}: " + "; ".join(parts))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (payloads degrade to their ``repr``)."""
+        return {
+            "cut": None if self.cut is None else [
+                list(self.cut[0]), list(self.cut[1])
+            ],
+            "cut_until": self.cut_until,
+            "emissions": {
+                str(r): {
+                    str(slot): {
+                        str(q): [repr(p) for p in payloads]
+                        for q, payloads in per_recipient.items()
+                    }
+                    for slot, per_recipient in per_slot.items()
+                }
+                for r, per_slot in self.emissions.items()
+            },
+        }
+
+
+class StrategyTreeAdversary(Adversary):
+    """An adversary that plays one branch of the strategy tree.
+
+    During search the explorer *writes* the branch round by round (via
+    :meth:`play`); during replay the finished script is passed in whole.
+    Either way the engine sees an ordinary :class:`Adversary` whose
+    answers go through the same ``normalize_emissions`` enforcement as
+    every handcrafted attack in :mod:`repro.adversaries`.
+    """
+
+    def __init__(self, script: StrategyScript | None = None) -> None:
+        self._rounds: dict[int, RoundEmissions] = (
+            dict(script.emissions) if script is not None else {}
+        )
+
+    def play(self, round_no: int, emissions: RoundEmissions) -> None:
+        """Script the emissions for ``round_no`` (search-time use)."""
+        self._rounds[round_no] = emissions
+
+    def emissions(self, view: AdversaryView) -> Mapping[int, Emission]:
+        return self._rounds.get(view.round_no, {})

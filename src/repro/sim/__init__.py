@@ -22,7 +22,7 @@ from repro.sim.metrics import (
     metrics_from_trace,
     payload_size,
 )
-from repro.sim.network import ReferenceRoundEngine, RoundEngine
+from repro.sim.network import EngineCheckpoint, ReferenceRoundEngine, RoundEngine
 from repro.sim.partial import (
     DropSchedule,
     ExplicitDrops,
@@ -68,6 +68,7 @@ __all__ = [
     "Process",
     "ProcessFactory",
     "RandomDrops",
+    "EngineCheckpoint",
     "ReferenceRoundEngine",
     "RoundDeliveries",
     "RoundEngine",

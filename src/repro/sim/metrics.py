@@ -132,7 +132,9 @@ def metrics_from_deliveries(deliveries: Iterable[RoundDeliveries]) -> Metrics:
     return m
 
 
-def metrics_from_trace(trace: Trace, fanout: int, topology=None) -> Metrics:
+def metrics_from_trace(
+    trace: Trace, fanout: int, topology=None, drop_schedule=None
+) -> Metrics:
     """Estimate metrics from a finished trace.  **Deprecated.**
 
     ``fanout`` is the number of recipients of each correct broadcast
@@ -150,12 +152,17 @@ def metrics_from_trace(trace: Trace, fanout: int, topology=None) -> Metrics:
             Anything other than ``None`` or a complete topology raises,
             because the uniform-fanout estimate would silently
             overcount.
+        drop_schedule: The drop schedule the execution ran under, when
+            known.  A schedule that can lose messages (any schedule
+            whose stabilisation round is positive) raises for the same
+            reason.
 
     Returns:
         The estimated metrics.
 
     Raises:
-        ConfigurationError: When ``topology`` restricts delivery.
+        ConfigurationError: When ``topology`` or ``drop_schedule``
+            restricts delivery.
     """
     warnings.warn(
         "metrics_from_trace estimates costs from a uniform fanout; "
@@ -173,6 +180,13 @@ def metrics_from_trace(trace: Trace, fanout: int, topology=None) -> Metrics:
                 f"ran under {topology!r}; use metrics_from_deliveries for "
                 f"exact accounting under restricted topologies"
             )
+    if drop_schedule is not None and drop_schedule.gst > 0:
+        raise ConfigurationError(
+            f"metrics_from_trace assumes full fanout but the execution "
+            f"ran under a drop schedule stabilising at round "
+            f"{drop_schedule.gst}; use metrics_from_deliveries for exact "
+            f"accounting under message loss"
+        )
     m = Metrics(rounds=len(trace))
     for record in trace:
         m.correct_broadcasts += len(record.payloads)

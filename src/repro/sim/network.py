@@ -47,6 +47,8 @@ over sorted indices and inboxes are canonically ordered.
 
 from __future__ import annotations
 
+import copy
+from dataclasses import dataclass
 from typing import Hashable, Mapping, Sequence
 
 from repro.core.errors import ConfigurationError
@@ -64,6 +66,29 @@ from repro.sim.partial import DropSchedule, NoDrops
 from repro.sim.process import Process
 from repro.sim.topology import CompleteTopology, Topology
 from repro.sim.trace import RoundRecord, Trace
+
+
+@dataclass(frozen=True)
+class EngineCheckpoint:
+    """A restorable snapshot of a :class:`RoundEngine` mid-execution.
+
+    Captures everything the engine mutates round over round: the process
+    objects (deep-copied, so later rounds cannot leak into the
+    snapshot), the trace records, the delivery log and the round
+    counter.  Static configuration (params, assignment, topology, drop
+    schedule) is shared with the live engine, and **adversary state is
+    deliberately not captured**: stateful adversaries are owned by the
+    caller (the strategy explorer scripts its adversary externally and
+    checkpoints its own ghost instances).
+
+    A checkpoint is immutable and reusable: :meth:`RoundEngine.restore`
+    copies *out* of it, so one snapshot can seed any number of branches.
+    """
+
+    round_no: int
+    processes: tuple["Process | None", ...]
+    trace_records: tuple
+    deliveries: tuple[RoundDeliveries, ...]
 
 
 class RoundEngine:
@@ -148,19 +173,55 @@ class RoundEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def step(self) -> RoundRecord:
-        """Execute one round and return its trace record."""
-        r = self.round_no
+    def compose_round(self) -> dict[int, Hashable]:
+        """Phase 1 of a round: every correct process composes its broadcast.
 
-        # Phase 1: correct processes compose their broadcasts.
+        Mutates process state (``compose`` may queue protocol-internal
+        work), so it must be called exactly once per round, followed by
+        :meth:`finish_round`.  Split out of :meth:`step` so callers that
+        need this round's correct payloads *before* choosing Byzantine
+        emissions -- the bounded strategy explorer branching over an
+        emission alphabet derived from them -- can interpose between the
+        phases.
+
+        Returns:
+            ``correct index -> payload`` for this round (silent
+            processes absent), in ascending index order.
+        """
+        r = self.round_no
         payloads: dict[int, Hashable] = {}
         for k in self._correct:
             payload = self.processes[k].compose(r)
             if payload is not None:
                 payloads[k] = ensure_hashable(payload)
+        return payloads
+
+    def finish_round(
+        self,
+        payloads: Mapping[int, Hashable],
+        raw_emissions: Mapping[int, Mapping[int, Sequence[Hashable]]] | None = None,
+    ) -> RoundRecord:
+        """Phases 2-4 of a round: emissions, delivery, trace record.
+
+        Args:
+            payloads: The :meth:`compose_round` result for this round.
+            raw_emissions: Byzantine emissions to deliver instead of
+                consulting the attached adversary.  They pass through
+                the same :func:`~repro.sim.adversary.normalize_emissions`
+                model-rule enforcement either way.
+
+        Returns:
+            The appended :class:`~repro.sim.trace.RoundRecord`.
+        """
+        r = self.round_no
 
         # Phase 2: the (rushing) adversary emits Byzantine messages.
-        emissions = self._collect_emissions(payloads)
+        if raw_emissions is None:
+            emissions = self._collect_emissions(payloads)
+        else:
+            emissions = normalize_emissions(
+                self.params, self.byzantine, raw_emissions, r
+            )
 
         # Phase 3: deliver per-recipient inboxes to correct processes.
         decided_before = {
@@ -176,7 +237,7 @@ class RoundEngine:
         }
         record = RoundRecord(
             round_no=r,
-            payloads=payloads,
+            payloads=dict(payloads),
             emissions=emissions,
             decisions=decisions,
         )
@@ -184,6 +245,10 @@ class RoundEngine:
         self.deliveries.append(deliveries)
         self.round_no += 1
         return record
+
+    def step(self) -> RoundRecord:
+        """Execute one round and return its trace record."""
+        return self.finish_round(self.compose_round())
 
     def run(self, max_rounds: int, stop_when_all_decided: bool = True) -> int:
         """Run up to ``max_rounds`` rounds; return the number executed."""
@@ -194,6 +259,46 @@ class RoundEngine:
             if stop_when_all_decided and self.all_correct_decided():
                 break
         return executed
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> EngineCheckpoint:
+        """Snapshot the mutable engine state for later :meth:`restore`.
+
+        Process objects are deep-copied; trace records and delivery
+        records are frozen dataclasses, so sharing their tuples is safe.
+        The attached adversary is *not* captured -- callers that branch
+        executions (the strategy explorer) either use stateless scripted
+        adversaries or checkpoint their adversary state themselves.
+
+        Returns:
+            An immutable, reusable :class:`EngineCheckpoint`.
+        """
+        return EngineCheckpoint(
+            round_no=self.round_no,
+            processes=tuple(copy.deepcopy(self.processes)),
+            trace_records=self.trace.snapshot(),
+            deliveries=tuple(self.deliveries),
+        )
+
+    def restore(self, checkpoint: EngineCheckpoint) -> None:
+        """Rewind the engine to a :meth:`checkpoint` snapshot.
+
+        The checkpoint itself is left untouched (its processes are
+        deep-copied back out), so the same snapshot can seed any number
+        of divergent continuations -- the primitive the bounded strategy
+        explorer's depth-first search is built on.
+
+        Args:
+            checkpoint: A snapshot taken from *this* engine (snapshots
+                carry no configuration, so restoring one from a
+                differently-configured engine is undefined).
+        """
+        self.round_no = checkpoint.round_no
+        self.processes = list(copy.deepcopy(checkpoint.processes))
+        self.trace.restore(checkpoint.trace_records)
+        self.deliveries = list(checkpoint.deliveries)
 
     # ------------------------------------------------------------------
     # Internals

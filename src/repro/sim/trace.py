@@ -75,6 +75,29 @@ class Trace:
             )
         self._records.append(record)
 
+    def snapshot(self) -> tuple[RoundRecord, ...]:
+        """The records so far, as an immutable tuple.
+
+        Records are frozen dataclasses, so the tuple is a complete
+        snapshot: engine checkpointing stores it and :meth:`restore`
+        rewinds to it without copying record contents.
+        """
+        return tuple(self._records)
+
+    def restore(self, records: tuple[RoundRecord, ...]) -> None:
+        """Replace the trace contents with a :meth:`snapshot` result.
+
+        Args:
+            records: A contiguous round-0-based record tuple (anything
+                else would violate the append invariant).
+
+        Raises:
+            ReplayError: If the records are not contiguous from round 0.
+        """
+        if any(r.round_no != i for i, r in enumerate(records)):
+            raise ReplayError("snapshot records are not contiguous from round 0")
+        self._records = list(records)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -4,6 +4,9 @@ For tiny systems we can afford to check agreement over *every* identity
 assignment and Byzantine placement, not just sampled ones.  These
 sweeps are the closest a simulation gets to the paper's "regardless of
 the way the n processes are assigned the ell identifiers" quantifier.
+
+Marked ``exhaustive``: excluded from tier-1, run via ``make test-all``
+(or ``pytest --exhaustive``).
 """
 
 import pytest
@@ -18,6 +21,7 @@ from repro.psync.restricted import restricted_factory, restricted_horizon
 from repro.sim.runner import run_agreement
 
 
+@pytest.mark.exhaustive
 class TestTransformExhaustive:
     """T(EIG) at n=5, ell=4, t=1: every assignment x every Byzantine slot."""
 
@@ -54,6 +58,7 @@ class TestTransformExhaustive:
         assert checked == 240
 
 
+@pytest.mark.exhaustive
 class TestRestrictedExhaustive:
     """Figure 7 at n=4, ell=2, t=1: every assignment x every Byzantine slot
     x both unanimous input patterns."""

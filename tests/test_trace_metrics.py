@@ -101,6 +101,65 @@ class TestMetrics:
         assert "rounds" in Metrics().summary()
 
 
+class TestMetricsFromTraceDeprecation:
+    """The deprecation path of the uniform-fanout estimator.
+
+    ``metrics_from_trace`` must (a) always warn, (b) keep working on
+    permissive topologies/schedules where the estimate is exact, and
+    (c) refuse outright when the execution ran under anything that
+    restricts delivery -- a silent overcount would poison reports.
+    """
+
+    def _trace(self):
+        trace = Trace()
+        trace.append(record(0, payloads={0: "x", 1: "y"}))
+        return trace
+
+    def test_always_warns(self):
+        with pytest.warns(DeprecationWarning, match="metrics_from_deliveries"):
+            metrics_from_trace(self._trace(), fanout=2)
+
+    def test_permissive_topology_and_schedule_accepted(self):
+        from repro.sim.partial import NoDrops
+        from repro.sim.topology import CompleteTopology
+
+        with pytest.warns(DeprecationWarning):
+            m = metrics_from_trace(
+                self._trace(), fanout=2,
+                topology=CompleteTopology(), drop_schedule=NoDrops(),
+            )
+        assert m.correct_messages == 4
+
+    def test_restricting_topology_raises(self):
+        from repro.core.errors import ConfigurationError
+        from repro.sim.topology import DirectedTopology
+
+        topology = DirectedTopology({0: frozenset({1})})
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError, match="restricted topolog"):
+                metrics_from_trace(self._trace(), fanout=2, topology=topology)
+
+    @pytest.mark.parametrize("schedule_name", ["silence", "random", "partition"])
+    def test_dropping_schedules_raise(self, schedule_name):
+        from repro.core.errors import ConfigurationError
+        from repro.sim.partial import (
+            PartitionSchedule,
+            RandomDrops,
+            SilenceUntil,
+        )
+
+        schedule = {
+            "silence": SilenceUntil(4),
+            "random": RandomDrops(gst=8, p=0.5),
+            "partition": PartitionSchedule(3, {0}, {1}),
+        }[schedule_name]
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError, match="message loss"):
+                metrics_from_trace(
+                    self._trace(), fanout=2, drop_schedule=schedule
+                )
+
+
 class TestMetricsFromDeliveries:
     def test_fold(self):
         deliveries = [
