@@ -5,8 +5,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all bench-quick bench-fabric bench-explore docs-check \
-	campaign explore-frontier clean
+.PHONY: test test-all bench-quick bench-fabric bench-delay bench-explore \
+	docs-check campaign explore-frontier clean
 
 ## tier-1: docs consistency plus the fast test suite (the bar every
 ## change must clear). docs-check runs first so a stale README section
@@ -28,6 +28,10 @@ bench-quick:
 ## message-fabric engine throughput vs the pre-fabric reference loop
 bench-fabric:
 	$(PYTHON) -m pytest benchmarks/test_bench_fabric.py -q -s
+
+## delay models on the kernel vs the legacy per-message tick loop
+bench-delay:
+	$(PYTHON) -m pytest benchmarks/test_bench_delay_kernel.py -q -s
 
 ## strategy-explorer pruning: measured reduction vs the raw tree
 bench-explore:

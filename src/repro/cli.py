@@ -16,20 +16,29 @@ Subcommands:
   bounded exhaustiveness certificate with pruning counters;
 * ``campaign`` -- validate the whole Table 1 battery through the
   parallel campaign engine (worker pool, disk cache, shardable,
-  JSON/Markdown reports); ``--explore`` runs the tightness frontier
-  through the same pool instead.
+  JSON/Markdown reports); ``--explore`` runs the tightness frontier and
+  ``--delay`` the delay-model workload family through the same pool
+  instead.
+
+``run`` executes on the unified kernel and accepts a timing model:
+``--timing rounds`` (lock-step, the default), ``--timing eventual``
+(delays bounded by ``--delta`` from ``--gst-tick`` on) or ``--timing
+bounded`` (delays always bounded, bound unknown to the algorithm).
 
 Examples::
 
     python -m repro table1 --n 8 --t 1
     python -m repro check 9 6 1
     python -m repro run --n 7 --ell 6 --t 1 --model psync --gst 16 --timeline
+    python -m repro run --n 7 --ell 6 --t 1 --model psync \\
+        --timing eventual --delta 3 --gst-tick 24 --chaos 4
     python -m repro attack fig4 --n 9 --ell 6 --t 1
     python -m repro explore --n 3 --ell 3 --t 1 --model sync
     python -m repro explore --n 4 --ell 4 --t 1 --model sync --json cert.json
     python -m repro campaign --workers 4 --report table1.json
     python -m repro campaign --workers 4 --resume --shard 0/2
     python -m repro campaign --explore --workers 4
+    python -m repro campaign --delay --workers 4
 """
 
 from __future__ import annotations
@@ -62,6 +71,12 @@ from repro.experiments.report import cell_grid_report, failures_report
 from repro.homonyms.transform import transform_factory, transform_horizon
 from repro.psync.dls_homonyms import DLSHomonymProcess, dls_horizon
 from repro.psync.restricted import restricted_factory, restricted_horizon
+from repro.sim.delay import (
+    AlwaysBoundedUnknownDelays,
+    EventuallyBoundedDelays,
+    equivalent_basic_gst,
+)
+from repro.sim.kernel import DelayBased
 from repro.sim.partial import RandomDrops, SilenceUntil
 from repro.sim.render import render_decision_summary, render_timeline
 from repro.sim.runner import run_agreement
@@ -144,12 +159,62 @@ def cmd_check(args) -> int:
     return 0
 
 
+def _delay_timing(args) -> tuple[DelayBased | None, int]:
+    """Build the ``run`` subcommand's delay timing model, if requested.
+
+    Args:
+        args: Parsed namespace with ``timing``/``delta``/``gst_tick``/
+            ``chaos``/``seed``.
+
+    Returns:
+        ``(timing, equivalent_gst_round)`` -- ``(None, 0)`` for the
+        default round-granular timing.
+
+    Raises:
+        ConfigurationError: When delay timing is combined with ``--gst``
+            drop schedules (the delay model supplies its own losses).
+    """
+    def reject_set_flags(pairs, detail):
+        set_flags = [flag for flag, value in pairs if value is not None]
+        if set_flags:
+            raise ConfigurationError(f"{'/'.join(set_flags)} {detail}")
+
+    if args.timing == "rounds":
+        reject_set_flags(
+            (("--delta", args.delta), ("--gst-tick", args.gst_tick),
+             ("--chaos", args.chaos)),
+            "only applies with --timing eventual/bounded",
+        )
+        return None, 0
+    if args.gst:
+        raise ConfigurationError(
+            "--timing eventual/bounded replaces drop schedules with "
+            "delay-derived losses; drop --gst"
+        )
+    delta = 3 if args.delta is None else args.delta
+    if args.timing == "eventual":
+        policy = EventuallyBoundedDelays(
+            delta=delta,
+            gst_tick=24 if args.gst_tick is None else args.gst_tick,
+            chaos_factor=4 if args.chaos is None else args.chaos,
+            seed=args.seed,
+        )
+    else:  # "bounded": always within delta, bound unknown to the algorithm
+        reject_set_flags(
+            (("--gst-tick", args.gst_tick), ("--chaos", args.chaos)),
+            "only applies with --timing eventual; --timing bounded "
+            "delays are always within --delta",
+        )
+        policy = AlwaysBoundedUnknownDelays(true_delta=delta, seed=args.seed)
+    return DelayBased(policy), equivalent_basic_gst(policy)
+
+
 def cmd_run(args) -> int:
     """``run``: execute one agreement instance and print the verdict.
 
     Args:
         args: Parsed namespace (model, assignment, attack, drop
-            schedule, timeline options).
+            schedule, delay timing, timeline options).
 
     Returns:
         0 on a clean verdict, 1 on violations, 2 when the
@@ -163,9 +228,12 @@ def cmd_run(args) -> int:
               f"{params.t}`); try `python -m repro attack` to watch the "
               f"matching lower-bound construction break it.")
         return 2
+    timing, delay_gst = _delay_timing(args)
     name, factory, horizon = algorithm_for(params, problem)
     if args.gst:
         horizon = max(horizon, args.gst + horizon)
+    if delay_gst:
+        horizon += delay_gst
 
     assignment = (
         random_assignment(params.n, params.ell, args.seed)
@@ -189,6 +257,9 @@ def cmd_run(args) -> int:
 
     print(f"algorithm: {name} on {params.describe()}")
     print(f"assignment: {assignment.describe()}  byzantine: {byzantine}")
+    if timing is not None:
+        print(f"timing: {timing.describe()} "
+              f"(equivalent basic-model GST round: {delay_gst})")
     result = run_agreement(
         params=params,
         assignment=assignment,
@@ -197,11 +268,20 @@ def cmd_run(args) -> int:
         byzantine=byzantine,
         adversary=adversary,
         drop_schedule=schedule,
+        timing=timing,
         max_rounds=horizon,
     )
     print()
     print(result.verdict.summary())
     print(result.metrics.summary())
+    if timing is not None:
+        last = max((r for r, _s, _q in result.losses), default=None)
+        late = (
+            f"{len(result.losses)} late messages became basic-model "
+            f"losses (last in round {last})"
+            if result.losses else "no message was ever late"
+        )
+        print(f"{result.ticks} network ticks; {late}")
     if args.timeline:
         print()
         print(render_timeline(result.trace, assignment, byzantine,
@@ -401,6 +481,12 @@ def cmd_campaign(args) -> int:
     cache = CampaignCache(cache_dir) if cache_dir else None
     progress = print if args.verbose else None
 
+    if args.explore:
+        unit_kind = "explore"
+    elif args.delay:
+        unit_kind = "delay"
+    else:
+        unit_kind = "validate"
     report = run_campaign(
         cells=None,
         seed=args.seed,
@@ -410,7 +496,7 @@ def cmd_campaign(args) -> int:
         resume=args.resume,
         shard=shard,
         progress=progress,
-        unit_kind="explore" if args.explore else "validate",
+        unit_kind=unit_kind,
     )
 
     cells = report.cell_results()
@@ -476,6 +562,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gst", type=int, default=0,
                    help="drop messages before this round")
     p.add_argument("--drops", choices=("random", "silence"), default="random")
+    p.add_argument("--timing", choices=("rounds", "eventual", "bounded"),
+                   default="rounds",
+                   help="execution timing model: lock-step rounds "
+                        "(default), eventually-bounded delays (known "
+                        "delta honoured from --gst-tick on), or "
+                        "always-bounded delays of unknown bound -- the "
+                        "delay models run on the same kernel with late "
+                        "arrivals materialised as basic-model losses")
+    p.add_argument("--delta", type=int, default=None,
+                   help="delay bound in ticks (delay timing only; "
+                        "default 3)")
+    p.add_argument("--gst-tick", type=int, default=None,
+                   help="global stabilisation tick for --timing eventual "
+                        "(default 24)")
+    p.add_argument("--chaos", type=int, default=None,
+                   help="pre-GST delay stretch factor for --timing "
+                        "eventual (default 4)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--timeline", action="store_true",
                    help="render the ASCII execution timeline")
@@ -542,10 +645,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the Markdown report here")
     p.add_argument("--verbose", action="store_true",
                    help="print one line per finished unit")
-    p.add_argument("--explore", action="store_true",
-                   help="run the bounded strategy explorer over the "
-                        "tightness frontier instead of the validation "
-                        "battery")
+    family = p.add_mutually_exclusive_group()
+    family.add_argument("--explore", action="store_true",
+                        help="run the bounded strategy explorer over the "
+                             "tightness frontier instead of the validation "
+                             "battery")
+    family.add_argument("--delay", action="store_true",
+                        help="run the delay-model workload family instead: "
+                             "every partially synchronous solvable cell "
+                             "over the kernel's DelayBased timing models "
+                             "(punctual and eventually-bounded delay "
+                             "policies), late arrivals materialised as "
+                             "basic-model losses")
     p.set_defaults(func=cmd_campaign)
 
     return parser

@@ -27,9 +27,15 @@ layers share:
 from __future__ import annotations
 
 import json
+import zlib
 from typing import Any, Mapping
 
-__all__ = ["canonical_key", "canonical_json", "canonical_state_key"]
+__all__ = [
+    "canonical_key",
+    "canonical_json",
+    "canonical_state_key",
+    "stable_seed",
+]
 
 
 def canonical_key(value: Any) -> str:
@@ -147,6 +153,43 @@ def canonical_state_key(value: Any, _seen: frozenset[int] = frozenset()) -> str:
         )
         return f"obj:{type(value).__name__}:{{{body}}}"
     return f"obj:{type(value).__name__}:{json.dumps(repr(value))}"
+
+
+def stable_seed(value: Any) -> int:
+    """A cross-run-stable 32-bit RNG seed derived from ``value``.
+
+    The seeded simulation layers (per-link drop decisions in
+    :class:`repro.sim.partial.RandomDrops`, per-message delays in
+    :mod:`repro.sim.delay`) need one independent, deterministic RNG per
+    ``(seed, round/tick, sender, recipient)`` key.  Python's builtin
+    ``hash`` is *not* that: string hashing is salted per interpreter run
+    (``PYTHONHASHSEED``), so a key containing any string -- or any value
+    whose hash delegates to one -- yields different "deterministic"
+    behaviour between runs.  This helper digests a deterministic
+    encoding of the value with CRC-32 instead -- a direct tag+length
+    encoding for flat int/str tuples (the hot-path shape), the
+    :func:`canonical_key` for everything else -- which is bit-stable
+    across runs, machines and Python versions.
+
+    Args:
+        value: Any :func:`canonical_key`-able value (tuples of the key
+            components, typically).
+
+    Returns:
+        An unsigned 32-bit seed.
+    """
+    if type(value) is tuple and all(type(v) in (int, str) for v in value):
+        # Hot path: the seeded simulation layers call this once per
+        # network edge per round, always with a flat tuple of small
+        # ints (plus the occasional phase-marker string).  A direct
+        # unambiguous encoding (type tag + length-prefixed text) skips
+        # the general JSON canonicalisation, which is ~30x slower.
+        key = "|".join(
+            f"i:{v}" if type(v) is int else f"s{len(v)}:{v}" for v in value
+        )
+    else:
+        key = canonical_key(value)
+    return zlib.crc32(key.encode("utf-8"))
 
 
 def canonical_json(value: Any) -> str:

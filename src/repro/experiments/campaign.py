@@ -51,7 +51,9 @@ from repro.experiments.harness import (
     CellResult,
     RunRecord,
     algorithm_for,
+    delay_slice_keys,
     evaluate_unsolvable_cell,
+    run_delay_slice,
     run_solvable_slice,
     solvable_slice_keys,
 )
@@ -62,11 +64,13 @@ PROBLEMS: dict[str, AgreementProblem] = {"binary": BINARY}
 #: Salt folded into every unit id.  Bump the schema component when the
 #: shape *or semantics* of a unit result changes; the package version
 #: component makes caches written by a different release miss rather
-#: than serve results computed by different code.  ``campaign/3``:
-#: added the ``"explore"`` unit kind (bounded strategy exploration
-#: slices), whose records reuse the RunRecord shape with search-effort
-#: semantics for the cost fields.
-CACHE_SCHEMA = "campaign/3"
+#: than serve results computed by different code.  ``campaign/4``:
+#: added the ``"delay"`` unit kind (delay-model workload slices on the
+#: unified kernel) and switched the seeded simulation RNGs
+#: (``RandomDrops``, the delay policies) from the salted builtin
+#: ``hash`` to :func:`repro.core.canonical.stable_seed`, which changes
+#: the sampled drop/delay patterns of existing units.
+CACHE_SCHEMA = "campaign/4"
 
 _SYNCHRONY = {s.short: s for s in Synchrony}
 
@@ -102,6 +106,25 @@ def table1_cells() -> list[tuple[str, SystemParams]]:
     ]
 
 
+def delay_cells() -> list[tuple[str, SystemParams]]:
+    """The delay-model campaign battery: the psync solvable cells.
+
+    The delay-based formulations are the partially synchronous models,
+    so the battery is :func:`table1_cells` restricted to its partially
+    synchronous solvable members -- each validated over the kernel's
+    :class:`~repro.sim.kernel.DelayBased` timing model instead of drop
+    schedules.
+
+    Returns:
+        ``(label, params)`` pairs.
+    """
+    return [
+        (label, params)
+        for label, params in table1_cells()
+        if params.synchrony is PSYNC and solvable(params)
+    ]
+
+
 # ----------------------------------------------------------------------
 # Unit specs
 # ----------------------------------------------------------------------
@@ -112,10 +135,13 @@ class CampaignUnit:
     ``kind`` is ``"slice"`` for one workload slice of a solvable cell
     (``assignment_index``/``byzantine_index`` name the slice),
     ``"demonstration"`` for the whole impossibility demonstration of an
-    unsolvable cell (indices are ``-1``), or ``"explore"`` for one
-    bounded strategy-exploration slice of the tightness frontier
-    (indices name the assignment x Byzantine-placement pair of
-    :func:`repro.explore.units.explore_slice_keys`).
+    unsolvable cell (indices are ``-1``), ``"explore"`` for one bounded
+    strategy-exploration slice of the tightness frontier (indices name
+    the assignment x Byzantine-placement pair of
+    :func:`repro.explore.units.explore_slice_keys`), or ``"delay"`` for
+    one delay-model workload slice
+    (:func:`repro.experiments.harness.run_delay_slice`) of a partially
+    synchronous solvable cell.
     """
 
     label: str
@@ -313,6 +339,55 @@ def enumerate_explore_units(
     ]
 
 
+def enumerate_delay_units(
+    cells: Sequence[tuple[str, SystemParams]] | None = None,
+    seed: int = 0,
+    quick: bool = True,
+    problem: str = "binary",
+) -> list[CampaignUnit]:
+    """Expand a delay battery into delay-model workload units.
+
+    One unit per (assignment, Byzantine placement) slice of each cell,
+    exactly as :func:`enumerate_units` does for the validation battery
+    -- the delay-policy dimension varies inside each unit.
+
+    Args:
+        cells: ``(label, params)`` pairs; defaults to
+            :func:`delay_cells`.  Every cell must be partially
+            synchronous and solvable.
+        seed: The battery seed shared by every unit.
+        quick: Use the trimmed quick battery.
+        problem: Name of the agreement problem.
+
+    Returns:
+        The ordered unit list.
+
+    Raises:
+        ConfigurationError: On duplicate cell labels or a cell outside
+            the delay-model family.
+    """
+    if cells is None:
+        cells = delay_cells()
+    labels = [label for label, _ in cells]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError(f"duplicate cell labels in {labels}")
+    for label, params in cells:
+        if params.synchrony is not PSYNC or not solvable(params):
+            raise ConfigurationError(
+                f"delay campaign cell {label!r} must be partially "
+                f"synchronous and solvable, got {params.describe()}"
+            )
+    return [
+        CampaignUnit.for_cell(
+            label, params, "delay",
+            assignment_index=a_idx, byzantine_index=b_idx,
+            seed=seed, quick=quick, problem=problem,
+        )
+        for label, params in cells
+        for a_idx, b_idx in delay_slice_keys(params, seed, quick)
+    ]
+
+
 def shard_units(
     units: Sequence[CampaignUnit], index: int, count: int
 ) -> list[CampaignUnit]:
@@ -371,6 +446,13 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
             (unit.assignment_index, unit.byzantine_index),
             problem, unit.seed, unit.quick,
         )
+    elif unit.kind == "delay":
+        algorithm, _, _ = algorithm_for(params, problem)
+        records = run_delay_slice(
+            params,
+            (unit.assignment_index, unit.byzantine_index),
+            problem, unit.seed, unit.quick,
+        )
     elif unit.kind == "demonstration":
         cell = evaluate_unsolvable_cell(params, problem, unit.seed)
         algorithm = cell.algorithm
@@ -418,6 +500,9 @@ def _unit_weight(unit: CampaignUnit) -> int:
     weight = unit.n * unit.n
     if unit.synchrony == "psync":
         weight *= 8 if not (unit.restricted and unit.numerate) else 2
+    if unit.kind == "delay":
+        # A delay slice runs the whole policy battery per pattern.
+        weight *= 3
     return weight
 
 
@@ -720,7 +805,9 @@ def run_campaign(
             unit.
         unit_kind: ``"validate"`` runs the Table 1 validation battery;
             ``"explore"`` runs bounded strategy exploration over the
-            tightness frontier instead.
+            tightness frontier; ``"delay"`` runs the delay-model
+            workload family (kernel ``DelayBased`` timing) over the
+            partially synchronous solvable cells.
 
     Returns:
         The aggregated :class:`CampaignReport`.
@@ -737,6 +824,9 @@ def run_campaign(
 
         cells = explore_battery() if cells is None else list(cells)
         units = enumerate_explore_units(cells, seed=seed, quick=quick)
+    elif unit_kind == "delay":
+        cells = delay_cells() if cells is None else list(cells)
+        units = enumerate_delay_units(cells, seed=seed, quick=quick)
     else:
         raise ConfigurationError(f"unknown unit kind {unit_kind!r}")
     if shard is not None:

@@ -48,12 +48,14 @@ from repro.core.problem import BINARY, AgreementProblem
 from repro.homonyms.transform import transform_factory, transform_horizon
 from repro.psync.dls_homonyms import dls_factory, dls_horizon
 from repro.psync.restricted import restricted_factory, restricted_horizon
+from repro.sim.kernel import DelayBased
 from repro.sim.partial import RandomDrops, SilenceUntil
 from repro.sim.process import Process
 from repro.sim.runner import run_agreement
 from repro.experiments.workloads import (
     assignment_battery,
     byzantine_batteries,
+    delay_policy_battery,
     input_patterns,
 )
 
@@ -223,6 +225,113 @@ def solvable_slice_keys(
     return [(a, b) for a, b, *_ in _solvable_slices(params, seed, quick)]
 
 
+def _resolve_slice(
+    params: SystemParams, key: tuple[int, int], seed: int, quick: bool
+):
+    """Resolve a slice key to its named (assignment, placement) pair.
+
+    Args:
+        params: The cell's system parameters.
+        key: An ``(assignment_index, byzantine_index)`` pair.
+        seed: The battery seed.
+        quick: Whether the trimmed quick battery is used.
+
+    Returns:
+        ``(a_name, assignment, b_name, byzantine)``.
+
+    Raises:
+        ConfigurationError: If ``key`` does not name a slice of this
+            cell's battery.
+    """
+    a_idx, b_idx = key
+    assignments = assignment_battery(params.n, params.ell, seed)
+    if quick:
+        assignments = assignments[:2]
+    if not 0 <= a_idx < len(assignments):
+        raise ConfigurationError(
+            f"no workload slice {key!r} in the battery of {params.describe()}"
+        )
+    a_name, assignment = assignments[a_idx]
+    byz_options = byzantine_batteries(assignment, params.t, seed)
+    if quick:
+        byz_options = byz_options[:2]
+    if not 0 <= b_idx < len(byz_options):
+        raise ConfigurationError(
+            f"no workload slice {key!r} in the battery of {params.describe()}"
+        )
+    b_name, byzantine = byz_options[b_idx]
+    return a_name, assignment, b_name, byzantine
+
+
+def _run_slice(
+    params: SystemParams,
+    key: tuple[int, int],
+    problem: AgreementProblem,
+    seed: int,
+    quick: bool,
+    network_dimension: list[tuple[str, dict]],
+) -> list[RunRecord]:
+    """The shared slice body: patterns x network dimension x attacks.
+
+    Both slice runners sweep the same grid and differ only in the
+    middle dimension -- drop schedules for the validation battery,
+    delay policies for the delay family -- expressed here as
+    ``(name, run_agreement-kwargs)`` pairs.
+
+    Args:
+        params: The cell's system parameters.
+        key: The slice key (see :func:`_resolve_slice`).
+        problem: The agreement problem instance.
+        seed: The battery seed.
+        quick: Whether the trimmed quick battery is used.
+        network_dimension: The middle sweep dimension, already trimmed.
+
+    Returns:
+        The run records of the slice, in sequential-harness order.
+    """
+    a_name, assignment, b_name, byzantine = _resolve_slice(
+        params, key, seed, quick
+    )
+    name, factory, horizon = algorithm_for(params, problem)
+    attacks = standard_attack_suite(
+        factory, params.restricted,
+        seeds=(seed + 1,) if quick else (seed + 1, seed + 2),
+    )
+    if quick:
+        attacks = attacks[:4]
+    correct = [k for k in range(params.n) if k not in byzantine]
+    patterns = input_patterns(correct, problem, seed)
+    if quick:
+        patterns = patterns[:3]
+
+    records: list[RunRecord] = []
+    for p_name, proposals in patterns:
+        for net_name, net_kwargs in network_dimension:
+            for atk_name, adversary in attacks:
+                label = "/".join((a_name, b_name, p_name, net_name, atk_name))
+                run = run_agreement(
+                    params=params,
+                    assignment=assignment,
+                    factory=factory,
+                    proposals=proposals,
+                    byzantine=byzantine,
+                    adversary=adversary,
+                    max_rounds=horizon,
+                    **net_kwargs,
+                )
+                brief = run.brief()
+                records.append(
+                    RunRecord(
+                        label=label,
+                        ok=brief.ok,
+                        detail=brief.detail,
+                        rounds=brief.rounds,
+                        messages=brief.messages,
+                    )
+                )
+    return records
+
+
 def run_solvable_slice(
     params: SystemParams,
     key: tuple[int, int],
@@ -252,65 +361,93 @@ def run_solvable_slice(
         ConfigurationError: If ``key`` does not name a slice of this
             cell's battery.
     """
-    a_idx, b_idx = key
-    assignments = assignment_battery(params.n, params.ell, seed)
-    if quick:
-        assignments = assignments[:2]
-    if not 0 <= a_idx < len(assignments):
-        raise ConfigurationError(
-            f"no workload slice {key!r} in the battery of {params.describe()}"
-        )
-    a_name, assignment = assignments[a_idx]
-    byz_options = byzantine_batteries(assignment, params.t, seed)
-    if quick:
-        byz_options = byz_options[:2]
-    if not 0 <= b_idx < len(byz_options):
-        raise ConfigurationError(
-            f"no workload slice {key!r} in the battery of {params.describe()}"
-        )
-    b_name, byzantine = byz_options[b_idx]
-
-    name, factory, horizon = algorithm_for(params, problem)
     schedules = drop_schedules(params, seed)
     if quick:
         schedules = schedules[:2]
-    attacks = standard_attack_suite(
-        factory, params.restricted,
-        seeds=(seed + 1,) if quick else (seed + 1, seed + 2),
+    return _run_slice(
+        params, key, problem, seed, quick,
+        [(s_name, {"drop_schedule": schedule})
+         for s_name, schedule in schedules],
     )
-    if quick:
-        attacks = attacks[:4]
-    correct = [k for k in range(params.n) if k not in byzantine]
-    patterns = input_patterns(correct, problem, seed)
-    if quick:
-        patterns = patterns[:3]
 
-    records: list[RunRecord] = []
-    for p_name, proposals in patterns:
-        for s_name, schedule in schedules:
-            for atk_name, adversary in attacks:
-                label = "/".join((a_name, b_name, p_name, s_name, atk_name))
-                run = run_agreement(
-                    params=params,
-                    assignment=assignment,
-                    factory=factory,
-                    proposals=proposals,
-                    byzantine=byzantine,
-                    adversary=adversary,
-                    drop_schedule=schedule,
-                    max_rounds=horizon,
-                )
-                brief = run.brief()
-                records.append(
-                    RunRecord(
-                        label=label,
-                        ok=brief.ok,
-                        detail=brief.detail,
-                        rounds=brief.rounds,
-                        messages=brief.messages,
-                    )
-                )
-    return records
+
+def delay_slice_keys(
+    params: SystemParams, seed: int = 0, quick: bool = False
+) -> list[tuple[int, int]]:
+    """Enumerate the workload slices of a cell's delay-model battery.
+
+    Delay units share the solvable battery's (assignment, Byzantine
+    placement) grid -- the delay dimension varies *inside* a slice (see
+    :func:`run_delay_slice`) -- so the keys are exactly
+    :func:`solvable_slice_keys`.
+
+    Args:
+        params: The (partially synchronous, solvable) cell's parameters.
+        seed: The battery seed (must match the execution seed).
+        quick: Whether the trimmed quick battery is used.
+
+    Returns:
+        The ordered list of ``(assignment_index, byzantine_index)`` keys.
+    """
+    return solvable_slice_keys(params, seed, quick)
+
+
+def run_delay_slice(
+    params: SystemParams,
+    key: tuple[int, int],
+    problem: AgreementProblem = BINARY,
+    seed: int = 0,
+    quick: bool = False,
+) -> list[RunRecord]:
+    """Execute one delay-model workload slice on the unified kernel.
+
+    The delay counterpart of :func:`run_solvable_slice`: the same
+    (assignment, Byzantine placement) slice grid, but instead of the
+    drop-schedule dimension each execution runs under a
+    :class:`~repro.sim.kernel.DelayBased` timing model drawn from
+    :func:`~repro.experiments.workloads.delay_policy_battery` -- the
+    paper's delay-based partial-synchrony formulations, with late
+    arrivals materialised as basic-model losses on the fabric.  Like
+    the solvable slice, everything is rebuilt deterministically from
+    the arguments, so records are identical in-process or in a worker.
+
+    Args:
+        params: The cell's system parameters; must be a *partially
+            synchronous, solvable* cell (the delay models are the
+            psync formulations -- a synchronous cell has no delay
+            dimension).
+        key: An ``(assignment_index, byzantine_index)`` pair from
+            :func:`delay_slice_keys`.
+        problem: The agreement problem instance.
+        seed: The battery seed.
+        quick: Whether the trimmed quick battery is used.
+
+    Returns:
+        The run records of the slice, one per
+        pattern x policy x attack.
+
+    Raises:
+        ConfigurationError: If the cell is not psync-solvable or
+            ``key`` does not name a slice of its battery.
+    """
+    if params.synchrony is not Synchrony.PARTIALLY_SYNCHRONOUS:
+        raise ConfigurationError(
+            f"delay workloads need a partially synchronous cell, got "
+            f"{params.describe()}"
+        )
+    if not solvable(params):
+        raise ConfigurationError(
+            f"delay workloads validate solvable cells only, got "
+            f"{params.describe()}"
+        )
+    policies = delay_policy_battery(seed)
+    if quick:
+        policies = policies[:2]
+    return _run_slice(
+        params, key, problem, seed, quick,
+        [(d_name, {"timing": DelayBased(policy)})
+         for d_name, policy in policies],
+    )
 
 
 def evaluate_solvable_cell(

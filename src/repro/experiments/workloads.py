@@ -1,10 +1,12 @@
-"""Workload generators: inputs, assignments and Byzantine placements.
+"""Workload generators: inputs, assignments, placements, delay policies.
 
 The experiment harness sweeps configurations; this module supplies the
 deterministic, seeded building blocks: input vectors (unanimous, split,
-adversarial), identity assignments (balanced / stacked / random) and
-Byzantine placements (random, homonym-targeting, sole-owner-targeting).
-Everything is a pure function of its arguments so sweeps reproduce.
+adversarial), identity assignments (balanced / stacked / random),
+Byzantine placements (random, homonym-targeting, sole-owner-targeting)
+and the delay-policy battery the kernel's delay workload family runs
+over.  Everything is a pure function of its arguments so sweeps
+reproduce.
 """
 
 from __future__ import annotations
@@ -19,6 +21,11 @@ from repro.core.identity import (
     stacked_assignment,
 )
 from repro.core.problem import AgreementProblem
+from repro.sim.delay import (
+    AlwaysBoundedUnknownDelays,
+    DelayPolicy,
+    EventuallyBoundedDelays,
+)
 
 
 # ----------------------------------------------------------------------
@@ -71,6 +78,37 @@ def assignment_battery(
     if n > ell:
         battery.append((f"random-{seed}", random_assignment(n, ell, seed)))
     return battery
+
+
+# ----------------------------------------------------------------------
+# Delay policies
+# ----------------------------------------------------------------------
+def delay_policy_battery(seed: int = 0) -> list[tuple[str, DelayPolicy]]:
+    """The delay-model battery: the policies every delay unit runs over.
+
+    One always-punctual unknown-bound network (the delay run must equal
+    the synchronous one) and two eventually-bounded networks with
+    pre-GST chaos at different deltas.  Every policy's
+    :func:`~repro.sim.delay.equivalent_basic_gst` round is at most 12,
+    within the harness's ``_max_gst`` horizon allowance of 16, so the
+    algorithms' horizons cover the loss-free tail the paper's
+    termination arguments need.
+
+    Args:
+        seed: The battery seed (policies are deterministic given it).
+
+    Returns:
+        ``(name, DelayPolicy)`` pairs.
+    """
+    return [
+        ("punctual-d3", AlwaysBoundedUnknownDelays(true_delta=3, seed=seed)),
+        ("eventual-d2-gst24",
+         EventuallyBoundedDelays(delta=2, gst_tick=24, chaos_factor=4,
+                                 seed=seed)),
+        ("eventual-d3-gst30",
+         EventuallyBoundedDelays(delta=3, gst_tick=30, chaos_factor=6,
+                                 seed=seed + 1)),
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -1,12 +1,12 @@
 """Bounded adversary-strategy exploration: the search itself.
 
 Instead of running one fixed :class:`~repro.sim.adversary.Adversary`,
-the explorer drives :class:`~repro.sim.network.RoundEngine` through a
-depth-first search over *every* strategy expressible in a finite
-per-round emission alphabet (see :mod:`repro.explore.alphabet`),
-using the engine's split-phase API (``compose_round`` /
-``finish_round``) and checkpoint/restore to branch executions without
-re-running prefixes.
+the explorer drives the unified execution kernel
+(:class:`~repro.sim.kernel.ExecutionKernel`) through a depth-first
+search over *every* strategy expressible in a finite per-round emission
+alphabet (see :mod:`repro.explore.alphabet`), using the kernel's
+split-phase API (``compose_round`` / ``finish_round``) and
+checkpoint/restore to branch executions without re-running prefixes.
 
 Two search modes cover the two shapes of the paper's lower bounds:
 
@@ -60,7 +60,7 @@ from repro.explore.alphabet import (
 )
 from repro.explore.certificate import Certificate, SearchStats
 from repro.explore.strategy import StrategyScript, StrategyTreeAdversary
-from repro.sim.network import RoundEngine
+from repro.sim.kernel import BasicPsync, ExecutionKernel, LockStep
 from repro.sim.runner import ExecutionResult, make_processes, run_execution
 
 #: A network cut: two blocks of correct indices that cannot hear each
@@ -292,22 +292,24 @@ def default_scenario(
 # ----------------------------------------------------------------------
 # Shared search plumbing
 # ----------------------------------------------------------------------
-def _build_engine(scenario: ExploreScenario, cut: Cut | None) -> RoundEngine:
+def _build_engine(scenario: ExploreScenario, cut: Cut | None) -> ExecutionKernel:
     processes = make_processes(
         scenario.factory, scenario.assignment, scenario.proposals,
         scenario.byzantine,
     )
-    schedule = None
+    timing = LockStep()
     if cut is not None:
-        schedule = StrategyScript(
-            emissions={}, cut=cut, cut_until=scenario.depth
-        ).drop_schedule()
-    return RoundEngine(
+        timing = BasicPsync(
+            StrategyScript(
+                emissions={}, cut=cut, cut_until=scenario.depth
+            ).drop_schedule()
+        )
+    return ExecutionKernel(
         params=scenario.params,
         assignment=scenario.assignment,
         processes=processes,
         byzantine=scenario.byzantine,
-        drop_schedule=schedule,
+        timing=timing,
     )
 
 
@@ -348,7 +350,7 @@ def _decision_violation(
 
 
 def _safety_violation(
-    engine: RoundEngine, scenario: ExploreScenario
+    engine: ExecutionKernel, scenario: ExploreScenario
 ) -> tuple[str, dict[int, Hashable]] | None:
     """Engine-level wrapper of :func:`_decision_violation`."""
     decided = {
@@ -484,7 +486,7 @@ def _is_symmetric(scenario: ExploreScenario, cut: Cut | None) -> bool:
 
 def _post_states(
     scenario: ExploreScenario,
-    engine: RoundEngine,
+    engine: ExecutionKernel,
     mid,
     payloads: Mapping[int, Hashable],
     deltas: list[Delta],
@@ -519,16 +521,15 @@ def _post_states(
     ident_of = scenario.assignment.identifier_of
     r = engine.round_no
     senders = tuple(payloads)
-    drops_possible = engine.drop_schedule.active(r)
+    removable = engine.timing.active(r)
     result: dict[int, list[tuple[int, bool, Hashable]]] = {}
     for q in engine.correct:
-        # Base (correct-sender) inbox, after topology cuts and schedule
-        # drops -- mirrors RoundEngine._deliver_round.
-        removed = set(engine.topology.blocked_senders(q, senders))
-        if drops_possible:
-            removed.update(
-                engine.drop_schedule.dropped_senders(r, q, senders)
-            )
+        # Base (correct-sender) inbox, after the timing model's
+        # removals -- mirrors ExecutionKernel._deliver_round.
+        removed = (
+            set(engine.timing.removed_senders(r, q, senders))
+            if removable else set()
+        )
         base = [
             Message(ident_of(s), payloads[s])
             for s in senders if s not in removed
@@ -562,7 +563,7 @@ def _emissions_from_combo(
 
 def _dfs(
     scenario: ExploreScenario,
-    engine: RoundEngine,
+    engine: ExecutionKernel,
     bank: GhostBank,
     prev_payloads: Mapping[int, Hashable] | None,
     path: dict[int, dict],

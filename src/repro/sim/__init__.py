@@ -13,7 +13,18 @@ from repro.sim.delay import (
     DelayRoundSimulator,
     DelaySimulationResult,
     EventuallyBoundedDelays,
+    ReferenceDelaySimulator,
     equivalent_basic_gst,
+    run_delay_execution,
+)
+from repro.sim.kernel import (
+    BasicPsync,
+    DelayBased,
+    EngineCheckpoint,
+    ExecutionKernel,
+    LockStep,
+    TimingModel,
+    timing_model_for,
 )
 from repro.sim.metrics import (
     Metrics,
@@ -22,7 +33,7 @@ from repro.sim.metrics import (
     metrics_from_trace,
     payload_size,
 )
-from repro.sim.network import EngineCheckpoint, ReferenceRoundEngine, RoundEngine
+from repro.sim.network import ReferenceRoundEngine, RoundEngine
 from repro.sim.partial import (
     DropSchedule,
     ExplicitDrops,
@@ -48,11 +59,19 @@ __all__ = [
     "Adversary",
     "AdversaryView",
     "AlwaysBoundedUnknownDelays",
+    "BasicPsync",
+    "DelayBased",
     "DelayPolicy",
     "DelayRoundSimulator",
     "DelaySimulationResult",
     "EventuallyBoundedDelays",
+    "ExecutionKernel",
+    "LockStep",
+    "ReferenceDelaySimulator",
+    "TimingModel",
     "equivalent_basic_gst",
+    "run_delay_execution",
+    "timing_model_for",
     "CompleteTopology",
     "DirectedTopology",
     "DropSchedule",

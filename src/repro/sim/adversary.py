@@ -118,9 +118,9 @@ def normalize_emissions(
 ) -> dict[int, dict[int, tuple[Hashable, ...]]]:
     """Validate and canonicalise one round of adversary emissions.
 
-    This is the single enforcement point of the model rules both
-    engines (:class:`repro.sim.network.RoundEngine` and
-    :class:`repro.sim.delay.DelayRoundSimulator`) share:
+    This is the single enforcement point of the model rules every
+    execution loop (:class:`repro.sim.kernel.ExecutionKernel` and the
+    reference oracles) shares:
 
     * only Byzantine slots may emit;
     * recipients must be process indices;

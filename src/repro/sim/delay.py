@@ -12,9 +12,9 @@ delay-based formulations practitioners usually state:
   constant ``delta``, but the algorithm does not know ``delta``.
 
 This module makes the first (and, via an adapter, the second) direction
-of that equivalence executable: a tick-based network in which an
-adversary assigns per-message delays, plus the classical *round
-simulation* on top of it -- round ``r`` occupies the tick window
+of that equivalence executable: :class:`DelayPolicy` assigns each
+correct message an adversarial delay, and the classical *round
+simulation* runs on top -- round ``r`` occupies the tick window
 ``[r*delta, (r+1)*delta)``; a message sent at the start of the window
 and delivered inside it becomes part of the round-``r`` inbox, and a
 message that arrives late is **discarded, which is exactly a basic-model
@@ -26,15 +26,32 @@ is a legitimate basic-model execution, so every algorithm in
 (The reverse direction -- the basic model simulating the delay models --
 is the trivial inclusion the paper also notes: a basic-model round *is*
 a delay-1 network.)
+
+The round simulation itself now executes on the unified kernel: the
+:class:`~repro.sim.kernel.DelayBased` timing model stamps each round's
+late edges straight onto the message fabric (see
+:func:`run_delay_execution`).  :class:`DelayRoundSimulator`, the old
+per-message tick loop's entry point, survives as a **deprecated** shim
+delegating to the kernel; the tick loop itself is kept verbatim as
+:class:`ReferenceDelaySimulator`, the differential oracle the delay
+equivalence tests and ``benchmarks/test_bench_delay_kernel.py`` compare
+the kernel against.
+
+Determinism: delay policies derive their per-message RNG from
+:func:`repro.core.canonical.stable_seed`, never from the builtin
+``hash`` (whose string salting made "deterministic given the seed"
+policies differ between interpreter runs).
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Hashable, Mapping, Sequence
 
+from repro.core.canonical import stable_seed
 from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.identity import IdentityAssignment
 from repro.core.messages import Inbox, Message, ensure_hashable
@@ -45,6 +62,7 @@ from repro.sim.adversary import (
     NullAdversary,
     normalize_emissions,
 )
+from repro.sim.kernel import DelayBased, ExecutionKernel
 from repro.sim.process import Process
 from repro.sim.trace import RoundRecord, Trace
 
@@ -54,9 +72,10 @@ class DelayPolicy(ABC):
 
     The returned delay is measured from the send tick; ``0`` means
     same-tick delivery.  Implementations encode one of the paper's two
-    delay models via their constraints; :meth:`max_late_tick` bounds the
-    last tick at which an over-``delta`` delivery may still happen (the
-    finiteness witness the equivalence argument needs).
+    delay models via their constraints; :meth:`max_late_tick` names the
+    first send tick from which no delay may reach ``delta`` (the
+    finiteness witness the equivalence argument needs -- and, on the
+    kernel, the gate past which rounds skip delay evaluation entirely).
     """
 
     def __init__(self, delta: int) -> None:
@@ -70,7 +89,22 @@ class DelayPolicy(ABC):
 
     @abstractmethod
     def max_late_tick(self) -> int:
-        """Last send tick whose message may exceed ``delta`` ticks."""
+        """First send tick from which every delay is strictly below ``delta``.
+
+        Sends at ticks ``< max_late_tick()`` may be late (delay
+        ``>= delta``); sends at ticks ``>= max_late_tick()`` must not
+        be.  The exclusive reading is load-bearing: the kernel's
+        :class:`~repro.sim.kernel.DelayBased` model skips delay
+        evaluation for every round whose send tick has reached it, and
+        :func:`equivalent_basic_gst` derives the loss-free round from
+        it -- a policy that is still late *at* this tick would deliver
+        over-``delta`` messages silently.
+        """
+
+
+def _link_rng(*key: Hashable) -> random.Random:
+    """One independent, cross-run-stable RNG per message key."""
+    return random.Random(stable_seed(key))
 
 
 class EventuallyBoundedDelays(DelayPolicy):
@@ -94,9 +128,9 @@ class EventuallyBoundedDelays(DelayPolicy):
 
     def delay(self, send_tick: int, sender: int, recipient: int) -> int:
         if send_tick >= self.gst_tick:
-            rng = random.Random(hash((self.seed, send_tick, sender, recipient)))
+            rng = _link_rng(self.seed, send_tick, sender, recipient)
             return rng.randrange(0, self.delta)
-        rng = random.Random(hash((self.seed, "pre", send_tick, sender, recipient)))
+        rng = _link_rng(self.seed, "pre", send_tick, sender, recipient)
         return rng.randrange(0, self.chaos_factor * self.delta + 1)
 
     def max_late_tick(self) -> int:
@@ -118,7 +152,7 @@ class AlwaysBoundedUnknownDelays(DelayPolicy):
         self.seed = int(seed)
 
     def delay(self, send_tick: int, sender: int, recipient: int) -> int:
-        rng = random.Random(hash((self.seed, send_tick, sender, recipient)))
+        rng = _link_rng(self.seed, send_tick, sender, recipient)
         return rng.randrange(0, self.delta)
 
     def max_late_tick(self) -> int:
@@ -157,21 +191,159 @@ class DelaySimulationResult:
         return max((r for r, _s, _q in self.dropped), default=-1)
 
 
-class DelayRoundSimulator:
-    """Runs round-based :class:`Process` objects over a delay network.
+def _kernel_delay_result(
+    kernel: ExecutionKernel, executed: int
+) -> DelaySimulationResult:
+    """Package a finished delay-timed kernel run into the result type."""
+    return DelaySimulationResult(
+        trace=kernel.trace,
+        dropped=tuple(kernel.losses),
+        ticks_executed=kernel.timing.ticks_executed(executed),
+        rounds_executed=len(kernel.trace),
+    )
 
-    Implements the DLS round simulation: tick ``T`` belongs to round
-    ``T // delta``; at the first tick of each window every process
-    composes its round payload (self-delivery is immediate); messages
-    whose adversarial delay lands them inside the window join that
-    round's inbox, later arrivals are *discarded and recorded as
-    drops*.  At the window's last tick the inbox is delivered.
+
+def run_delay_execution(
+    params: SystemParams,
+    assignment: IdentityAssignment,
+    processes: Sequence[Process | None],
+    policy: DelayPolicy,
+    byzantine: Sequence[int] = (),
+    adversary: Adversary | None = None,
+    max_rounds: int = 200,
+    stop_when_all_decided: bool = True,
+) -> DelaySimulationResult:
+    """Run round-based processes over a delay network, on the kernel.
+
+    This is the non-deprecated replacement for
+    :class:`DelayRoundSimulator`: it builds an
+    :class:`~repro.sim.kernel.ExecutionKernel` with a
+    :class:`~repro.sim.kernel.DelayBased` timing model, runs it, and
+    packages the delay-specific bookkeeping (losses, tick count) into a
+    :class:`DelaySimulationResult`.  The losses are correct-to-correct
+    edges only -- a message addressed to a Byzantine slot has no
+    receiving process, so its lateness is unobservable.
+
+    Args:
+        params: System parameters.
+        assignment: Identifier assignment.
+        processes: Process objects (``None`` in Byzantine slots).
+        policy: The delay policy.
+        byzantine: Byzantine slot indices.
+        adversary: Byzantine adversary (round-granular, as in the basic
+            model -- perfect timing is the conservative choice).
+        max_rounds: Round budget.
+        stop_when_all_decided: Stop as soon as every correct process
+            decided.
+
+    Returns:
+        The :class:`DelaySimulationResult` (the executed kernel's trace
+        is shared, not copied).
+    """
+    kernel = ExecutionKernel(
+        params=params,
+        assignment=assignment,
+        processes=processes,
+        byzantine=byzantine,
+        adversary=adversary,
+        timing=DelayBased(policy),
+    )
+    executed = kernel.run(
+        max_rounds=max_rounds, stop_when_all_decided=stop_when_all_decided
+    )
+    return _kernel_delay_result(kernel, executed)
+
+
+class DelayRoundSimulator:
+    """**Deprecated** shim: the old entry point, now kernel-backed.
+
+    Historically this class ran the DLS round simulation through a
+    per-message tick loop; it now builds an
+    :class:`~repro.sim.kernel.ExecutionKernel` with a
+    :class:`~repro.sim.kernel.DelayBased` timing model and delegates --
+    use the kernel (or :func:`run_delay_execution`) directly in new
+    code.  Constructing it emits a :class:`DeprecationWarning`.
+
+    One observable difference from the tick loop: recorded drops cover
+    correct-to-correct edges only.  The tick loop also logged late
+    messages addressed to Byzantine slots, which have no receiving
+    process (the old loop's per-message oracle,
+    :class:`ReferenceDelaySimulator`, still does).
+    """
+
+    def __init__(
+        self,
+        params: SystemParams,
+        assignment: IdentityAssignment,
+        processes: Sequence[Process | None],
+        policy: DelayPolicy,
+        byzantine: Sequence[int] = (),
+        adversary: Adversary | None = None,
+    ) -> None:
+        warnings.warn(
+            "DelayRoundSimulator is deprecated; run delay-based executions "
+            "through repro.sim.kernel.ExecutionKernel with a DelayBased "
+            "timing model (or repro.sim.delay.run_delay_execution)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if assignment.n != params.n or len(processes) != params.n:
+            raise ConfigurationError("process/assignment/params size mismatch")
+        self.params = params
+        self.assignment = assignment
+        self.processes = list(processes)
+        self.policy = policy
+        self.byzantine = tuple(sorted(set(byzantine)))
+        self._kernel = ExecutionKernel(
+            params=params,
+            assignment=assignment,
+            processes=self.processes,
+            byzantine=self.byzantine,
+            adversary=adversary,
+            timing=DelayBased(policy),
+        )
+        self.adversary = self._kernel.adversary
+
+    @property
+    def trace(self) -> Trace:
+        return self._kernel.trace
+
+    @property
+    def _correct(self) -> tuple[int, ...]:
+        return self._kernel.correct
+
+    def run(
+        self, max_rounds: int, stop_when_all_decided: bool = True
+    ) -> DelaySimulationResult:
+        executed = self._kernel.run(
+            max_rounds=max_rounds, stop_when_all_decided=stop_when_all_decided
+        )
+        return _kernel_delay_result(self._kernel, executed)
+
+
+class ReferenceDelaySimulator:
+    """The pre-kernel per-message tick loop, kept as a differential oracle.
+
+    Implements the DLS round simulation message by message: tick ``T``
+    belongs to round ``T // delta``; at the first tick of each window
+    every process composes its round payload and each copy is put in
+    flight with a policy-assigned delivery tick (self-delivery is
+    immediate); every tick of the window is swept for arrivals; messages
+    whose delay lands them outside the window are *discarded and
+    recorded as drops*.  At the window's last tick the inbox is
+    delivered.
 
     The Byzantine adversary operates at round granularity exactly as in
-    :class:`repro.sim.network.RoundEngine` -- its messages are injected
-    into the recipient's round inbox directly (a Byzantine process may
-    time its sends however it likes, so giving it perfect timing is the
-    conservative choice).
+    the kernel -- its messages are injected into the recipient's round
+    inbox directly (a Byzantine process may time its sends however it
+    likes, so giving it perfect timing is the conservative choice).
+
+    The kernel's :class:`~repro.sim.kernel.DelayBased` model computes
+    the same delivered sets in O(edges) per round with no tick sweep
+    (and none at all after ``max_late_tick``); the delay equivalence
+    tests pin the kernel against this loop, and
+    ``benchmarks/test_bench_delay_kernel.py`` measures the speedup.
+    Not for production use.
     """
 
     def __init__(

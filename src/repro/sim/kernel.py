@@ -1,0 +1,634 @@
+"""The unified execution kernel: one message fabric, pluggable timing.
+
+The paper's model section (following Dwork--Lynch--Stockmeyer) treats
+three formulations of its communication model as equivalent: lock-step
+synchronous rounds, the *basic* partially synchronous model (lock-step
+rounds with finitely many message losses), and the delay-based models
+(per-message delivery delays bounded by ``delta`` from some global
+stabilisation tick on).  This module makes that equivalence an
+*implementation* fact: every formulation executes through the same
+:class:`ExecutionKernel` -- the batched message fabric -- and differs
+only in the attached :class:`TimingModel`, which answers one question
+per round and receiver: *which correct broadcasts does this receiver
+not get?*
+
+* :class:`LockStep` -- the synchronous model: nothing is ever lost.
+* :class:`BasicPsync` -- the DLS basic model: a
+  :class:`~repro.sim.partial.DropSchedule` loses finitely many
+  messages and a :class:`~repro.sim.topology.Topology` may cut links.
+* :class:`DelayBased` -- the delay formulations: round ``r`` occupies
+  the tick window ``[r*delta, (r+1)*delta)``; a message whose
+  policy-assigned delay lands it outside its window is *lost*, which is
+  exactly the basic-model loss the paper's equivalence argument
+  describes.  The per-message tick loop of the legacy
+  ``DelayRoundSimulator`` is replaced by per-round late-delta stamping
+  on the fabric, and the policy's ``max_late_tick`` contract lets
+  punctual rounds skip delay evaluation entirely -- the delay models
+  inherit the fabric's shared-canonical-base fast path.
+
+**The message fabric.**  Each :meth:`ExecutionKernel.step` executes one
+round: correct processes compose broadcasts; the (rushing) adversary
+emits for every Byzantine slot; delivery materialises the round's
+*common base* once -- one :class:`~repro.core.messages.Message` per
+broadcast, canonically sorted a single time -- and derives each
+receiver's inbox as that base minus the timing model's removals plus
+the adversary's per-receiver delta.  Receivers with an empty delta
+share the base's canonical tuple directly
+(:meth:`Inbox.from_canonical <repro.core.messages.Inbox.from_canonical>`).
+The fabric counts every edge it delivers into
+:attr:`ExecutionKernel.deliveries` -- the exact-cost input of
+:func:`~repro.sim.metrics.metrics_from_deliveries` -- and, when the
+timing model logs losses (:class:`DelayBased`), records every removed
+edge into :attr:`ExecutionKernel.losses` as a ``(round, sender,
+recipient)`` basic-model loss.
+
+Determinism: given identical processes, adversary and timing model,
+the kernel produces byte-identical traces.  All iteration is over
+sorted indices and inboxes are canonically ordered.
+
+Compatibility shims: :class:`repro.sim.network.RoundEngine` is the
+kernel with a :class:`BasicPsync`/:class:`LockStep` model built from
+its legacy ``drop_schedule``/``topology`` arguments, and
+:class:`repro.sim.delay.DelayRoundSimulator` is a deprecated wrapper
+over the kernel with a :class:`DelayBased` model.
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Mapping, Sequence
+
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.core.identity import IdentityAssignment
+from repro.core.messages import Inbox, Message, ensure_hashable
+from repro.core.params import SystemParams
+from repro.sim.adversary import (
+    Adversary,
+    AdversaryView,
+    NullAdversary,
+    normalize_emissions,
+)
+from repro.sim.metrics import RoundDeliveries, payload_size
+from repro.sim.partial import DropSchedule, NoDrops
+from repro.sim.process import Process
+from repro.sim.topology import CompleteTopology, Topology
+from repro.sim.trace import RoundRecord, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (delay -> kernel)
+    from repro.sim.delay import DelayPolicy
+
+
+# ----------------------------------------------------------------------
+# Timing models
+# ----------------------------------------------------------------------
+class TimingModel(ABC):
+    """Where a round's correct-to-correct message removals come from.
+
+    A timing model is stateless with respect to the kernel: the same
+    instance can drive any number of executions, and everything the
+    kernel mutates (trace, losses, delivery log) lives on the kernel.
+    The contract mirrors the message fabric's delta queries:
+    :meth:`active` gates the per-receiver work (an inactive round takes
+    the shared-canonical-base fast path for every receiver without an
+    adversary delta) and :meth:`removed_senders` names the broadcasts a
+    receiver does not get.
+    """
+
+    #: When True the kernel records every removed edge into
+    #: :attr:`ExecutionKernel.losses` -- the delay models' executable
+    #: witness that a late arrival is a basic-model loss.
+    logs_losses: bool = False
+
+    @abstractmethod
+    def describe(self) -> str:
+        """One-line human-readable description of the model."""
+
+    def active(self, round_no: int) -> bool:
+        """True when any correct-to-correct edge may be removed this round.
+
+        Args:
+            round_no: The current round.
+
+        Returns:
+            Whether the kernel must run per-receiver removal queries.
+            ``False`` is a promise that :meth:`removed_senders` would
+            return ``()`` for every receiver.
+        """
+        return False
+
+    def removed_senders(
+        self, round_no: int, recipient: int, senders: Sequence[int]
+    ) -> tuple[int, ...]:
+        """The subset of ``senders`` whose broadcast misses ``recipient``.
+
+        Self-delivery is never removed (a process's message to itself
+        does not traverse the network), so the recipient is never
+        reported.  The result carries no duplicates.
+
+        Args:
+            round_no: The current round.
+            recipient: The receiving process index.
+            senders: This round's composing senders (ascending).
+
+        Returns:
+            The removed senders.
+        """
+        return ()
+
+    def ticks_executed(self, rounds: int) -> int:
+        """Network ticks consumed by ``rounds`` executed rounds."""
+        return rounds
+
+
+class LockStep(TimingModel):
+    """The synchronous model: lock-step rounds, nothing is ever lost."""
+
+    def describe(self) -> str:
+        return "lock-step synchronous rounds"
+
+    def __repr__(self) -> str:
+        return "LockStep()"
+
+
+class BasicPsync(TimingModel):
+    """The DLS basic model: drop-schedule losses plus topology cuts.
+
+    ``drop_schedule`` loses finitely many correct-to-correct messages
+    before its stabilisation round; ``topology`` may cut links
+    permanently (the Figure 1 scenario wiring).  With the defaults
+    (``NoDrops`` on the complete topology) this degenerates to
+    :class:`LockStep` behaviour.
+    """
+
+    def __init__(
+        self,
+        drop_schedule: DropSchedule | None = None,
+        topology: Topology | None = None,
+    ) -> None:
+        self.drop_schedule = drop_schedule if drop_schedule is not None else NoDrops()
+        self.topology = topology if topology is not None else CompleteTopology()
+        self._complete = isinstance(self.topology, CompleteTopology)
+
+    def describe(self) -> str:
+        return (
+            f"basic partial synchrony (gst={self.drop_schedule.gst}, "
+            f"{self.topology!r})"
+        )
+
+    def active(self, round_no: int) -> bool:
+        return (not self._complete) or self.drop_schedule.active(round_no)
+
+    def removed_senders(
+        self, round_no: int, recipient: int, senders: Sequence[int]
+    ) -> tuple[int, ...]:
+        blocked = self.topology.blocked_senders(recipient, senders)
+        if not self.drop_schedule.active(round_no):
+            return blocked
+        dropped = self.drop_schedule.dropped_senders(round_no, recipient, senders)
+        if not dropped:
+            return blocked
+        if not blocked:
+            return dropped
+        merged = set(blocked)
+        return blocked + tuple(s for s in dropped if s not in merged)
+
+    def __repr__(self) -> str:
+        return f"BasicPsync({self.drop_schedule!r}, {self.topology!r})"
+
+
+class DelayBased(TimingModel):
+    """Delay-based partial synchrony on the fabric: tick windows per round.
+
+    Round ``r`` occupies ticks ``[r*delta, (r+1)*delta)``.  Every
+    broadcast is sent at the window's first tick; the attached
+    :class:`~repro.sim.delay.DelayPolicy` assigns each ``(sender,
+    recipient)`` edge a delay, and an edge whose delay is ``>= delta``
+    arrives outside the window -- it is removed from the round inbox
+    and logged as a basic-model loss (``logs_losses``).  The policy's
+    ``max_late_tick`` contract -- no send from that tick on may exceed
+    ``delta`` -- lets every later round skip delay evaluation entirely
+    and take the fabric's shared-canonical-base fast path: the
+    finiteness witness of the paper's equivalence argument doubles as
+    the hot-path gate.
+    """
+
+    logs_losses = True
+
+    def __init__(self, policy: "DelayPolicy") -> None:
+        for attr in ("delta", "delay", "max_late_tick"):
+            if not hasattr(policy, attr):
+                raise ConfigurationError(
+                    f"delay policy {policy!r} lacks {attr!r}; expected a "
+                    f"repro.sim.delay.DelayPolicy"
+                )
+        self.policy = policy
+
+    def describe(self) -> str:
+        return (
+            f"delay-based (delta={self.policy.delta}, "
+            f"max_late_tick={self.policy.max_late_tick()})"
+        )
+
+    def active(self, round_no: int) -> bool:
+        # A send at tick r*delta can only exceed delta while the policy
+        # still admits lateness; from max_late_tick on, every delay is
+        # within the window and the round is punctual by contract.
+        return round_no * self.policy.delta < self.policy.max_late_tick()
+
+    def removed_senders(
+        self, round_no: int, recipient: int, senders: Sequence[int]
+    ) -> tuple[int, ...]:
+        policy = self.policy
+        delta = policy.delta
+        send_tick = round_no * delta
+        removed = []
+        for s in senders:
+            if s == recipient:
+                continue  # self-delivery never traverses the network
+            delay = policy.delay(send_tick, s, recipient)
+            if delay < 0:
+                raise SimulationError("negative delay from policy")
+            if delay >= delta:
+                removed.append(s)
+        return tuple(removed)
+
+    def ticks_executed(self, rounds: int) -> int:
+        return rounds * self.policy.delta
+
+    def __repr__(self) -> str:
+        return f"DelayBased({self.policy!r})"
+
+
+def timing_model_for(
+    drop_schedule: DropSchedule | None = None,
+    topology: Topology | None = None,
+) -> TimingModel:
+    """Build the timing model the legacy engine arguments describe.
+
+    Args:
+        drop_schedule: Optional basic-model drop schedule.
+        topology: Optional link topology.
+
+    Returns:
+        :class:`LockStep` when both arguments are unset, else the
+        :class:`BasicPsync` model wrapping them.
+    """
+    if drop_schedule is None and topology is None:
+        return LockStep()
+    return BasicPsync(drop_schedule, topology)
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineCheckpoint:
+    """A restorable snapshot of an :class:`ExecutionKernel` mid-execution.
+
+    Captures everything the kernel mutates round over round: the process
+    objects (deep-copied, so later rounds cannot leak into the
+    snapshot), the trace records, the delivery log, the loss log and the
+    round counter.  Static configuration (params, assignment, timing
+    model) is shared with the live kernel, and **adversary state is
+    deliberately not captured**: stateful adversaries are owned by the
+    caller (the strategy explorer scripts its adversary externally and
+    checkpoints its own ghost instances).
+
+    A checkpoint is immutable and reusable: :meth:`ExecutionKernel.restore`
+    copies *out* of it, so one snapshot can seed any number of branches.
+    """
+
+    round_no: int
+    processes: tuple["Process | None", ...]
+    trace_records: tuple
+    deliveries: tuple[RoundDeliveries, ...]
+    losses: tuple[tuple[int, int, int], ...] = ()
+
+
+# ----------------------------------------------------------------------
+# The kernel
+# ----------------------------------------------------------------------
+class ExecutionKernel:
+    """Drives one execution of the round model under a timing model.
+
+    Each :meth:`step` executes one round:
+
+    1. every correct process composes its broadcast payload;
+    2. the adversary -- shown all of this round's correct payloads (it
+       is *rushing*) plus full execution history -- emits messages for
+       every Byzantine slot, subject to authentication and (optionally)
+       the one-message-per-recipient restriction, both enforced here;
+    3. each correct process receives an
+       :class:`~repro.core.messages.Inbox` built from: its own payload
+       (self-delivery is unconditional), the payloads of correct
+       senders the timing model delivers, and the adversary's messages
+       addressed to it -- as a multiset when the model is numerate, a
+       set otherwise;
+    4. new decisions are collected into the trace.
+    """
+
+    def __init__(
+        self,
+        params: SystemParams,
+        assignment: IdentityAssignment,
+        processes: Sequence[Process | None],
+        byzantine: Sequence[int] = (),
+        adversary: Adversary | None = None,
+        timing: TimingModel | None = None,
+    ) -> None:
+        if assignment.n != params.n:
+            raise ConfigurationError(
+                f"assignment has {assignment.n} processes, params say {params.n}"
+            )
+        if len(processes) != params.n:
+            raise ConfigurationError(
+                f"got {len(processes)} process slots for n={params.n}"
+            )
+        self.params = params
+        self.assignment = assignment
+        self.processes: list[Process | None] = list(processes)
+        self.byzantine: tuple[int, ...] = tuple(sorted(set(int(b) for b in byzantine)))
+        if any(not 0 <= b < params.n for b in self.byzantine):
+            raise ConfigurationError(f"byzantine indices out of range: {self.byzantine}")
+        self.adversary = adversary if adversary is not None else NullAdversary()
+        self.timing = timing if timing is not None else LockStep()
+        self.trace = Trace()
+        #: Exact per-round delivery log (one entry per executed round).
+        self.deliveries: list[RoundDeliveries] = []
+        #: ``(round, sender, recipient)`` removals logged by timing
+        #: models with ``logs_losses`` -- the delay models' basic-model
+        #: loss set, in (round, recipient, sender-order) order.
+        self.losses: list[tuple[int, int, int]] = []
+        self.round_no = 0
+
+        byz_set = set(self.byzantine)
+        self._correct: tuple[int, ...] = tuple(
+            k for k in range(params.n) if k not in byz_set
+        )
+        for k in self._correct:
+            proc = self.processes[k]
+            if proc is None:
+                raise ConfigurationError(f"correct slot {k} has no process object")
+            expected = assignment.identifier_of(k)
+            if proc.identifier != expected:
+                raise ConfigurationError(
+                    f"process at slot {k} claims identifier {proc.identifier}, "
+                    f"assignment says {expected}"
+                )
+
+        self.adversary.setup(
+            params,
+            assignment,
+            self.byzantine,
+            {
+                k: self.processes[k].proposal
+                for k in self._correct
+                if self.processes[k].proposal is not None
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def correct(self) -> tuple[int, ...]:
+        """Indices of correct processes, ascending."""
+        return self._correct
+
+    def all_correct_decided(self) -> bool:
+        return all(self.processes[k].decided for k in self._correct)
+
+    def decisions(self) -> dict[int, Hashable]:
+        return {
+            k: self.processes[k].decision
+            for k in self._correct
+            if self.processes[k].decided
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def compose_round(self) -> dict[int, Hashable]:
+        """Phase 1 of a round: every correct process composes its broadcast.
+
+        Mutates process state (``compose`` may queue protocol-internal
+        work), so it must be called exactly once per round, followed by
+        :meth:`finish_round`.  Split out of :meth:`step` so callers that
+        need this round's correct payloads *before* choosing Byzantine
+        emissions -- the bounded strategy explorer branching over an
+        emission alphabet derived from them -- can interpose between the
+        phases.
+
+        Returns:
+            ``correct index -> payload`` for this round (silent
+            processes absent), in ascending index order.
+        """
+        r = self.round_no
+        payloads: dict[int, Hashable] = {}
+        for k in self._correct:
+            payload = self.processes[k].compose(r)
+            if payload is not None:
+                payloads[k] = ensure_hashable(payload)
+        return payloads
+
+    def finish_round(
+        self,
+        payloads: Mapping[int, Hashable],
+        raw_emissions: Mapping[int, Mapping[int, Sequence[Hashable]]] | None = None,
+    ) -> RoundRecord:
+        """Phases 2-4 of a round: emissions, delivery, trace record.
+
+        Args:
+            payloads: The :meth:`compose_round` result for this round.
+            raw_emissions: Byzantine emissions to deliver instead of
+                consulting the attached adversary.  They pass through
+                the same :func:`~repro.sim.adversary.normalize_emissions`
+                model-rule enforcement either way.
+
+        Returns:
+            The appended :class:`~repro.sim.trace.RoundRecord`.
+        """
+        r = self.round_no
+
+        # Phase 2: the (rushing) adversary emits Byzantine messages.
+        if raw_emissions is None:
+            emissions = self._collect_emissions(payloads)
+        else:
+            emissions = normalize_emissions(
+                self.params, self.byzantine, raw_emissions, r
+            )
+
+        # Phase 3: deliver per-recipient inboxes to correct processes.
+        decided_before = {
+            k: self.processes[k].decided for k in self._correct
+        }
+        deliveries = self._deliver_round(r, payloads, emissions)
+
+        # Phase 4: record the round.
+        decisions = {
+            k: self.processes[k].decision
+            for k in self._correct
+            if self.processes[k].decided and not decided_before[k]
+        }
+        record = RoundRecord(
+            round_no=r,
+            payloads=dict(payloads),
+            emissions=emissions,
+            decisions=decisions,
+        )
+        self.trace.append(record)
+        self.deliveries.append(deliveries)
+        self.round_no += 1
+        return record
+
+    def step(self) -> RoundRecord:
+        """Execute one round and return its trace record."""
+        return self.finish_round(self.compose_round())
+
+    def run(self, max_rounds: int, stop_when_all_decided: bool = True) -> int:
+        """Run up to ``max_rounds`` rounds; return the number executed."""
+        executed = 0
+        for _ in range(max_rounds):
+            self.step()
+            executed += 1
+            if stop_when_all_decided and self.all_correct_decided():
+                break
+        return executed
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> EngineCheckpoint:
+        """Snapshot the mutable kernel state for later :meth:`restore`.
+
+        Process objects are deep-copied; trace records, delivery records
+        and loss triples are immutable, so sharing their tuples is safe.
+        The attached adversary is *not* captured -- callers that branch
+        executions (the strategy explorer) either use stateless scripted
+        adversaries or checkpoint their adversary state themselves.
+
+        Returns:
+            An immutable, reusable :class:`EngineCheckpoint`.
+        """
+        return EngineCheckpoint(
+            round_no=self.round_no,
+            processes=tuple(copy.deepcopy(self.processes)),
+            trace_records=self.trace.snapshot(),
+            deliveries=tuple(self.deliveries),
+            losses=tuple(self.losses),
+        )
+
+    def restore(self, checkpoint: EngineCheckpoint) -> None:
+        """Rewind the kernel to a :meth:`checkpoint` snapshot.
+
+        The checkpoint itself is left untouched (its processes are
+        deep-copied back out), so the same snapshot can seed any number
+        of divergent continuations -- the primitive the bounded strategy
+        explorer's depth-first search is built on.
+
+        Args:
+            checkpoint: A snapshot taken from *this* kernel (snapshots
+                carry no configuration, so restoring one from a
+                differently-configured kernel is undefined).
+        """
+        self.round_no = checkpoint.round_no
+        self.processes = list(copy.deepcopy(checkpoint.processes))
+        self.trace.restore(checkpoint.trace_records)
+        self.deliveries = list(checkpoint.deliveries)
+        self.losses = list(checkpoint.losses)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _collect_emissions(
+        self, payloads: Mapping[int, Hashable]
+    ) -> dict[int, dict[int, tuple[Hashable, ...]]]:
+        view = AdversaryView(
+            round_no=self.round_no,
+            params=self.params,
+            assignment=self.assignment,
+            byzantine=self.byzantine,
+            correct_payloads=dict(payloads),
+            processes=self.processes,
+            trace=self.trace,
+        )
+        raw = self.adversary.emissions(view)
+        return normalize_emissions(self.params, self.byzantine, raw, self.round_no)
+
+    def _deliver_round(
+        self,
+        round_no: int,
+        payloads: Mapping[int, Hashable],
+        emissions: Mapping[int, Mapping[int, tuple[Hashable, ...]]],
+    ) -> RoundDeliveries:
+        """Deliver one round through the batched message fabric."""
+        numerate = self.params.numerate
+        ident_of = self.assignment.identifier_of
+        timing = self.timing
+        removable = timing.active(round_no)
+        log_losses = timing.logs_losses
+
+        # The common base: one message per broadcast, canonicalised once.
+        senders = tuple(payloads)  # ascending (composed over sorted indices)
+        base = [Message(ident_of(s), payloads[s]) for s in senders]
+        sizes = {s: payload_size(payloads[s]) for s in senders}
+        base_bytes = sum(sizes.values())
+        canonical = Inbox(base, numerate=numerate).messages()
+
+        # Adversary delta: recipient -> delivered messages.
+        additions: dict[int, list[Message]] = {}
+        for b, per_recipient in emissions.items():
+            ident = ident_of(b)
+            for q, batch in per_recipient.items():
+                additions.setdefault(q, []).extend(
+                    Message(ident, p) for p in batch
+                )
+
+        correct_deliveries = 0
+        correct_bytes = 0
+        byz_deliveries = 0
+        byz_bytes = 0
+        for q in self._correct:
+            removed = (
+                timing.removed_senders(round_no, q, senders)
+                if removable else ()
+            )
+            extra = additions.get(q)
+            if not removed and extra is None:
+                # Empty delta: share the round's canonical base tuple.
+                correct_deliveries += len(senders)
+                correct_bytes += base_bytes
+                self.processes[q].deliver(
+                    round_no, Inbox.from_canonical(canonical, numerate)
+                )
+                continue
+            if removed:
+                if log_losses:
+                    self.losses.extend((round_no, s, q) for s in removed)
+                removed_set = set(removed)
+                messages = [
+                    m for s, m in zip(senders, base) if s not in removed_set
+                ]
+                correct_deliveries += len(messages)
+                correct_bytes += base_bytes - sum(sizes[s] for s in removed_set)
+            else:
+                messages = list(base)
+                correct_deliveries += len(senders)
+                correct_bytes += base_bytes
+            if extra:
+                messages.extend(extra)
+                byz_deliveries += len(extra)
+                byz_bytes += sum(payload_size(m.payload) for m in extra)
+            self.processes[q].deliver(
+                round_no, Inbox(messages, numerate=numerate)
+            )
+        return RoundDeliveries(
+            round_no=round_no,
+            correct_broadcasts=len(senders),
+            correct_deliveries=correct_deliveries,
+            byzantine_deliveries=byz_deliveries,
+            correct_payload_bytes=correct_bytes,
+            byzantine_payload_bytes=byz_bytes,
+        )

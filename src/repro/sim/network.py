@@ -1,44 +1,19 @@
-"""The round-based network engine, built around a batched message fabric.
+"""The round-based network engine, as a kernel specialisation.
 
-One engine covers both synchrony models: the synchronous model is the
-partially synchronous model with the :class:`~repro.sim.partial.NoDrops`
-schedule.  Each :meth:`RoundEngine.step` executes one round:
+The batched message fabric and its execution pipeline live in
+:mod:`repro.sim.kernel`; this module keeps the historical entry points:
 
-1. every correct process composes its broadcast payload;
-2. the adversary -- shown all of this round's correct payloads (it is
-   *rushing*) plus full execution history -- emits messages for every
-   Byzantine slot, subject to authentication and (optionally) the
-   one-message-per-recipient restriction, both enforced here;
-3. each correct process receives an :class:`~repro.core.messages.Inbox`
-   built from: its own payload (self-delivery is unconditional), the
-   payloads of correct in-neighbours not dropped by the schedule, and
-   the adversary's messages addressed to it -- as a multiset when the
-   model is numerate, a set otherwise;
-4. new decisions are collected into the trace.
-
-**The message fabric.**  Because correct processes broadcast, the
-inboxes of one round are overwhelmingly shared: on the complete
-topology after stabilisation every receiver gets exactly the same
-multiset of correct messages.  Delivery therefore materialises the
-round's *common base* once -- one :class:`~repro.core.messages.Message`
-per broadcast, canonically sorted a single time -- and derives each
-receiver's inbox as that base plus a small per-receiver *delta*:
-topology cuts (:meth:`Topology.blocked_senders
-<repro.sim.topology.Topology.blocked_senders>`), schedule drops
-(:meth:`DropSchedule.dropped_senders
-<repro.sim.partial.DropSchedule.dropped_senders>`), and adversary
-emissions.  Receivers with an empty delta share the base's canonical
-tuple directly (:meth:`Inbox.from_canonical
-<repro.core.messages.Inbox.from_canonical>`), replacing the old
-O(n^2 log n) per-receiver rebuild-and-sort with one O(n log n) sort
-per round.  The fabric also counts every edge it delivers, logging a
-:class:`~repro.sim.metrics.RoundDeliveries` record per round into
-:attr:`RoundEngine.deliveries` -- the exact-cost input of
-:func:`~repro.sim.metrics.metrics_from_deliveries`.
-
-:class:`ReferenceRoundEngine` keeps the pre-fabric per-receiver loop as
-a differential oracle: equivalence tests and the fabric benchmark pin
-the fabric's traces, verdicts and delivery counts against it.
+* :class:`RoundEngine` is the :class:`~repro.sim.kernel.ExecutionKernel`
+  with the timing model built from the legacy ``drop_schedule`` /
+  ``topology`` constructor arguments (:class:`~repro.sim.kernel.LockStep`
+  when both are unset, :class:`~repro.sim.kernel.BasicPsync` otherwise).
+  One engine still covers both round-based synchrony models: the
+  synchronous model is the partially synchronous model with the
+  :class:`~repro.sim.partial.NoDrops` schedule.
+* :class:`ReferenceRoundEngine` keeps the pre-fabric per-receiver
+  delivery loop as a differential oracle: the equivalence tests pin the
+  kernel's traces, inboxes, verdicts and delivery counts against it,
+  and ``benchmarks/test_bench_fabric.py`` measures the speedup over it.
 
 Determinism: given identical processes, adversary, schedule and
 topology, the engine produces byte-identical traces.  All iteration is
@@ -47,52 +22,34 @@ over sorted indices and inboxes are canonically ordered.
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass
 from typing import Hashable, Mapping, Sequence
 
-from repro.core.errors import ConfigurationError
 from repro.core.identity import IdentityAssignment
-from repro.core.messages import Inbox, Message, ensure_hashable
+from repro.core.messages import Inbox, Message
 from repro.core.params import SystemParams
-from repro.sim.adversary import (
-    Adversary,
-    AdversaryView,
-    NullAdversary,
-    normalize_emissions,
+from repro.sim.adversary import Adversary
+from repro.sim.kernel import (
+    EngineCheckpoint,
+    ExecutionKernel,
+    timing_model_for,
 )
 from repro.sim.metrics import RoundDeliveries, payload_size
 from repro.sim.partial import DropSchedule, NoDrops
 from repro.sim.process import Process
 from repro.sim.topology import CompleteTopology, Topology
-from repro.sim.trace import RoundRecord, Trace
+
+__all__ = ["EngineCheckpoint", "ReferenceRoundEngine", "RoundEngine"]
 
 
-@dataclass(frozen=True)
-class EngineCheckpoint:
-    """A restorable snapshot of a :class:`RoundEngine` mid-execution.
+class RoundEngine(ExecutionKernel):
+    """Drives one execution of the round-based model.
 
-    Captures everything the engine mutates round over round: the process
-    objects (deep-copied, so later rounds cannot leak into the
-    snapshot), the trace records, the delivery log and the round
-    counter.  Static configuration (params, assignment, topology, drop
-    schedule) is shared with the live engine, and **adversary state is
-    deliberately not captured**: stateful adversaries are owned by the
-    caller (the strategy explorer scripts its adversary externally and
-    checkpoints its own ghost instances).
-
-    A checkpoint is immutable and reusable: :meth:`RoundEngine.restore`
-    copies *out* of it, so one snapshot can seed any number of branches.
+    A thin specialisation of :class:`~repro.sim.kernel.ExecutionKernel`
+    keeping the pre-kernel constructor (``drop_schedule``/``topology``
+    instead of a :class:`~repro.sim.kernel.TimingModel`) and the
+    ``drop_schedule``/``topology`` attributes older callers and the
+    reference oracle read.
     """
-
-    round_no: int
-    processes: tuple["Process | None", ...]
-    trace_records: tuple
-    deliveries: tuple[RoundDeliveries, ...]
-
-
-class RoundEngine:
-    """Drives one execution of the round-based model."""
 
     def __init__(
         self,
@@ -104,295 +61,16 @@ class RoundEngine:
         drop_schedule: DropSchedule | None = None,
         topology: Topology | None = None,
     ) -> None:
-        if assignment.n != params.n:
-            raise ConfigurationError(
-                f"assignment has {assignment.n} processes, params say {params.n}"
-            )
-        if len(processes) != params.n:
-            raise ConfigurationError(
-                f"got {len(processes)} process slots for n={params.n}"
-            )
-        self.params = params
-        self.assignment = assignment
-        self.processes: list[Process | None] = list(processes)
-        self.byzantine: tuple[int, ...] = tuple(sorted(set(int(b) for b in byzantine)))
-        if any(not 0 <= b < params.n for b in self.byzantine):
-            raise ConfigurationError(f"byzantine indices out of range: {self.byzantine}")
-        self.adversary = adversary if adversary is not None else NullAdversary()
+        super().__init__(
+            params=params,
+            assignment=assignment,
+            processes=processes,
+            byzantine=byzantine,
+            adversary=adversary,
+            timing=timing_model_for(drop_schedule, topology),
+        )
         self.drop_schedule = drop_schedule if drop_schedule is not None else NoDrops()
         self.topology = topology if topology is not None else CompleteTopology()
-        self.trace = Trace()
-        #: Exact per-round delivery log (one entry per executed round).
-        self.deliveries: list[RoundDeliveries] = []
-        self.round_no = 0
-
-        byz_set = set(self.byzantine)
-        self._correct: tuple[int, ...] = tuple(
-            k for k in range(params.n) if k not in byz_set
-        )
-        for k in self._correct:
-            proc = self.processes[k]
-            if proc is None:
-                raise ConfigurationError(f"correct slot {k} has no process object")
-            expected = assignment.identifier_of(k)
-            if proc.identifier != expected:
-                raise ConfigurationError(
-                    f"process at slot {k} claims identifier {proc.identifier}, "
-                    f"assignment says {expected}"
-                )
-
-        self.adversary.setup(
-            params,
-            assignment,
-            self.byzantine,
-            {
-                k: self.processes[k].proposal
-                for k in self._correct
-                if self.processes[k].proposal is not None
-            },
-        )
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-    @property
-    def correct(self) -> tuple[int, ...]:
-        """Indices of correct processes, ascending."""
-        return self._correct
-
-    def all_correct_decided(self) -> bool:
-        return all(self.processes[k].decided for k in self._correct)
-
-    def decisions(self) -> dict[int, Hashable]:
-        return {
-            k: self.processes[k].decision
-            for k in self._correct
-            if self.processes[k].decided
-        }
-
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-    def compose_round(self) -> dict[int, Hashable]:
-        """Phase 1 of a round: every correct process composes its broadcast.
-
-        Mutates process state (``compose`` may queue protocol-internal
-        work), so it must be called exactly once per round, followed by
-        :meth:`finish_round`.  Split out of :meth:`step` so callers that
-        need this round's correct payloads *before* choosing Byzantine
-        emissions -- the bounded strategy explorer branching over an
-        emission alphabet derived from them -- can interpose between the
-        phases.
-
-        Returns:
-            ``correct index -> payload`` for this round (silent
-            processes absent), in ascending index order.
-        """
-        r = self.round_no
-        payloads: dict[int, Hashable] = {}
-        for k in self._correct:
-            payload = self.processes[k].compose(r)
-            if payload is not None:
-                payloads[k] = ensure_hashable(payload)
-        return payloads
-
-    def finish_round(
-        self,
-        payloads: Mapping[int, Hashable],
-        raw_emissions: Mapping[int, Mapping[int, Sequence[Hashable]]] | None = None,
-    ) -> RoundRecord:
-        """Phases 2-4 of a round: emissions, delivery, trace record.
-
-        Args:
-            payloads: The :meth:`compose_round` result for this round.
-            raw_emissions: Byzantine emissions to deliver instead of
-                consulting the attached adversary.  They pass through
-                the same :func:`~repro.sim.adversary.normalize_emissions`
-                model-rule enforcement either way.
-
-        Returns:
-            The appended :class:`~repro.sim.trace.RoundRecord`.
-        """
-        r = self.round_no
-
-        # Phase 2: the (rushing) adversary emits Byzantine messages.
-        if raw_emissions is None:
-            emissions = self._collect_emissions(payloads)
-        else:
-            emissions = normalize_emissions(
-                self.params, self.byzantine, raw_emissions, r
-            )
-
-        # Phase 3: deliver per-recipient inboxes to correct processes.
-        decided_before = {
-            k: self.processes[k].decided for k in self._correct
-        }
-        deliveries = self._deliver_round(r, payloads, emissions)
-
-        # Phase 4: record the round.
-        decisions = {
-            k: self.processes[k].decision
-            for k in self._correct
-            if self.processes[k].decided and not decided_before[k]
-        }
-        record = RoundRecord(
-            round_no=r,
-            payloads=dict(payloads),
-            emissions=emissions,
-            decisions=decisions,
-        )
-        self.trace.append(record)
-        self.deliveries.append(deliveries)
-        self.round_no += 1
-        return record
-
-    def step(self) -> RoundRecord:
-        """Execute one round and return its trace record."""
-        return self.finish_round(self.compose_round())
-
-    def run(self, max_rounds: int, stop_when_all_decided: bool = True) -> int:
-        """Run up to ``max_rounds`` rounds; return the number executed."""
-        executed = 0
-        for _ in range(max_rounds):
-            self.step()
-            executed += 1
-            if stop_when_all_decided and self.all_correct_decided():
-                break
-        return executed
-
-    # ------------------------------------------------------------------
-    # Checkpoint / restore
-    # ------------------------------------------------------------------
-    def checkpoint(self) -> EngineCheckpoint:
-        """Snapshot the mutable engine state for later :meth:`restore`.
-
-        Process objects are deep-copied; trace records and delivery
-        records are frozen dataclasses, so sharing their tuples is safe.
-        The attached adversary is *not* captured -- callers that branch
-        executions (the strategy explorer) either use stateless scripted
-        adversaries or checkpoint their adversary state themselves.
-
-        Returns:
-            An immutable, reusable :class:`EngineCheckpoint`.
-        """
-        return EngineCheckpoint(
-            round_no=self.round_no,
-            processes=tuple(copy.deepcopy(self.processes)),
-            trace_records=self.trace.snapshot(),
-            deliveries=tuple(self.deliveries),
-        )
-
-    def restore(self, checkpoint: EngineCheckpoint) -> None:
-        """Rewind the engine to a :meth:`checkpoint` snapshot.
-
-        The checkpoint itself is left untouched (its processes are
-        deep-copied back out), so the same snapshot can seed any number
-        of divergent continuations -- the primitive the bounded strategy
-        explorer's depth-first search is built on.
-
-        Args:
-            checkpoint: A snapshot taken from *this* engine (snapshots
-                carry no configuration, so restoring one from a
-                differently-configured engine is undefined).
-        """
-        self.round_no = checkpoint.round_no
-        self.processes = list(copy.deepcopy(checkpoint.processes))
-        self.trace.restore(checkpoint.trace_records)
-        self.deliveries = list(checkpoint.deliveries)
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _collect_emissions(
-        self, payloads: Mapping[int, Hashable]
-    ) -> dict[int, dict[int, tuple[Hashable, ...]]]:
-        view = AdversaryView(
-            round_no=self.round_no,
-            params=self.params,
-            assignment=self.assignment,
-            byzantine=self.byzantine,
-            correct_payloads=dict(payloads),
-            processes=self.processes,
-            trace=self.trace,
-        )
-        raw = self.adversary.emissions(view)
-        return normalize_emissions(self.params, self.byzantine, raw, self.round_no)
-
-    def _deliver_round(
-        self,
-        round_no: int,
-        payloads: Mapping[int, Hashable],
-        emissions: Mapping[int, Mapping[int, tuple[Hashable, ...]]],
-    ) -> RoundDeliveries:
-        """Deliver one round through the batched message fabric."""
-        numerate = self.params.numerate
-        ident_of = self.assignment.identifier_of
-        topology = self.topology
-        schedule = self.drop_schedule
-        drops_possible = schedule.active(round_no)
-
-        # The common base: one message per broadcast, canonicalised once.
-        senders = tuple(payloads)  # ascending (composed over sorted indices)
-        base = [Message(ident_of(s), payloads[s]) for s in senders]
-        sizes = {s: payload_size(payloads[s]) for s in senders}
-        base_bytes = sum(sizes.values())
-        canonical = Inbox(base, numerate=numerate).messages()
-
-        # Adversary delta: recipient -> delivered messages.
-        additions: dict[int, list[Message]] = {}
-        for b, per_recipient in emissions.items():
-            ident = ident_of(b)
-            for q, batch in per_recipient.items():
-                additions.setdefault(q, []).extend(
-                    Message(ident, p) for p in batch
-                )
-
-        correct_deliveries = 0
-        correct_bytes = 0
-        byz_deliveries = 0
-        byz_bytes = 0
-        for q in self._correct:
-            blocked = topology.blocked_senders(q, senders)
-            dropped = (
-                schedule.dropped_senders(round_no, q, senders)
-                if drops_possible else ()
-            )
-            extra = additions.get(q)
-            if not blocked and not dropped and extra is None:
-                # Empty delta: share the round's canonical base tuple.
-                correct_deliveries += len(senders)
-                correct_bytes += base_bytes
-                self.processes[q].deliver(
-                    round_no, Inbox.from_canonical(canonical, numerate)
-                )
-                continue
-            removed = set(blocked)
-            removed.update(dropped)
-            if removed:
-                messages = [
-                    m for s, m in zip(senders, base) if s not in removed
-                ]
-                correct_deliveries += len(messages)
-                correct_bytes += base_bytes - sum(sizes[s] for s in removed)
-            else:
-                messages = list(base)
-                correct_deliveries += len(senders)
-                correct_bytes += base_bytes
-            if extra:
-                messages.extend(extra)
-                byz_deliveries += len(extra)
-                byz_bytes += sum(payload_size(m.payload) for m in extra)
-            self.processes[q].deliver(
-                round_no, Inbox(messages, numerate=numerate)
-            )
-        return RoundDeliveries(
-            round_no=round_no,
-            correct_broadcasts=len(senders),
-            correct_deliveries=correct_deliveries,
-            byzantine_deliveries=byz_deliveries,
-            correct_payload_bytes=correct_bytes,
-            byzantine_payload_bytes=byz_bytes,
-        )
 
 
 class ReferenceRoundEngine(RoundEngine):
@@ -400,7 +78,7 @@ class ReferenceRoundEngine(RoundEngine):
 
     Rebuilds and sorts every receiver's inbox from scratch --
     O(n^2 log n) per round -- exactly as the engine did before the
-    message fabric landed.  The equivalence tests pin the fabric's
+    message fabric landed.  The equivalence tests pin the kernel's
     traces, verdicts, inboxes and delivery counts against this class,
     and ``benchmarks/test_bench_fabric.py`` measures the speedup over
     it.  Not for production use.

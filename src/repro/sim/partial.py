@@ -27,6 +27,7 @@ import random
 from abc import ABC, abstractmethod
 from typing import Callable, Collection
 
+from repro.core.canonical import stable_seed
 from repro.core.errors import ConfigurationError
 
 
@@ -150,10 +151,11 @@ class RandomDrops(DropSchedule):
         self.seed = int(seed)
 
     def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
-        # Hash-based rather than a shared Random instance so the decision
-        # for a link is independent of evaluation order.
-        h = hash((self.seed, round_no, sender, recipient))
-        rng = random.Random(h)
+        # Digest-seeded rather than a shared Random instance so the
+        # decision for a link is independent of evaluation order, and
+        # stable_seed (not the salted builtin hash) so it is identical
+        # across interpreter runs.
+        rng = random.Random(stable_seed((self.seed, round_no, sender, recipient)))
         return rng.random() < self.p
 
 

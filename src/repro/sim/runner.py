@@ -18,8 +18,8 @@ from repro.core.identity import IdentityAssignment
 from repro.core.params import SystemParams
 from repro.core.problem import Verdict, check_agreement_properties
 from repro.sim.adversary import Adversary
+from repro.sim.kernel import ExecutionKernel, TimingModel, timing_model_for
 from repro.sim.metrics import Metrics, metrics_from_deliveries
-from repro.sim.network import RoundEngine
 from repro.sim.partial import DropSchedule
 from repro.sim.process import Process
 from repro.sim.topology import Topology
@@ -53,7 +53,16 @@ class RunSummary:
 
 @dataclass
 class ExecutionResult:
-    """Everything produced by one simulated execution."""
+    """Everything produced by one simulated execution.
+
+    ``losses`` and ``ticks`` carry the delay-model bookkeeping when the
+    execution ran under a loss-logging timing model
+    (:class:`~repro.sim.kernel.DelayBased`): the ``(round, sender,
+    recipient)`` edges materialised as basic-model losses, and the
+    network ticks the executed rounds occupied.  For round-granular
+    timing models ``losses`` is empty and ``ticks`` equals the executed
+    round count.
+    """
 
     params: SystemParams
     assignment: IdentityAssignment
@@ -62,6 +71,8 @@ class ExecutionResult:
     trace: Trace
     metrics: Metrics
     processes: Sequence[Process | None]
+    losses: tuple[tuple[int, int, int], ...] = ()
+    ticks: int = 0
 
     @property
     def ok(self) -> bool:
@@ -131,27 +142,45 @@ def run_execution(
     adversary: Adversary | None = None,
     drop_schedule: DropSchedule | None = None,
     topology: Topology | None = None,
+    timing: TimingModel | None = None,
     max_rounds: int = 200,
     stop_when_all_decided: bool = True,
     require_termination: bool = True,
 ) -> ExecutionResult:
     """Run one execution to completion (or the round horizon).
 
+    The execution runs on the unified kernel
+    (:class:`~repro.sim.kernel.ExecutionKernel`).  Pass either a
+    ``timing`` model directly -- e.g. a
+    :class:`~repro.sim.kernel.DelayBased` model for the delay-based
+    formulations -- or the legacy ``drop_schedule``/``topology`` pair,
+    from which the matching basic-model
+    :class:`~repro.sim.kernel.TimingModel` is built; combining both is
+    a configuration error.
+
     When ``stop_when_all_decided`` is set the run ends as soon as every
     correct process has decided; otherwise it always runs ``max_rounds``
     rounds (useful when later rounds should be observed, e.g. to verify
     the paper's "continue running the algorithm" behaviour).
     """
-    engine = RoundEngine(
+    if timing is None:
+        timing = timing_model_for(drop_schedule, topology)
+    elif drop_schedule is not None or topology is not None:
+        raise ConfigurationError(
+            "pass either an explicit timing model or the legacy "
+            "drop_schedule/topology pair, not both"
+        )
+    engine = ExecutionKernel(
         params=params,
         assignment=assignment,
         processes=processes,
         byzantine=byzantine,
         adversary=adversary,
-        drop_schedule=drop_schedule,
-        topology=topology,
+        timing=timing,
     )
-    engine.run(max_rounds=max_rounds, stop_when_all_decided=stop_when_all_decided)
+    executed = engine.run(
+        max_rounds=max_rounds, stop_when_all_decided=stop_when_all_decided
+    )
 
     # Every correct slot's proposal is handed to the validity check,
     # explicitly including ``None``: silently dropping a None proposal
@@ -184,6 +213,8 @@ def run_execution(
         trace=engine.trace,
         metrics=metrics,
         processes=list(processes),
+        losses=tuple(engine.losses),
+        ticks=engine.timing.ticks_executed(executed),
     )
 
 
@@ -195,6 +226,7 @@ def run_agreement(
     byzantine: Sequence[int] = (),
     adversary: Adversary | None = None,
     drop_schedule: DropSchedule | None = None,
+    timing: TimingModel | None = None,
     max_rounds: int = 200,
     require_termination: bool = True,
 ) -> ExecutionResult:
@@ -207,6 +239,7 @@ def run_agreement(
         byzantine=byzantine,
         adversary=adversary,
         drop_schedule=drop_schedule,
+        timing=timing,
         max_rounds=max_rounds,
         require_termination=require_termination,
     )

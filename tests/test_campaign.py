@@ -14,15 +14,23 @@ import pytest
 from repro.core.errors import ConfigurationError
 from repro.core.params import SystemParams, Synchrony
 from repro.experiments.campaign import (
+    CACHE_SCHEMA,
     CampaignCache,
     CampaignUnit,
+    delay_cells,
+    enumerate_delay_units,
     enumerate_units,
     execute_unit,
     run_campaign,
     shard_units,
     table1_cells,
 )
-from repro.experiments.harness import evaluate_cell, solvable_slice_keys
+from repro.experiments.harness import (
+    delay_slice_keys,
+    evaluate_cell,
+    run_delay_slice,
+    solvable_slice_keys,
+)
 
 PSYNC = Synchrony.PARTIALLY_SYNCHRONOUS
 
@@ -97,6 +105,66 @@ class TestSharding:
             shard_units(units, 3, 3)
         with pytest.raises(ConfigurationError):
             shard_units(units, 0, 0)
+
+
+#: The cheap delay battery: the restricted-numerate psync solvable cell
+#: only (the n=7 DLS cell is the expensive one).
+CHEAP_DELAY_CELLS = [
+    ("restricted-numerate solvable",
+     SystemParams(n=4, ell=2, t=1, synchrony=PSYNC,
+                  numerate=True, restricted=True)),
+]
+
+
+class TestDelayUnits:
+    def test_cache_schema_is_campaign_4(self):
+        assert CACHE_SCHEMA == "campaign/4"
+
+    def test_delay_cells_are_the_psync_solvable_cells(self):
+        labels = {label for label, _ in delay_cells()}
+        assert labels == {"psync solvable", "restricted-numerate solvable"}
+
+    def test_delay_units_share_the_slice_grid(self):
+        units = enumerate_delay_units(CHEAP_DELAY_CELLS, seed=0, quick=True)
+        keys = delay_slice_keys(CHEAP_DELAY_CELLS[0][1], seed=0, quick=True)
+        assert [(u.assignment_index, u.byzantine_index) for u in units] == keys
+        assert all(u.kind == "delay" for u in units)
+
+    def test_non_psync_cells_rejected(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_delay_units(
+                [("sync", SystemParams(n=5, ell=4, t=1))]
+            )
+        with pytest.raises(ConfigurationError):
+            run_delay_slice(SystemParams(n=5, ell=4, t=1), (0, 0))
+
+    def test_execute_unit_matches_direct_slice(self):
+        unit = enumerate_delay_units(CHEAP_DELAY_CELLS, quick=True)[0]
+        result = execute_unit(unit)
+        direct = run_delay_slice(
+            CHEAP_DELAY_CELLS[0][1],
+            (unit.assignment_index, unit.byzantine_index),
+            seed=unit.seed, quick=unit.quick,
+        )
+        assert result["kind"] == "delay"
+        assert [(r["label"], r["ok"], r["detail"])
+                for r in result["records"]] == \
+               [(r.label, r.ok, r.detail) for r in direct]
+
+    def test_delay_campaign_caches_and_resumes(self, tmp_path):
+        cache = CampaignCache(tmp_path / "units")
+        fresh = run_campaign(
+            CHEAP_DELAY_CELLS, cache=cache, resume=True, unit_kind="delay",
+        )
+        assert fresh.cached == 0
+        assert fresh.executed == len(fresh.unit_results)
+        assert fresh.all_consistent
+        resumed = run_campaign(
+            CHEAP_DELAY_CELLS, cache=cache, resume=True, unit_kind="delay",
+        )
+        assert resumed.executed == 0
+        assert resumed.cached == len(resumed.unit_results)
+        assert fresh.canonical_dict() == resumed.canonical_dict()
 
 
 class TestHarnessEquality:

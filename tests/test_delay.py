@@ -3,8 +3,14 @@
 The paper's Section 2 equivalence, executed: round algorithms run
 unchanged over tick-based networks with adversarial delays, late
 messages become basic-model losses, and post-stabilisation everything
-is punctual -- so Figure 5 / Figure 7 keep their guarantees.
+is punctual -- so Figure 5 / Figure 7 keep their guarantees.  The
+round simulation runs on the unified kernel
+(:func:`repro.sim.delay.run_delay_execution`); the deprecated
+:class:`~repro.sim.delay.DelayRoundSimulator` shim must warn and
+delegate to it.
 """
+
+import warnings
 
 import pytest
 
@@ -19,11 +25,12 @@ from repro.sim.delay import (
     DelayRoundSimulator,
     EventuallyBoundedDelays,
     equivalent_basic_gst,
+    run_delay_execution,
 )
 from repro.sim.process import EchoProcess
 
 
-def verdict_of(simulator, processes, correct, proposals):
+def verdict_of(result, processes, correct, proposals):
     decisions = {k: processes[k].decision for k in correct
                  if processes[k].decided}
     rounds = {k: processes[k].decision_round for k in correct
@@ -33,7 +40,7 @@ def verdict_of(simulator, processes, correct, proposals):
         decisions=decisions,
         decision_rounds=rounds,
         correct=correct,
-        rounds_executed=len(simulator.trace),
+        rounds_executed=len(result.trace),
     )
 
 
@@ -75,17 +82,20 @@ class TestDelayPolicies:
 
 
 class TestRoundSimulation:
-    def make(self, policy, n=3):
+    def make(self, n=3):
         params = SystemParams(n=n, ell=n, t=0)
         assignment = balanced_assignment(n, n)
         processes = [EchoProcess(assignment.identifier_of(k))
                      for k in range(n)]
-        sim = DelayRoundSimulator(params, assignment, processes, policy)
-        return sim, processes
+        return params, assignment, processes
 
     def test_punctual_network_loses_nothing(self):
-        sim, procs = self.make(AlwaysBoundedUnknownDelays(true_delta=3))
-        result = sim.run(max_rounds=5, stop_when_all_decided=False)
+        params, assignment, procs = self.make()
+        result = run_delay_execution(
+            params, assignment, procs,
+            AlwaysBoundedUnknownDelays(true_delta=3),
+            max_rounds=5, stop_when_all_decided=False,
+        )
         assert result.dropped == ()
         assert result.rounds_executed == 5
         assert result.ticks_executed == 15
@@ -96,8 +106,11 @@ class TestRoundSimulation:
     def test_late_messages_become_basic_model_losses(self):
         policy = EventuallyBoundedDelays(delta=2, gst_tick=20,
                                          chaos_factor=6, seed=11)
-        sim, procs = self.make(policy)
-        result = sim.run(max_rounds=20, stop_when_all_decided=False)
+        params, assignment, procs = self.make()
+        result = run_delay_execution(
+            params, assignment, procs, policy,
+            max_rounds=20, stop_when_all_decided=False,
+        )
         assert result.dropped  # chaos did drop something
         gst_round = equivalent_basic_gst(policy)
         # The finiteness guarantee: no loss at or after the equivalent
@@ -107,11 +120,65 @@ class TestRoundSimulation:
     def test_self_delivery_is_never_late(self):
         policy = EventuallyBoundedDelays(delta=2, gst_tick=50,
                                          chaos_factor=8, seed=4)
-        sim, procs = self.make(policy)
-        sim.run(max_rounds=10, stop_when_all_decided=False)
+        params, assignment, procs = self.make()
+        run_delay_execution(
+            params, assignment, procs, policy,
+            max_rounds=10, stop_when_all_decided=False,
+        )
         for r in range(10):
             own = [m for m in procs[0].received[r] if m.sender_id == 1]
             assert own, f"round {r} lost the self-message"
+
+
+class TestDeprecatedShim:
+    """DelayRoundSimulator must warn and delegate to the kernel."""
+
+    def _setup(self):
+        params = SystemParams(n=3, ell=3, t=0)
+        assignment = balanced_assignment(3, 3)
+        processes = [EchoProcess(assignment.identifier_of(k))
+                     for k in range(3)]
+        return params, assignment, processes
+
+    def test_construction_warns(self):
+        params, assignment, processes = self._setup()
+        with pytest.warns(DeprecationWarning, match="DelayRoundSimulator"):
+            DelayRoundSimulator(
+                params, assignment, processes,
+                AlwaysBoundedUnknownDelays(true_delta=2),
+            )
+
+    def test_shim_matches_the_kernel_path(self):
+        policy = EventuallyBoundedDelays(delta=2, gst_tick=10,
+                                         chaos_factor=5, seed=6)
+        params, assignment, shim_procs = self._setup()
+        with pytest.warns(DeprecationWarning):
+            shim = DelayRoundSimulator(params, assignment, shim_procs, policy)
+        shim_result = shim.run(max_rounds=8, stop_when_all_decided=False)
+
+        _, _, kernel_procs = self._setup()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            kernel_result = run_delay_execution(
+                params, assignment, kernel_procs, policy,
+                max_rounds=8, stop_when_all_decided=False,
+            )
+        assert shim_result.dropped == kernel_result.dropped
+        assert shim_result.ticks_executed == kernel_result.ticks_executed
+        assert len(shim.trace) == len(kernel_result.trace)
+        for a, b in zip(shim.trace, kernel_result.trace):
+            assert (a.payloads, a.decisions) == (b.payloads, b.decisions)
+
+    def test_shim_exposes_trace_and_correct(self):
+        params, assignment, processes = self._setup()
+        with pytest.warns(DeprecationWarning):
+            shim = DelayRoundSimulator(
+                params, assignment, processes,
+                AlwaysBoundedUnknownDelays(true_delta=2),
+            )
+        shim.run(max_rounds=3, stop_when_all_decided=False)
+        assert len(shim.trace) == 3
+        assert shim._correct == (0, 1, 2)
 
 
 class TestAlgorithmsOverDelayNetworks:
@@ -132,13 +199,13 @@ class TestAlgorithmsOverDelayNetworks:
         ]
         policy = EventuallyBoundedDelays(delta=3, gst_tick=30,
                                          chaos_factor=4, seed=9)
-        sim = DelayRoundSimulator(params, assignment, processes, policy,
-                                  byzantine=byz)
         gst_round = equivalent_basic_gst(policy)
-        result = sim.run(
+        result = run_delay_execution(
+            params, assignment, processes, policy, byzantine=byz,
             max_rounds=dls_horizon(params, gst_round * 1 + 8),
         )
-        verdict = verdict_of(sim, processes, sim._correct, proposals)
+        correct = tuple(k for k in range(7) if k not in byz)
+        verdict = verdict_of(result, processes, correct, proposals)
         assert verdict.ok, verdict.summary()
         assert result.last_lost_round() < gst_round
 
@@ -157,9 +224,11 @@ class TestAlgorithmsOverDelayNetworks:
             for k in range(4)
         ]
         policy = AlwaysBoundedUnknownDelays(true_delta=5, seed=3)
-        sim = DelayRoundSimulator(params, assignment, processes, policy,
-                                  byzantine=byz)
-        result = sim.run(max_rounds=restricted_horizon(params, 0))
-        verdict = verdict_of(sim, processes, sim._correct, proposals)
+        result = run_delay_execution(
+            params, assignment, processes, policy, byzantine=byz,
+            max_rounds=restricted_horizon(params, 0),
+        )
+        correct = tuple(k for k in range(4) if k not in byz)
+        verdict = verdict_of(result, processes, correct, proposals)
         assert verdict.ok
         assert result.dropped == ()  # always-bounded: a synchronous run

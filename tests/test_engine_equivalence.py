@@ -1,17 +1,23 @@
 """Cross-engine equivalence and "continue running" semantics.
 
-Three engines implement the basic round model: the fabric-based
-:class:`~repro.sim.network.RoundEngine`, its pre-fabric differential
-oracle :class:`~repro.sim.network.ReferenceRoundEngine`, and the
-delay-based :class:`~repro.sim.delay.DelayRoundSimulator`.  On a
-punctual network they must produce byte-identical traces -- the
-executable form of the paper's Section 2 equivalence claim -- and the
-fabric must match the reference receiver by receiver (inboxes, traces,
-verdicts *and* the exact delivery counts) under every topology, drop
+Every execution loop in the package is (or pins against) the unified
+kernel: :class:`~repro.sim.kernel.ExecutionKernel` under a
+:class:`~repro.sim.kernel.TimingModel`, its legacy facade
+:class:`~repro.sim.network.RoundEngine`, the pre-fabric differential
+oracle :class:`~repro.sim.network.ReferenceRoundEngine`, and the two
+delay loops (:class:`~repro.sim.delay.ReferenceDelaySimulator`, the
+per-message tick loop, vs the kernel's
+:class:`~repro.sim.kernel.DelayBased` model).  On a punctual network
+they must all produce byte-identical traces -- the executable form of
+the paper's Section 2 equivalence claim -- and the kernel must match
+the reference receiver by receiver (inboxes, traces, verdicts *and*
+the exact delivery counts) under every timing model, topology, drop
 schedule and adversary combination.  Per the paper's algorithms
 ("decide v, but continue running the algorithm"), decided processes
 must keep participating so laggards can still finish.
 """
+
+import warnings
 
 import pytest
 
@@ -21,7 +27,13 @@ from repro.core.params import SystemParams, Synchrony
 from repro.core.problem import BINARY
 from repro.psync.dls_homonyms import dls_factory, dls_horizon
 from repro.sim.adversary import NullAdversary
-from repro.sim.delay import AlwaysBoundedUnknownDelays, DelayRoundSimulator
+from repro.sim.delay import (
+    AlwaysBoundedUnknownDelays,
+    DelayRoundSimulator,
+    ReferenceDelaySimulator,
+    run_delay_execution,
+)
+from repro.sim.kernel import BasicPsync, ExecutionKernel
 from repro.sim.metrics import metrics_from_deliveries
 from repro.sim.network import ReferenceRoundEngine, RoundEngine
 from repro.sim.partial import (
@@ -33,6 +45,7 @@ from repro.sim.partial import (
 from repro.sim.process import EchoProcess
 from repro.sim.runner import make_processes
 from repro.sim.topology import DirectedTopology
+from repro.experiments.workloads import delay_policy_battery
 
 
 def build_processes(params, assignment, byz):
@@ -75,17 +88,95 @@ class TestEngineEquivalence:
         engine.run(max_rounds=rounds, stop_when_all_decided=True)
 
         procs_b, _ = build_processes(params, assignment, byz)
-        simulator = DelayRoundSimulator(
+        result = run_delay_execution(
             params, assignment, procs_b,
             AlwaysBoundedUnknownDelays(true_delta=3, seed=seed),
             byzantine=byz,
             adversary=RandomByzantineAdversary(seed=seed),
+            max_rounds=rounds,
         )
-        simulator.run(max_rounds=rounds, stop_when_all_decided=True)
 
-        assert canonical(engine.trace) == canonical(simulator.trace)
+        assert canonical(engine.trace) == canonical(result.trace)
         assert [p.decision for p in procs_a if p] == \
                [p.decision for p in procs_b if p]
+
+
+class TestDelayKernelMatchesTickLoop:
+    """Kernel ``DelayBased`` vs the pre-kernel per-message tick loop.
+
+    Across the delay-policy battery and full-algorithm runs, the
+    kernel's per-round late-delta stamping must reproduce the tick
+    loop's executions exactly: traces, decisions, tick counts, and the
+    loss set (restricted to correct recipients -- the tick loop also
+    logged late messages addressed to Byzantine slots, which have no
+    receiving process and are unobservable).
+    """
+
+    @pytest.mark.parametrize(
+        "policy_name",
+        [name for name, _ in delay_policy_battery()],
+    )
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_traces_decisions_and_losses(self, policy_name, seed):
+        params = SystemParams(
+            n=7, ell=6, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+        )
+        assignment = balanced_assignment(7, 6)
+        byz = (6,)
+        policy = dict(delay_policy_battery(seed))[policy_name]
+        rounds = dls_horizon(params, 16)
+
+        procs_ref, _ = build_processes(params, assignment, byz)
+        reference = ReferenceDelaySimulator(
+            params, assignment, procs_ref, policy, byzantine=byz,
+            adversary=RandomByzantineAdversary(seed=seed),
+        )
+        ref_result = reference.run(max_rounds=rounds)
+
+        procs_k, _ = build_processes(params, assignment, byz)
+        kernel_result = run_delay_execution(
+            params, assignment, procs_k, policy, byzantine=byz,
+            adversary=RandomByzantineAdversary(seed=seed),
+            max_rounds=rounds,
+        )
+
+        assert canonical(ref_result.trace) == canonical(kernel_result.trace)
+        assert [p.decision for p in procs_ref if p] == \
+               [p.decision for p in procs_k if p]
+        assert ref_result.ticks_executed == kernel_result.ticks_executed
+        assert ref_result.rounds_executed == kernel_result.rounds_executed
+        byz_set = set(byz)
+        assert sorted(kernel_result.dropped) == sorted(
+            drop for drop in ref_result.dropped if drop[2] not in byz_set
+        )
+
+    def test_deprecated_shim_equals_kernel_path(self):
+        params = SystemParams(
+            n=7, ell=6, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS
+        )
+        assignment = balanced_assignment(7, 6)
+        byz = (6,)
+        policy = dict(delay_policy_battery(3))["eventual-d2-gst24"]
+        rounds = dls_horizon(params, 16)
+
+        procs_a, _ = build_processes(params, assignment, byz)
+        with pytest.warns(DeprecationWarning):
+            shim = DelayRoundSimulator(
+                params, assignment, procs_a, policy, byzantine=byz,
+            )
+        shim_result = shim.run(max_rounds=rounds)
+
+        procs_b, _ = build_processes(params, assignment, byz)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            kernel_result = run_delay_execution(
+                params, assignment, procs_b, policy, byzantine=byz,
+                max_rounds=rounds,
+            )
+
+        assert canonical(shim_result.trace) == canonical(kernel_result.trace)
+        assert shim_result.dropped == kernel_result.dropped
+        assert shim_result.ticks_executed == kernel_result.ticks_executed
 
 
 def _fabric_scenarios():
@@ -114,7 +205,14 @@ def _fabric_scenarios():
 
 
 class TestFabricMatchesReference:
-    """The batched fabric vs the pre-fabric per-receiver loop."""
+    """Kernel and legacy facade vs the pre-fabric per-receiver loop.
+
+    Three engines run every scenario of the grid: the kernel built
+    directly with a :class:`BasicPsync` timing model, the legacy
+    :class:`RoundEngine` constructor (which must build the identical
+    kernel), and the pre-refactor :class:`ReferenceRoundEngine` oracle.
+    All three must agree byte for byte.
+    """
 
     N, ELL, BYZ = 7, 6, (6,)
 
@@ -124,10 +222,22 @@ class TestFabricMatchesReference:
             synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
         )
         assignment = balanced_assignment(self.N, self.ELL)
+
+        def kernel_direct(**kwargs):
+            return ExecutionKernel(
+                params=kwargs["params"],
+                assignment=kwargs["assignment"],
+                processes=kwargs["processes"],
+                byzantine=kwargs["byzantine"],
+                adversary=kwargs["adversary"],
+                timing=BasicPsync(kwargs["drop_schedule"],
+                                  kwargs["topology"]),
+            )
+
         engines = []
-        for cls in (RoundEngine, ReferenceRoundEngine):
+        for build in (kernel_direct, RoundEngine, ReferenceRoundEngine):
             procs = procs_fn(params, assignment)
-            engines.append((cls(
+            engines.append((build(
                 params=params, assignment=assignment, processes=procs,
                 byzantine=self.BYZ, adversary=adv_fn(),
                 drop_schedule=sched_fn(), topology=topo_fn(),
@@ -150,24 +260,28 @@ class TestFabricMatchesReference:
                 for k in range(params.n)
             ]
 
-        (fabric, procs_f), (reference, procs_r) = self._engines(
-            topo_fn, sched_fn, adv_fn, numerate, echo_procs
-        )
+        (kernel, procs_k), (fabric, procs_f), (reference, procs_r) = \
+            self._engines(topo_fn, sched_fn, adv_fn, numerate, echo_procs)
         rounds = 8
+        kernel.run(max_rounds=rounds, stop_when_all_decided=False)
         fabric.run(max_rounds=rounds, stop_when_all_decided=False)
         reference.run(max_rounds=rounds, stop_when_all_decided=False)
 
+        assert canonical(kernel.trace) == canonical(reference.trace)
         assert canonical(fabric.trace) == canonical(reference.trace)
+        assert kernel.deliveries == reference.deliveries
         assert fabric.deliveries == reference.deliveries
-        assert metrics_from_deliveries(fabric.deliveries) == \
+        assert metrics_from_deliveries(kernel.deliveries) == \
                metrics_from_deliveries(reference.deliveries)
         for k in fabric.correct:
             for r in range(rounds):
-                got, want = procs_f[k].received[r], procs_r[k].received[r]
-                assert got.numerate == want.numerate == numerate
-                assert got.messages() == want.messages(), (
-                    f"{name}: inbox of process {k} differs in round {r}"
-                )
+                want = procs_r[k].received[r]
+                for procs in (procs_k, procs_f):
+                    got = procs[k].received[r]
+                    assert got.numerate == want.numerate == numerate
+                    assert got.messages() == want.messages(), (
+                        f"{name}: inbox of process {k} differs in round {r}"
+                    )
 
     @pytest.mark.parametrize(
         "name,topo_fn,sched_fn,adv_fn", _fabric_scenarios(),
@@ -179,19 +293,23 @@ class TestFabricMatchesReference:
             procs, _ = build_processes(params, assignment, self.BYZ)
             return procs
 
-        (fabric, procs_f), (reference, procs_r) = self._engines(
-            topo_fn, sched_fn, adv_fn, False, dls_procs
-        )
+        (kernel, procs_k), (fabric, procs_f), (reference, procs_r) = \
+            self._engines(topo_fn, sched_fn, adv_fn, False, dls_procs)
         rounds = dls_horizon(fabric.params, 8)
+        kernel.run(max_rounds=rounds, stop_when_all_decided=False)
         fabric.run(max_rounds=rounds, stop_when_all_decided=False)
         reference.run(max_rounds=rounds, stop_when_all_decided=False)
 
+        assert canonical(kernel.trace) == canonical(reference.trace)
         assert canonical(fabric.trace) == canonical(reference.trace)
+        assert kernel.deliveries == reference.deliveries
         assert fabric.deliveries == reference.deliveries
+        decisions_r = [(p.decision, p.decision_round)
+                       for p in procs_r if p is not None]
         assert [(p.decision, p.decision_round)
-                for p in procs_f if p is not None] == \
-               [(p.decision, p.decision_round)
-                for p in procs_r if p is not None]
+                for p in procs_k if p is not None] == decisions_r
+        assert [(p.decision, p.decision_round)
+                for p in procs_f if p is not None] == decisions_r
 
     def test_exact_deliveries_under_directed_topology(self):
         """The fabric counts cut edges out instead of assuming full fanout."""

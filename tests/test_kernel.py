@@ -1,0 +1,364 @@
+"""The unified execution kernel and its pluggable timing models.
+
+Covers the :class:`~repro.sim.kernel.TimingModel` contracts directly
+(activation gating, removal queries, tick accounting), the kernel's
+delay bookkeeping (loss log, checkpoint/restore), the runner
+integration (``timing=`` parameter, result fields), and the paper's
+Section 2 equivalence as an executable property: a kernel
+``DelayBased`` execution, with its recorded losses replayed as an
+``ExplicitDrops`` schedule, **is** a basic-model execution -- byte
+for byte, for every delay policy in the battery and each
+:mod:`repro.psync` algorithm.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import stable_seed
+from repro.core.errors import ConfigurationError
+from repro.core.identity import balanced_assignment
+from repro.core.params import SystemParams, Synchrony
+from repro.core.problem import BINARY
+from repro.adversaries.generic import RandomByzantineAdversary
+from repro.psync.dls_homonyms import dls_factory, dls_horizon
+from repro.psync.restricted import restricted_factory, restricted_horizon
+from repro.sim.delay import (
+    AlwaysBoundedUnknownDelays,
+    EventuallyBoundedDelays,
+    equivalent_basic_gst,
+)
+from repro.sim.kernel import (
+    BasicPsync,
+    DelayBased,
+    ExecutionKernel,
+    LockStep,
+    timing_model_for,
+)
+from repro.sim.partial import ExplicitDrops, NoDrops, SilenceUntil
+from repro.sim.process import EchoProcess
+from repro.sim.runner import make_processes, run_execution
+from repro.sim.topology import CompleteTopology, DirectedTopology
+from repro.experiments.workloads import delay_policy_battery
+
+PSYNC = Synchrony.PARTIALLY_SYNCHRONOUS
+
+
+def canonical(trace):
+    return [
+        (
+            r.round_no,
+            sorted(r.payloads.items(), key=repr),
+            sorted(
+                (b, sorted(pr.items(), key=repr))
+                for b, pr in r.emissions.items()
+            ),
+            sorted(r.decisions.items(), key=repr),
+        )
+        for r in trace
+    ]
+
+
+# ----------------------------------------------------------------------
+# Timing model contracts
+# ----------------------------------------------------------------------
+class TestTimingModels:
+    def test_lockstep_never_active(self):
+        timing = LockStep()
+        assert not any(timing.active(r) for r in range(50))
+        assert timing.removed_senders(0, 1, (0, 1, 2)) == ()
+        assert timing.ticks_executed(7) == 7
+
+    def test_basic_psync_defaults_degenerate_to_lockstep(self):
+        timing = BasicPsync()
+        assert isinstance(timing.drop_schedule, NoDrops)
+        assert isinstance(timing.topology, CompleteTopology)
+        assert not any(timing.active(r) for r in range(50))
+
+    def test_basic_psync_gates_on_schedule(self):
+        timing = BasicPsync(SilenceUntil(4))
+        assert [timing.active(r) for r in range(6)] == [True] * 4 + [False] * 2
+        # Before GST everything inter-process is removed, self never.
+        assert timing.removed_senders(0, 1, (0, 1, 2)) == (0, 2)
+        assert timing.removed_senders(5, 1, (0, 1, 2)) == ()
+
+    def test_basic_psync_topology_keeps_every_round_active(self):
+        timing = BasicPsync(topology=DirectedTopology({0: {1}}))
+        assert all(timing.active(r) for r in range(50))
+        assert timing.removed_senders(9, 0, (0, 1, 2, 3)) == (2, 3)
+
+    def test_basic_psync_merges_drops_and_cuts_without_duplicates(self):
+        timing = BasicPsync(SilenceUntil(2), DirectedTopology({0: {1}}))
+        removed = timing.removed_senders(0, 0, (0, 1, 2, 3))
+        assert sorted(removed) == [1, 2, 3]
+        assert len(removed) == len(set(removed))
+
+    def test_delay_based_removes_exactly_the_late_edges(self):
+        policy = EventuallyBoundedDelays(delta=2, gst_tick=40,
+                                         chaos_factor=6, seed=7)
+        timing = DelayBased(policy)
+        for r in range(10):
+            removed = timing.removed_senders(r, 0, (0, 1, 2, 3))
+            expected = tuple(
+                s for s in (1, 2, 3)
+                if policy.delay(r * 2, s, 0) >= 2
+            )
+            assert removed == expected
+            assert 0 not in removed  # self-delivery never late
+
+    def test_delay_based_active_window_is_max_late_tick(self):
+        policy = EventuallyBoundedDelays(delta=3, gst_tick=10, seed=1)
+        timing = DelayBased(policy)
+        # Rounds whose send tick r*3 is < 10 may be late: rounds 0..3.
+        assert [timing.active(r) for r in range(6)] == \
+               [True, True, True, True, False, False]
+        punctual = DelayBased(AlwaysBoundedUnknownDelays(true_delta=3))
+        assert not any(punctual.active(r) for r in range(20))
+
+    def test_delay_based_tick_accounting(self):
+        timing = DelayBased(AlwaysBoundedUnknownDelays(true_delta=4))
+        assert timing.ticks_executed(6) == 24
+
+    def test_delay_based_rejects_non_policies(self):
+        with pytest.raises(ConfigurationError):
+            DelayBased(object())
+
+    def test_timing_model_for_dispatch(self):
+        assert isinstance(timing_model_for(), LockStep)
+        with_sched = timing_model_for(SilenceUntil(3))
+        assert isinstance(with_sched, BasicPsync)
+        assert with_sched.drop_schedule.gst == 3
+        with_topo = timing_model_for(topology=DirectedTopology({0: {1}}))
+        assert isinstance(with_topo, BasicPsync)
+
+
+# ----------------------------------------------------------------------
+# Kernel bookkeeping
+# ----------------------------------------------------------------------
+def _echo_kernel(timing, n=4):
+    params = SystemParams(n=n, ell=n, t=0, synchrony=PSYNC)
+    assignment = balanced_assignment(n, n)
+    procs = [EchoProcess(assignment.identifier_of(k)) for k in range(n)]
+    return ExecutionKernel(
+        params=params, assignment=assignment, processes=procs, timing=timing,
+    ), procs
+
+
+class TestKernelLossLog:
+    def test_losses_logged_only_for_loss_logging_models(self):
+        basic, _ = _echo_kernel(BasicPsync(SilenceUntil(2)))
+        basic.run(max_rounds=4, stop_when_all_decided=False)
+        assert basic.losses == []
+
+        policy = EventuallyBoundedDelays(delta=2, gst_tick=20,
+                                         chaos_factor=6, seed=11)
+        delayed, _ = _echo_kernel(DelayBased(policy))
+        delayed.run(max_rounds=12, stop_when_all_decided=False)
+        assert delayed.losses  # chaos did lose something
+        gst_round = equivalent_basic_gst(policy)
+        assert all(r < gst_round for r, _s, _q in delayed.losses)
+
+    def test_checkpoint_restores_losses(self):
+        policy = EventuallyBoundedDelays(delta=2, gst_tick=20,
+                                         chaos_factor=6, seed=11)
+        kernel, _ = _echo_kernel(DelayBased(policy))
+        kernel.run(max_rounds=4, stop_when_all_decided=False)
+        snapshot = kernel.checkpoint()
+        losses_at_snapshot = list(kernel.losses)
+
+        kernel.run(max_rounds=6, stop_when_all_decided=False)
+        assert len(kernel.losses) >= len(losses_at_snapshot)
+        kernel.restore(snapshot)
+        assert kernel.losses == losses_at_snapshot
+        assert kernel.round_no == 4
+
+        # The restored kernel replays the same future deterministically.
+        kernel.run(max_rounds=6, stop_when_all_decided=False)
+        replay = list(kernel.losses)
+        kernel.restore(snapshot)
+        kernel.run(max_rounds=6, stop_when_all_decided=False)
+        assert kernel.losses == replay
+
+
+class TestRunnerIntegration:
+    def _setup(self):
+        params = SystemParams(n=7, ell=6, t=1, synchrony=PSYNC)
+        assignment = balanced_assignment(7, 6)
+        byz = (6,)
+        proposals = {k: k % 2 for k in range(6)}
+        processes = make_processes(
+            dls_factory(params, BINARY), assignment, proposals, byz
+        )
+        return params, assignment, byz, processes
+
+    def test_timing_and_schedule_are_mutually_exclusive(self):
+        params, assignment, byz, processes = self._setup()
+        with pytest.raises(ConfigurationError):
+            run_execution(
+                params=params, assignment=assignment, processes=processes,
+                byzantine=byz,
+                timing=LockStep(), drop_schedule=SilenceUntil(2),
+            )
+
+    def test_delay_timing_populates_losses_and_ticks(self):
+        params, assignment, byz, processes = self._setup()
+        policy = EventuallyBoundedDelays(delta=2, gst_tick=24,
+                                         chaos_factor=4, seed=0)
+        result = run_execution(
+            params=params, assignment=assignment, processes=processes,
+            byzantine=byz, timing=DelayBased(policy),
+            max_rounds=dls_horizon(params, 16),
+        )
+        assert result.ok, result.verdict.summary()
+        assert result.ticks == result.metrics.rounds * policy.delta
+        gst_round = equivalent_basic_gst(policy)
+        assert all(r < gst_round for r, _s, _q in result.losses)
+
+    def test_round_timing_reports_round_ticks_and_no_losses(self):
+        params, assignment, byz, processes = self._setup()
+        result = run_execution(
+            params=params, assignment=assignment, processes=processes,
+            byzantine=byz, drop_schedule=SilenceUntil(2),
+            max_rounds=dls_horizon(params, 2),
+        )
+        assert result.losses == ()
+        assert result.ticks == result.metrics.rounds
+
+
+# ----------------------------------------------------------------------
+# The delay <-> basic equivalence, executable
+# ----------------------------------------------------------------------
+def _run_psync_algorithm(params, factory, horizon, timing, seed):
+    assignment = balanced_assignment(params.n, params.ell)
+    byz = (params.n - 1,)
+    proposals = {k: k % 2 for k in range(params.n) if k not in byz}
+    processes = make_processes(factory, assignment, proposals, byz)
+    result = run_execution(
+        params=params, assignment=assignment, processes=processes,
+        byzantine=byz, adversary=RandomByzantineAdversary(seed=seed),
+        timing=timing, max_rounds=horizon,
+    )
+    return result
+
+
+def _psync_algorithms():
+    dls_params = SystemParams(n=7, ell=6, t=1, synchrony=PSYNC)
+    fig7_params = SystemParams(n=4, ell=2, t=1, synchrony=PSYNC,
+                               numerate=True, restricted=True)
+    return [
+        ("fig5-dls", dls_params, dls_factory(dls_params, BINARY),
+         dls_horizon(dls_params, 16)),
+        ("fig7-restricted", fig7_params,
+         restricted_factory(fig7_params, BINARY),
+         restricted_horizon(fig7_params, 16)),
+    ]
+
+
+class TestDelayBasicEquivalence:
+    """A DelayBased run *is* a basic-model run: replay the losses."""
+
+    @pytest.mark.parametrize(
+        "algo_name,params,factory,horizon",
+        _psync_algorithms(), ids=[a[0] for a in _psync_algorithms()],
+    )
+    @pytest.mark.parametrize(
+        "policy_name", [name for name, _ in delay_policy_battery()],
+    )
+    def test_delay_run_is_a_basic_model_run(
+        self, algo_name, params, factory, horizon, policy_name
+    ):
+        policy = dict(delay_policy_battery(seed=2))[policy_name]
+        delay_result = _run_psync_algorithm(
+            params, factory, horizon, DelayBased(policy), seed=9
+        )
+        assert delay_result.ok, delay_result.verdict.summary()
+
+        # Replay: the same execution in the basic model, with the
+        # delay run's losses as an explicit finite drop set.
+        basic_result = _run_psync_algorithm(
+            params, factory, horizon,
+            BasicPsync(ExplicitDrops(delay_result.losses)), seed=9,
+        )
+        assert canonical(delay_result.trace) == canonical(basic_result.trace)
+        assert delay_result.verdict.ok == basic_result.verdict.ok
+        assert delay_result.metrics == basic_result.metrics
+
+    @pytest.mark.parametrize(
+        "policy_name", [name for name, _ in delay_policy_battery()],
+    )
+    def test_post_gst_rounds_lose_nothing(self, policy_name):
+        """Regression: the finiteness half of the equivalence claim."""
+        policy = dict(delay_policy_battery(seed=4))[policy_name]
+        kernel, _ = _echo_kernel(DelayBased(policy), n=5)
+        kernel.run(max_rounds=equivalent_basic_gst(policy) + 10,
+                   stop_when_all_decided=False)
+        gst_round = equivalent_basic_gst(policy)
+        assert all(r < gst_round for r, _s, _q in kernel.losses)
+        # And every post-GST inbox is full: n messages per receiver.
+        for d in kernel.deliveries[gst_round:]:
+            assert d.correct_deliveries == 5 * 5
+
+    @given(
+        delta=st.integers(1, 4),
+        gst_tick=st.integers(0, 24),
+        chaos=st.integers(1, 6),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_eventually_bounded_policy_is_basic_reachable(
+        self, delta, gst_tick, chaos, seed
+    ):
+        """Property: the equivalence holds across the policy space."""
+        params = SystemParams(n=6, ell=5, t=1, synchrony=PSYNC)
+        factory = dls_factory(params, BINARY)
+        policy = EventuallyBoundedDelays(
+            delta=delta, gst_tick=gst_tick, chaos_factor=chaos, seed=seed
+        )
+        horizon = dls_horizon(params, equivalent_basic_gst(policy))
+        delay_result = _run_psync_algorithm(
+            params, factory, horizon, DelayBased(policy), seed=seed
+        )
+        basic_result = _run_psync_algorithm(
+            params, factory, horizon,
+            BasicPsync(ExplicitDrops(delay_result.losses)), seed=seed,
+        )
+        assert canonical(delay_result.trace) == canonical(basic_result.trace)
+        assert delay_result.verdict.ok == basic_result.verdict.ok
+        gst_round = equivalent_basic_gst(policy)
+        assert all(r < gst_round for r, _s, _q in delay_result.losses)
+
+
+# ----------------------------------------------------------------------
+# Cross-run-stable seeding (the hash() determinism fix)
+# ----------------------------------------------------------------------
+class TestStableSeeding:
+    def test_stable_seed_pinned_vectors(self):
+        """CRC-32-over-canonical-key values, pinned across interpreters."""
+        assert stable_seed((0, "pre", 0, 0, 1)) == 3249021708
+        assert stable_seed((0, 0, 0, 1)) == 901231852
+        assert stable_seed((3, 2, 1, 0)) == 3974949250
+        # The flat-tuple fast path and the canonical_key fallback are
+        # distinct encodings; nested values take the fallback.
+        assert stable_seed([0, 0, 0, 1]) != stable_seed((0, 0, 0, 1))
+
+    def test_delay_policy_pinned_vectors(self):
+        """The exact delays are part of the repo's determinism contract.
+
+        ``hash()``-seeded policies produced different "deterministic"
+        delays under different ``PYTHONHASHSEED`` salts; these literals
+        pin the stable_seed-backed behaviour across interpreter runs.
+        """
+        policy = EventuallyBoundedDelays(delta=3, gst_tick=6,
+                                         chaos_factor=2, seed=42)
+        assert [policy.delay(t, 0, 1) for t in range(8)] == \
+               [1, 1, 3, 3, 1, 0, 2, 0]
+        punctual = AlwaysBoundedUnknownDelays(true_delta=4, seed=7)
+        assert [punctual.delay(t, 1, 2) for t in range(6)] == \
+               [0, 2, 2, 2, 0, 1]
+
+    def test_random_drops_pinned_vectors(self):
+        from repro.sim.partial import RandomDrops
+
+        schedule = RandomDrops(gst=6, p=0.5, seed=3)
+        assert [schedule.drops(r, 0, 1) for r in range(6)] == \
+               [False, True, True, True, False, True]

@@ -15,7 +15,7 @@ from repro.core.params import SystemParams, Synchrony
 from repro.core.problem import check_agreement_properties
 from repro.core.problem import BINARY
 from repro.psync.dls_homonyms import dls_factory, dls_horizon
-from repro.sim.delay import AlwaysBoundedUnknownDelays, DelayRoundSimulator
+from repro.sim.delay import AlwaysBoundedUnknownDelays, run_delay_execution
 from repro.sim.network import RoundEngine
 from repro.sim.partial import RandomDrops
 from repro.sim.runner import make_processes
@@ -44,15 +44,15 @@ def test_punctual_delay_networks_always_match_round_engine(delta, seed):
 
     procs_b = make_processes(dls_factory(params, BINARY), assignment,
                              proposals, byz)
-    simulator = DelayRoundSimulator(
+    result = run_delay_execution(
         params, assignment, procs_b,
         AlwaysBoundedUnknownDelays(true_delta=delta, seed=seed),
         byzantine=byz,
+        max_rounds=rounds,
     )
-    simulator.run(max_rounds=rounds)
 
     assert [sorted(r.payloads.items(), key=repr) for r in engine.trace] == \
-           [sorted(r.payloads.items(), key=repr) for r in simulator.trace]
+           [sorted(r.payloads.items(), key=repr) for r in result.trace]
     assert [p.decision for p in procs_a if p] == \
            [p.decision for p in procs_b if p]
 

@@ -138,6 +138,63 @@ class TestCLI:
         assert code == 2
         assert "UNSOLVABLE" in capsys.readouterr().out
 
+    def test_run_eventual_delay_timing(self, capsys):
+        code = main([
+            "run", "--n", "6", "--ell", "5", "--t", "1", "--model", "psync",
+            "--attack", "silent", "--timing", "eventual",
+            "--delta", "2", "--gst-tick", "8", "--chaos", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delay-based (delta=2" in out
+        assert "network ticks" in out
+        assert "basic-model" in out
+
+    def test_run_bounded_delay_timing_is_punctual(self, capsys):
+        code = main([
+            "run", "--n", "6", "--ell", "5", "--t", "1", "--model", "psync",
+            "--attack", "silent", "--timing", "bounded", "--delta", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no message was ever late" in out
+
+    def test_run_rejects_delay_timing_with_gst_drops(self, capsys):
+        code = main([
+            "run", "--n", "6", "--ell", "5", "--t", "1", "--model", "psync",
+            "--timing", "eventual", "--gst", "4",
+        ])
+        assert code == 2
+        assert "drop --gst" in capsys.readouterr().err
+
+    def test_run_rejects_delay_flags_without_delay_timing(self, capsys):
+        code = main([
+            "run", "--n", "6", "--ell", "5", "--t", "1", "--model", "psync",
+            "--delta", "3",
+        ])
+        assert code == 2
+        assert "--timing" in capsys.readouterr().err
+
+    def test_run_rejects_eventual_only_flags_with_bounded_timing(self, capsys):
+        code = main([
+            "run", "--n", "6", "--ell", "5", "--t", "1", "--model", "psync",
+            "--timing", "bounded", "--gst-tick", "50", "--chaos", "8",
+        ])
+        assert code == 2
+        assert "--timing eventual" in capsys.readouterr().err
+
+    def test_campaign_help_exposes_the_delay_family(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["campaign", "--help"])
+        assert exit_info.value.code == 0
+        out = capsys.readouterr().out
+        assert "--delay" in out and "delay-model workload family" in out
+
+    def test_campaign_delay_and_explore_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["campaign", "--delay", "--explore"])
+        assert exit_info.value.code == 2
+
     def test_table1_without_map(self, capsys):
         assert main(["table1"]) == 0
         out = capsys.readouterr().out

@@ -81,7 +81,8 @@ class TestMetrics:
         trace.append(record(0, payloads={0: "x", 1: "y"},
                             emissions={2: {0: ("e",)}}))
         trace.append(record(1, payloads={0: "x"}))
-        m = metrics_from_trace(trace, fanout=3)
+        with pytest.warns(DeprecationWarning):
+            m = metrics_from_trace(trace, fanout=3)
         assert m.rounds == 2
         assert m.correct_broadcasts == 3
         assert m.correct_messages == 9

@@ -36,6 +36,7 @@ REQUIRED_README_SECTIONS = [
     "A worked CLI session",
     "The campaign engine",
     "The message fabric and exact metrics",
+    "The execution kernel and delay models",
     "The strategy explorer",
     "Examples",
     "Architecture",
