@@ -6,7 +6,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-all bench-quick bench-fabric bench-delay bench-explore \
-	docs-check campaign explore-frontier clean
+	bench-atlas docs-check api-docs campaign explore-frontier \
+	atlas-quick atlas clean
 
 ## tier-1: docs consistency plus the fast test suite (the bar every
 ## change must clear). docs-check runs first so a stale README section
@@ -37,9 +38,18 @@ bench-delay:
 bench-explore:
 	$(PYTHON) -m pytest benchmarks/test_bench_explore.py -q -s
 
-## README sections + intra-repo doc links
+## atlas evidence fusion + streaming-log throughput
+bench-atlas:
+	$(PYTHON) -m pytest benchmarks/test_bench_atlas.py -q -s
+
+## README sections + intra-repo doc links + API.md staleness
 docs-check:
 	$(PYTHON) tools/docs_check.py
+	$(PYTHON) tools/gen_api_docs.py --check
+
+## regenerate docs/API.md from the public docstrings
+api-docs:
+	$(PYTHON) tools/gen_api_docs.py
 
 ## run the quick Table 1 campaign on all local cores
 campaign:
@@ -49,6 +59,17 @@ campaign:
 explore-frontier:
 	$(PYTHON) -m repro campaign --explore --workers 4 --resume
 
+## the small-lattice atlas sweep (what CI smokes and uploads)
+atlas-quick:
+	$(PYTHON) -m repro atlas --quick --workers 4 \
+	    --markdown atlas.md --json atlas.json
+
+## the default atlas sweep, resumable, on all local cores
+atlas:
+	$(PYTHON) -m repro atlas --workers 4 --resume \
+	    --markdown atlas.md --json atlas.json
+
 clean:
-	rm -rf .campaign-cache .pytest_cache
+	rm -rf .campaign-cache .atlas-cache .pytest_cache
+	rm -f atlas.jsonl atlas.md atlas.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

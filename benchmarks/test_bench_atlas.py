@@ -1,0 +1,140 @@
+"""Benchmark: atlas fusion + streaming-log throughput at lattice scale.
+
+The atlas's scale claim is that per-cell overhead -- evidence fusion,
+canonical-JSON row building, the fsync'd append, and the resume scan --
+stays trivial next to cell execution, and that memory stays bounded
+because rows stream through the log instead of accumulating.  This
+bench builds a synthetic 4000-cell lattice worth of evidence (no
+simulation -- the point is the atlas machinery itself), pushes it
+through ``fuse_evidence`` + ``AtlasLog`` + ``aggregate``, and reports
+rows/second for the write, resume-scan, and render folds.
+
+The floor assertion is deliberately loose (``ATLAS_BENCH_MIN_ROWS_PER_S``,
+default 200/s: an fsync per row dominates on spinning CI disks); set it
+to 0 to disable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import emit, run_once
+from repro.atlas import AtlasLog, aggregate, fuse_evidence
+from repro.atlas.evidence import closed_form_evidence
+from repro.core.canonical import canonical_json
+from repro.core.params import SystemParams, model_space
+
+N_RANGE = range(3, 28)  # 25 n-values x ell=1..n x 8 models ~ 3100 cells
+
+
+def _synthetic_rows():
+    """One evidence-fused row per cell of a large symbolic lattice."""
+    index = 0
+    for n in N_RANGE:
+        for ell in range(1, n + 1):
+            for synchrony, numerate, restricted in model_space():
+                params = SystemParams(
+                    n=n, ell=ell, t=1, synchrony=synchrony,
+                    numerate=numerate, restricted=restricted,
+                )
+                closed = closed_form_evidence(params)
+                empirical = {
+                    "kind": "campaign",
+                    "source": "bench synthetic battery",
+                    "claim": closed["claim"],
+                    "grade": "verdict",
+                    "detail": "synthetic corroboration for throughput "
+                              "measurement",
+                }
+                evidence = [closed, empirical]
+                verdict = fuse_evidence(params, evidence)
+                yield {
+                    "index": index,
+                    "unit_id": f"bench{index:08d}",
+                    "label": f"n{n} ell{ell} {synchrony.short} "
+                             f"{numerate} {restricted}",
+                    "cell": {"n": n, "ell": ell, "t": 1,
+                             "synchrony": synchrony.short,
+                             "numerate": numerate,
+                             "restricted": restricted},
+                    "predicted": closed["claim"],
+                    "verdict": verdict,
+                    "algorithm": "bench",
+                    "runs": 0,
+                    "failures": 0,
+                    "evidence": evidence,
+                }
+                index += 1
+
+
+def test_fusion_and_stream_throughput(benchmark, tmp_path):
+    """Fuse, stream, resume-scan, and fold a ~3100-cell lattice."""
+    log = AtlasLog(tmp_path / "bench.jsonl")
+    log.reset()
+
+    def body():
+        t0 = time.perf_counter()
+        ids = []
+        for row in _synthetic_rows():
+            log.append(row)
+            ids.append(row["unit_id"])
+        write_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        kept = log.resume_prefix(ids)
+        resume_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        agg = aggregate(log.rows())
+        fold_s = time.perf_counter() - t0
+        return ids, kept, agg, write_s, resume_s, fold_s
+
+    ids, kept, agg, write_s, resume_s, fold_s = run_once(benchmark, body)
+
+    cells = len(ids)
+    assert kept == cells, "resume scan must accept its own output"
+    assert agg.cells == cells
+    assert not agg.conflicts
+    # Memory-boundedness proxy: the fold keeps aggregates, not rows --
+    # per-(n, t) maps and family tallies only.
+    assert len(agg.maps) == len(N_RANGE)
+
+    size_mb = log.path.stat().st_size / 1e6
+    rates = {
+        "fuse+write": cells / write_s,
+        "resume scan": cells / resume_s,
+        "render fold": cells / fold_s,
+    }
+    benchmark.extra_info.update(
+        {k: round(v, 1) for k, v in rates.items()}
+    )
+    emit(f"Atlas streaming throughput ({cells} cells, "
+         f"{size_mb:.1f} MB log)", [
+        ("stage", "wall s", "rows/s"),
+        ("fuse + canonical row + fsync append",
+         f"{write_s:.2f}", f"{rates['fuse+write']:.0f}"),
+        ("resume prefix scan", f"{resume_s:.2f}",
+         f"{rates['resume scan']:.0f}"),
+        ("aggregate fold (render input)", f"{fold_s:.2f}",
+         f"{rates['render fold']:.0f}"),
+    ])
+
+    floor = float(os.environ.get("ATLAS_BENCH_MIN_ROWS_PER_S", "200"))
+    if floor > 0:
+        assert rates["fuse+write"] >= floor, (
+            f"fuse+write {rates['fuse+write']:.0f} rows/s below the "
+            f"{floor:.0f}/s floor"
+        )
+
+
+def test_canonical_rows_are_stable(benchmark):
+    """The same lattice fuses to byte-identical rows both times."""
+
+    def body():
+        first = [canonical_json(r) for r in _synthetic_rows()]
+        second = [canonical_json(r) for r in _synthetic_rows()]
+        return first, second
+
+    first, second = run_once(benchmark, body)
+    assert first == second

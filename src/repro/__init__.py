@@ -49,9 +49,14 @@ Package layout:
   emission alphabet, producing replayable violation witnesses at the
   unsolvable edge of Table 1 and bounded exhaustiveness certificates
   just inside it;
+* :mod:`repro.atlas` -- the solvability atlas: the ``(n, t, ell)`` x
+  model lattice swept with closed-form, campaign, and explorer
+  evidence fused per cell into provenance-annotated verdicts,
+  streamed through a resumable JSONL log and rendered as the
+  machine-derived Table 1 plus boundary maps;
 * :mod:`repro.cli` -- the ``python -m repro`` command line
   (``table1`` / ``check`` / ``run`` / ``attack`` / ``explore`` /
-  ``campaign``).
+  ``campaign`` / ``atlas``).
 
 Start with the top-level ``README.md`` for a worked CLI session and
 ``docs/ARCHITECTURE.md`` for the package <-> paper map and the module
@@ -63,6 +68,7 @@ __version__ = "1.0.0"
 __all__ = [
     "adversaries",
     "analysis",
+    "atlas",
     "broadcast",
     "classic",
     "core",

@@ -55,6 +55,23 @@ def restricted_numerate_bound(ell: int, t: int) -> bool:
     return ell > t
 
 
+def governing_condition(params: SystemParams) -> str:
+    """The Table 1 condition governing a cell, as the paper states it.
+
+    Args:
+        params: The cell's parameters (select the model family).
+
+    Returns:
+        The symbolic condition string, including the universal
+        ``n > 3t`` requirement.
+    """
+    if params.restricted and params.numerate:
+        return "n > 3t and ell > t"
+    if params.synchrony is Synchrony.SYNCHRONOUS:
+        return "n > 3t and ell > 3t"
+    return "n > 3t and 2*ell > n + 3t"
+
+
 def solvable(params: SystemParams) -> bool:
     """The full Table 1 predicate for one parameterised model."""
     n, ell, t = params.n, params.ell, params.t

@@ -1,0 +1,298 @@
+"""The atlas sweep driver: fan out cells, fuse evidence, stream rows.
+
+One :func:`run_atlas` call walks a :class:`~repro.atlas.lattice.
+LatticeSpec` end to end:
+
+1. every cell becomes one ``kind="atlas"`` campaign unit
+   (:func:`repro.experiments.campaign.enumerate_atlas_units`), sharing
+   the campaign engine's content-hash disk cache, so an already
+   computed cell is replayed instead of re-executed;
+2. pending units fan out over a ``ProcessPoolExecutor`` exactly like a
+   campaign (heaviest first, ``workers <= 1`` runs inline);
+3. as results arrive, the driver fuses each cell's evidence with the
+   closed-form claim (:func:`repro.atlas.evidence.fuse_evidence`) and
+   appends one row to the streaming JSONL log **in lattice order** --
+   units are only submitted while their index is within a fixed window
+   of the write frontier, so out-of-order completions wait in a
+   reorder buffer hard-bounded by that window (a small multiple of the
+   pool width), never the whole lattice;
+4. a fused ``CONFLICT`` aborts the sweep -- queued units are cancelled
+   -- with :class:`~repro.core.errors.AtlasConflict` unless
+   ``strict=False``.
+
+Resume: ``resume=True`` keeps the valid prefix of an existing log
+(:meth:`~repro.atlas.stream.AtlasLog.resume_prefix`) *and* consults the
+unit cache for the rest, so a killed sweep continues where it stopped
+and -- every row being deterministic -- finishes byte-for-byte
+identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.atlas.evidence import (
+    CONFLICT,
+    closed_form_evidence,
+    fuse_evidence,
+)
+from repro.atlas.lattice import AtlasCell, LatticeSpec
+from repro.atlas.stream import AtlasLog
+from repro.core.errors import ConfigurationError
+from repro.experiments.campaign import (
+    CampaignCache,
+    CampaignUnit,
+    enumerate_atlas_units,
+    execute_unit,
+)
+
+
+@dataclass
+class AtlasOutcome:
+    """Aggregate outcome of one atlas sweep.
+
+    The per-cell rows live in the JSONL log, not here -- this object
+    stays O(1) in the lattice size (plus the conflict list, which a
+    strict run caps at zero).
+    """
+
+    lattice: LatticeSpec
+    log_path: Path
+    cells_total: int
+    resumed: int = 0
+    written: int = 0
+    executed: int = 0
+    cached: int = 0
+    verdicts: Counter = field(default_factory=Counter)
+    conflicts: list[dict] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell fused without conflict."""
+        return not self.conflicts and self.verdicts.get(CONFLICT, 0) == 0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable tally."""
+        tally = ", ".join(
+            f"{self.verdicts[v]} {v}" for v in sorted(self.verdicts)
+        )
+        return (
+            f"{self.cells_total} cells ({self.resumed} resumed from log, "
+            f"{self.cached} from unit cache, {self.executed} executed) "
+            f"in {self.elapsed_s:.2f}s: {tally or 'nothing evaluated'}"
+        )
+
+
+def _fuse_row(
+    index: int,
+    cell: AtlasCell,
+    unit: CampaignUnit,
+    result: Mapping,
+    injected: Sequence[Mapping],
+    strict: bool,
+) -> dict:
+    """Build one log row from a completed unit result.
+
+    Args:
+        index: The cell's position in lattice enumeration order.
+        cell: The lattice cell.
+        unit: Its campaign unit (supplies the content-hash id).
+        result: The unit's result dict (``evidence`` key required).
+        injected: Extra evidence items to fold in (fixtures).
+        strict: Propagate conflicts as :class:`AtlasConflict`.
+
+    Returns:
+        The JSON-compatible row (deterministic: no timings).
+    """
+    evidence = [closed_form_evidence(cell.params)]
+    evidence.extend(result.get("evidence", ()))
+    evidence.extend(injected)
+    verdict = fuse_evidence(cell.params, evidence, strict=strict)
+    records = result.get("records", ())
+    return {
+        "index": index,
+        "unit_id": unit.unit_id,
+        "label": cell.label,
+        "cell": {
+            "n": cell.params.n,
+            "ell": cell.params.ell,
+            "t": cell.params.t,
+            "synchrony": cell.params.synchrony.short,
+            "numerate": cell.params.numerate,
+            "restricted": cell.params.restricted,
+        },
+        "predicted": evidence[0]["claim"],
+        "verdict": verdict,
+        "algorithm": result.get("algorithm", ""),
+        "runs": len(records),
+        "failures": sum(1 for r in records if not r.get("ok", True)),
+        "evidence": evidence,
+    }
+
+
+def run_atlas(
+    lattice: LatticeSpec,
+    log_path: str,
+    seed: int = 0,
+    quick: bool = True,
+    workers: int = 1,
+    cache: CampaignCache | None = None,
+    resume: bool = False,
+    inject: Mapping[str, Sequence[Mapping]] | None = None,
+    strict: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> AtlasOutcome:
+    """Sweep a lattice, fuse every cell's evidence, stream the rows.
+
+    Args:
+        lattice: The sweep specification.
+        log_path: The streaming JSONL result log (truncated unless
+            ``resume``).
+        seed: Battery seed shared by every unit.
+        quick: Use the trimmed quick batteries.
+        workers: Pool size; ``<= 1`` runs inline in this process.
+        cache: Optional campaign unit cache; completed units are always
+            stored when given.
+        resume: Keep the valid prefix of an existing log and read the
+            unit cache, so only missing work executes.
+        inject: Extra evidence items per cell label -- the seeded
+            known-violation hook (see :func:`repro.atlas.evidence.
+            known_violation_fixture`).  Incompatible with ``resume``
+            (resumed rows would bypass the injection).
+        strict: Raise :class:`~repro.core.errors.AtlasConflict` on the
+            first conflicting cell (the default); ``False`` records
+            ``CONFLICT`` rows and keeps sweeping (render/debug path).
+        progress: Optional callback receiving one line per cell.
+
+    Returns:
+        The :class:`AtlasOutcome` (per-cell rows are in the log).
+
+    Raises:
+        AtlasConflict: A cell's machine-checked evidence contradicts
+            the closed form (strict mode).
+        ProvenanceError: A cell fused without any non-symbolic
+            evidence (indicates a broken evidence plan).
+        ConfigurationError: ``inject`` combined with ``resume``.
+    """
+    start = time.perf_counter()
+    cells = lattice.cells()
+    units = enumerate_atlas_units(
+        [(c.label, c.params, c.variant) for c in cells],
+        seed=seed, quick=quick,
+    )
+    inject = dict(inject or {})
+    if inject and resume:
+        # Resumed rows (and cached unit results) were fused without the
+        # injected items; honouring --resume would silently skip the
+        # injection for any cell inside the kept prefix -- the exact
+        # opposite of what the conflict fixture exists to demonstrate.
+        raise ConfigurationError(
+            "evidence injection cannot be combined with resume: resumed "
+            "rows would bypass the injected items; run without --resume"
+        )
+
+    log = AtlasLog(log_path)
+    outcome = AtlasOutcome(
+        lattice=lattice, log_path=log.path, cells_total=len(cells)
+    )
+    if resume:
+        outcome.resumed = log.resume_prefix([u.unit_id for u in units])
+        for row in log.rows(limit=outcome.resumed):
+            outcome.verdicts[row["verdict"]] += 1
+            if row["verdict"] == CONFLICT:
+                outcome.conflicts.append(row)
+            if progress:
+                progress(f"resumed  {row['label']} [{row['verdict']}]")
+    else:
+        log.reset()
+
+    next_index = outcome.resumed
+    reorder: dict[int, dict] = {}
+
+    def flush(buffered: dict[int, dict]) -> None:
+        """Write every row whose predecessors are all written."""
+        nonlocal next_index
+        while next_index in buffered:
+            index = next_index
+            cell, unit = cells[index], units[index]
+            row = _fuse_row(
+                index, cell, unit, buffered.pop(index),
+                inject.get(cell.label, ()), strict,
+            )
+            log.append(row)
+            next_index += 1
+            outcome.written += 1
+            outcome.verdicts[row["verdict"]] += 1
+            if row["verdict"] == CONFLICT:
+                outcome.conflicts.append(row)
+            if progress:
+                progress(f"fused    {row['label']} [{row['verdict']}]")
+
+    pending: list[tuple[int, CampaignUnit]] = []
+    for index in range(outcome.resumed, len(units)):
+        unit = units[index]
+        hit = cache.load(unit) if (cache is not None and resume) else None
+        if hit is not None:
+            outcome.cached += 1
+            reorder[index] = hit
+        else:
+            pending.append((index, unit))
+    flush(reorder)
+
+    def finish(index: int, unit: CampaignUnit, result: dict) -> None:
+        if cache is not None:
+            cache.store(unit, result)
+        outcome.executed += 1
+        reorder[index] = result
+
+    try:
+        if workers <= 1:
+            for index, unit in pending:
+                finish(index, unit, execute_unit(unit))
+                flush(reorder)
+        elif pending:
+            # Bounded-window fan-out in LATTICE order (not the campaign
+            # engine's heaviest-first): a unit is only submitted while
+            # its index is within ``window`` of the write frontier, so
+            # in-flight futures plus reorder-buffered results never
+            # exceed the window -- even when the frontier cell is the
+            # slowest of the batch, workers go idle instead of buffering
+            # the rest of the lattice in memory.
+            window = max(4 * workers, 16)
+            pos = 0
+            futures: dict = {}
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                try:
+                    while pos < len(pending) or futures:
+                        while (
+                            pos < len(pending)
+                            and len(futures) < window
+                            and pending[pos][0] < next_index + window
+                        ):
+                            index, unit = pending[pos]
+                            futures[pool.submit(
+                                execute_unit, unit.to_dict()
+                            )] = (index, unit)
+                            pos += 1
+                        done, _ = wait(
+                            set(futures), return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            index, unit = futures.pop(future)
+                            finish(index, unit, future.result())
+                        flush(reorder)
+                except BaseException:
+                    # Abort means abort: a conflict (or any failure)
+                    # must not let thousands of queued cells run to
+                    # completion before the error surfaces.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+    finally:
+        outcome.elapsed_s = time.perf_counter() - start
+    return outcome

@@ -1,0 +1,283 @@
+"""Render the atlas: machine-derived Table 1 and boundary maps.
+
+The renderer is a stream fold: it consumes the JSONL row stream once
+(:meth:`~repro.atlas.stream.AtlasLog.rows`), accumulating only
+fixed-size aggregates -- per-family tallies for the Table 1 view,
+per-``(n, t)`` glyph maps for the boundary view, and evidence-source
+counters for the provenance summary -- so rendering scales to lattices
+far larger than memory would allow if rows were retained.
+
+Outputs:
+
+* :func:`render_markdown` -- the paper's Table 1 with each condition
+  cell annotated by the atlas verdict tally behind it, followed by
+  per-``(n, t)`` boundary maps and a provenance summary;
+* :func:`render_json` -- the same aggregates as a JSON document (the
+  full per-cell provenance stays in the JSONL log, which the document
+  references).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, Mapping
+
+from repro.analysis.tables import condition_strings
+from repro.atlas.evidence import (
+    CONFLICT,
+    CONSISTENT,
+    PROVED_SOLVABLE,
+    WITNESSED_UNSOLVABLE,
+)
+
+#: One glyph per verdict, used by the boundary maps.
+GLYPHS = {
+    PROVED_SOLVABLE: "S",
+    CONSISTENT: "c",
+    WITNESSED_UNSOLVABLE: "u",
+    CONFLICT: "!",
+}
+
+#: Table 1's four condition cells as (synchrony, numeracy) pairs.
+_FAMILIES = [
+    ("sync", False), ("sync", True), ("psync", False), ("psync", True),
+]
+
+
+def _family_key(cell: Mapping) -> tuple[str, bool]:
+    return (cell["synchrony"], bool(cell["numerate"]))
+
+
+def _model_label(cell: Mapping) -> str:
+    num = "num" if cell["numerate"] else "innum"
+    res = "res" if cell["restricted"] else "unres"
+    return f"{cell['synchrony']:<5} {num:<5} {res}"
+
+
+class AtlasAggregates:
+    """The fixed-size fold state accumulated over one row stream."""
+
+    def __init__(self) -> None:
+        self.cells = 0
+        self.verdicts: Counter = Counter()
+        #: (synchrony, numerate) -> verdict tally.
+        self.families: dict[tuple[str, bool], Counter] = {}
+        #: (n, t) -> model label -> ell -> glyph.
+        self.maps: dict[tuple[int, int], dict[str, dict[int, str]]] = {}
+        #: evidence kind -> item count.
+        self.evidence_kinds: Counter = Counter()
+        self.symbolic_only: list[str] = []
+        self.conflicts: list[dict] = []
+
+    def fold(self, row: Mapping) -> None:
+        """Accumulate one row."""
+        cell = row["cell"]
+        verdict = row["verdict"]
+        self.cells += 1
+        self.verdicts[verdict] += 1
+        family = self.families.setdefault(_family_key(cell), Counter())
+        family[verdict] += 1
+        nt_map = self.maps.setdefault((cell["n"], cell["t"]), {})
+        nt_map.setdefault(_model_label(cell), {})[cell["ell"]] = (
+            GLYPHS.get(verdict, "?")
+        )
+        non_symbolic = 0
+        for item in row.get("evidence", ()):
+            self.evidence_kinds[item.get("kind", "?")] += 1
+            if item.get("kind") != "closed-form":
+                non_symbolic += 1
+        if not non_symbolic:
+            self.symbolic_only.append(row["label"])
+        if verdict == CONFLICT:
+            self.conflicts.append({
+                "label": row["label"],
+                "evidence": row.get("evidence", ()),
+            })
+
+    @property
+    def ok(self) -> bool:
+        """No conflicts and every cell carries non-symbolic evidence."""
+        return not self.conflicts and not self.symbolic_only
+
+
+def aggregate(rows: Iterable[Mapping]) -> AtlasAggregates:
+    """Fold a row stream into the render aggregates.
+
+    Args:
+        rows: Atlas rows, e.g. ``AtlasLog(path).rows()``.
+
+    Returns:
+        The populated fold state.
+    """
+    state = AtlasAggregates()
+    for row in rows:
+        state.fold(row)
+    return state
+
+
+def _family_cell(agg: AtlasAggregates, synchrony: str, numerate: bool) -> str:
+    tally = agg.families.get((synchrony, numerate), Counter())
+    if not tally:
+        return "no cells"
+    parts = [
+        f"{tally[v]} {v}"
+        for v in (PROVED_SOLVABLE, WITNESSED_UNSOLVABLE, CONSISTENT, CONFLICT)
+        if tally[v]
+    ]
+    return ", ".join(parts)
+
+
+def render_markdown(agg: AtlasAggregates, lattice_desc: str,
+                    log_name: str) -> str:
+    """Render the atlas aggregates as a Markdown document.
+
+    Args:
+        agg: The fold state from :func:`aggregate`.
+        lattice_desc: The lattice description line.
+        log_name: Name of the JSONL log holding per-cell provenance.
+
+    Returns:
+        The Markdown text.
+    """
+    conditions = condition_strings()
+    lines = [
+        "# Solvability atlas",
+        "",
+        f"- lattice: {lattice_desc}",
+        f"- cells: {agg.cells}",
+        "- verdicts: " + (", ".join(
+            f"{agg.verdicts[v]} {v}" for v in sorted(agg.verdicts)
+        ) or "none"),
+        f"- per-cell provenance: `{log_name}` (one JSON row per cell)",
+        "",
+        "## Table 1, machine-derived",
+        "",
+        "Each condition is the paper's; the tally under it counts the "
+        "atlas cells of that model family and how their fused evidence "
+        "came out.",
+        "",
+        "| | Synchronous | Partially synchronous |",
+        "|---|---|---|",
+    ]
+    for numerate, row_name in ((False, "Innumerate"), (True, "Numerate")):
+        cells = []
+        for synchrony in ("sync", "psync"):
+            key = (
+                "synchronous" if synchrony == "sync"
+                else "partially_synchronous"
+            )
+            condition = conditions[(key, "numerate" if numerate else
+                                    "innumerate")]
+            cells.append(
+                f"`{condition}`<br>{_family_cell(agg, synchrony, numerate)}"
+            )
+        lines.append(f"| {row_name} processes | {cells[0]} | {cells[1]} |")
+    lines += [
+        "",
+        "In all cases, n must be greater than 3t.",
+        "",
+        "## Boundary maps",
+        "",
+        "`S` proved-solvable, `u` witnessed-unsolvable, `c` consistent, "
+        "`!` CONFLICT; columns are `ell = 1..n`.",
+        "",
+    ]
+    for (n, t) in sorted(agg.maps):
+        lines.append(f"### n={n}, t={t}")
+        lines.append("")
+        lines.append("```")
+        lines.append("ell:              "
+                     + " ".join(f"{ell:2d}" for ell in range(1, n + 1)))
+        per_model = agg.maps[(n, t)]
+        for label in sorted(per_model):
+            # Same geometry as the header: 2-char cells, 1-space joins,
+            # so each glyph sits under its ell column.
+            marks = " ".join(
+                f"{per_model[label].get(ell, '?'):>2}"
+                for ell in range(1, n + 1)
+            )
+            lines.append(f"{label:<18}{marks}")
+        lines.append("```")
+        lines.append("")
+    lines += [
+        "## Provenance",
+        "",
+        "- evidence items: " + (", ".join(
+            f"{agg.evidence_kinds[k]} {k}"
+            for k in sorted(agg.evidence_kinds)
+        ) or "none"),
+    ]
+    if agg.symbolic_only:
+        lines.append(
+            f"- **{len(agg.symbolic_only)} cells carry symbolic evidence "
+            f"only**: " + ", ".join(agg.symbolic_only)
+        )
+    else:
+        lines.append(
+            "- every cell carries at least one non-symbolic evidence "
+            "source (campaign verdict or explorer certificate)"
+        )
+    if agg.conflicts:
+        lines += ["", "## CONFLICTS", ""]
+        for conflict in agg.conflicts:
+            lines.append(f"- **{conflict['label']}**")
+    else:
+        lines.append("- zero CONFLICT cells")
+    return "\n".join(lines)
+
+
+def render_json(agg: AtlasAggregates, lattice_desc: str,
+                log_name: str, indent: int = 2) -> str:
+    """Render the atlas aggregates as a JSON document.
+
+    Args:
+        agg: The fold state from :func:`aggregate`.
+        lattice_desc: The lattice description line.
+        log_name: Name of the JSONL log holding per-cell provenance.
+        indent: JSON indentation.
+
+    Returns:
+        The JSON text.
+    """
+    conditions = condition_strings()
+    data = {
+        "lattice": lattice_desc,
+        "cells": agg.cells,
+        "provenance_log": log_name,
+        "verdicts": dict(sorted(agg.verdicts.items())),
+        "table1": [
+            {
+                "synchrony": synchrony,
+                "numerate": numerate,
+                "condition": conditions[(
+                    "synchronous" if synchrony == "sync"
+                    else "partially_synchronous",
+                    "numerate" if numerate else "innumerate",
+                )],
+                "tally": dict(sorted(
+                    agg.families.get((synchrony, numerate), Counter()).items()
+                )),
+            }
+            for synchrony, numerate in _FAMILIES
+        ],
+        "boundary_maps": [
+            {
+                "n": n,
+                "t": t,
+                "models": {
+                    label: {
+                        str(ell): glyph
+                        for ell, glyph in sorted(per_ell.items())
+                    }
+                    for label, per_ell in sorted(agg.maps[(n, t)].items())
+                },
+            }
+            for (n, t) in sorted(agg.maps)
+        ],
+        "evidence_items": dict(sorted(agg.evidence_kinds.items())),
+        "symbolic_only_cells": list(agg.symbolic_only),
+        "conflicts": agg.conflicts,
+        "ok": agg.ok,
+    }
+    return json.dumps(data, indent=indent, sort_keys=True)

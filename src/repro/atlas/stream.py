@@ -1,0 +1,125 @@
+"""Streaming atlas result log: append-only JSONL, resumable, bounded.
+
+The atlas is built to sweep lattices of thousands of cells, so results
+never accumulate in memory: every fused cell becomes one line of
+canonical JSON (:func:`repro.core.canonical.canonical_json`, so the
+bytes are independent of dict insertion order and hash seeds) appended
+to the log and immediately forgotten.  Reading is a generator; the
+renderer folds the stream into fixed-size aggregates.
+
+Resume contract: rows are written in lattice enumeration order and
+each row carries its cell's campaign ``unit_id`` (a content hash of the
+full cell spec).  :meth:`AtlasLog.resume_prefix` walks the existing
+file against the expected id sequence and truncates it to the longest
+valid prefix -- a torn final line (a previous run died mid-append), a
+corrupt row, or an id mismatch (the lattice or schema changed) all cut
+the prefix there.  Because every row is deterministic, a resumed run's
+final log is byte-for-byte identical to a fresh one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.core.canonical import canonical_json
+
+
+class AtlasLog:
+    """One append-only JSONL result log on disk."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+
+    def reset(self) -> None:
+        """Start a fresh log (truncate or create the file)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+
+    def append(self, row: dict) -> None:
+        """Append one row as a line of canonical JSON and flush it.
+
+        Args:
+            row: The JSON-compatible row (must contain ``unit_id``).
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(canonical_json(row) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def rows(self, limit: int | None = None) -> Iterator[dict]:
+        """Stream the log's rows without holding them in memory.
+
+        Args:
+            limit: Stop after this many rows (``None`` streams all).
+
+        Yields:
+            One parsed row dict per complete, well-formed line;
+            iteration stops silently at the first torn or corrupt line
+            (everything after it is unreachable by the resume contract).
+        """
+        if not self.path.exists():
+            return
+        count = 0
+        with self.path.open() as fh:
+            for line in fh:
+                if limit is not None and count >= limit:
+                    return
+                if not line.endswith("\n"):
+                    return  # torn final line from an interrupted append
+                try:
+                    row = json.loads(line)
+                except ValueError:
+                    return
+                if not isinstance(row, dict):
+                    return
+                yield row
+                count += 1
+
+    def resume_prefix(self, expected_unit_ids: Sequence[str]) -> int:
+        """Validate and keep the longest usable prefix of the log.
+
+        Walks existing rows against the expected per-cell unit-id
+        sequence; the first torn line, parse failure, or id mismatch
+        ends the prefix.  The file is physically truncated to the
+        surviving rows, so subsequent :meth:`append` calls continue the
+        stream seamlessly.
+
+        Args:
+            expected_unit_ids: Cell unit ids in lattice enumeration
+                order (the id hashes the full cell spec, so a changed
+                lattice, seed, or schema invalidates the tail).
+
+        Returns:
+            The number of rows kept; the next cell to execute is
+            ``expected_unit_ids[kept]``.
+        """
+        if not self.path.exists():
+            self.reset()
+            return 0
+        kept = 0
+        keep_bytes = 0
+        with self.path.open("rb") as fh:
+            for raw in fh:
+                if kept >= len(expected_unit_ids):
+                    break
+                if not raw.endswith(b"\n"):
+                    break
+                try:
+                    row = json.loads(raw)
+                except ValueError:
+                    break
+                if (
+                    not isinstance(row, dict)
+                    or row.get("unit_id") != expected_unit_ids[kept]
+                ):
+                    break
+                kept += 1
+                keep_bytes += len(raw)
+        if keep_bytes < self.path.stat().st_size:
+            with self.path.open("rb+") as fh:
+                fh.truncate(keep_bytes)
+        return kept

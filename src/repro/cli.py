@@ -18,7 +18,12 @@ Subcommands:
   parallel campaign engine (worker pool, disk cache, shardable,
   JSON/Markdown reports); ``--explore`` runs the tightness frontier and
   ``--delay`` the delay-model workload family through the same pool
-  instead.
+  instead;
+* ``atlas`` -- sweep the ``(n, t, ell)`` x model lattice and fuse, per
+  cell, the closed-form Table 1 predicate with campaign verdicts and
+  explorer certificates into a provenance-annotated verdict, streamed
+  to a resumable JSONL log and rendered as the machine-derived Table 1
+  plus per-``(n, t)`` boundary maps.
 
 ``run`` executes on the unified kernel and accepts a timing model:
 ``--timing rounds`` (lock-step, the default), ``--timing eventual``
@@ -39,6 +44,8 @@ Examples::
     python -m repro campaign --workers 4 --resume --shard 0/2
     python -m repro campaign --explore --workers 4
     python -m repro campaign --delay --workers 4
+    python -m repro atlas --quick --workers 4
+    python -m repro atlas --max-n 8 --resume --markdown atlas.md
 """
 
 from __future__ import annotations
@@ -520,6 +527,111 @@ def cmd_campaign(args) -> int:
     return 0 if report.all_consistent else 1
 
 
+def cmd_atlas(args) -> int:
+    """``atlas``: evidence-fused solvability sweep over the lattice.
+
+    Walks the requested ``(n, t, ell)`` x model lattice through
+    :func:`repro.atlas.driver.run_atlas` -- campaign-pooled, unit-cached
+    and resumable, streaming one provenance row per cell into the JSONL
+    log -- then folds the stream into the machine-derived Table 1 and
+    boundary maps, writing the Markdown/JSON reports when requested.
+
+    Args:
+        args: Parsed namespace (lattice bounds, ``workers``, ``seed``,
+            ``full``, ``resume``, ``cache_dir``, ``log``, ``markdown``,
+            ``json``, ``inject_conflict``, ``verbose``).
+
+    Returns:
+        0 when the sweep fused cleanly (zero conflicts and every cell
+        carrying non-symbolic evidence), 1 on a conflict or coverage
+        gap.
+    """
+    from repro.atlas import (
+        AtlasLog,
+        aggregate,
+        default_lattice,
+        known_violation_fixture,
+        quick_lattice,
+        render_json,
+        render_markdown,
+        run_atlas,
+    )
+    from repro.core.errors import AtlasConflict
+
+    if args.quick:
+        lattice = quick_lattice()
+    else:
+        lattice = default_lattice(
+            n_max=args.max_n,
+            t_values=tuple(args.t),
+            explore_max_n=args.explore_max_n,
+        )
+    cache_dir = args.cache_dir
+    if args.resume and cache_dir is None:
+        cache_dir = ".atlas-cache"
+    cache = CampaignCache(cache_dir) if cache_dir else None
+
+    inject = {}
+    if args.inject_conflict:
+        target = next(
+            (cell.label for cell in lattice.cells()
+             if solvable(cell.params)),
+            None,
+        )
+        if target is None:
+            raise ConfigurationError(
+                "--inject-conflict needs a predicted-solvable cell in the "
+                "lattice; widen --max-n"
+            )
+        inject[target] = [known_violation_fixture()]
+        print(f"injecting known-violation fixture into solvable cell "
+              f"{target!r}")
+
+    print(f"atlas over {lattice.describe()}")
+    try:
+        outcome = run_atlas(
+            lattice,
+            log_path=args.log,
+            seed=args.seed,
+            quick=not args.full,
+            workers=args.workers,
+            cache=cache,
+            resume=args.resume,
+            inject=inject,
+            progress=print if args.verbose else None,
+        )
+    except AtlasConflict as exc:
+        print(f"ATLAS CONFLICT (hard error): {exc}", file=sys.stderr)
+        print(f"partial rows remain in {args.log}; the conflicting cell "
+              f"was not recorded", file=sys.stderr)
+        return 1
+
+    agg = aggregate(AtlasLog(args.log).rows())
+    print(outcome.summary())
+    for (synchrony, numerate), tally in sorted(agg.families.items()):
+        name = (f"{synchrony:<5} "
+                f"{'numerate' if numerate else 'innumerate'}")
+        counts = ", ".join(f"{c} {v}" for v, c in sorted(tally.items()))
+        print(f"  {name:<18} {counts}")
+    coverage = (
+        "every cell carries non-symbolic evidence"
+        if not agg.symbolic_only
+        else f"{len(agg.symbolic_only)} cells are symbolic-only"
+    )
+    print(f"{coverage}; {len(agg.conflicts)} CONFLICT cells")
+    print(f"per-cell provenance streamed to {args.log}")
+
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(render_markdown(agg, lattice.describe(), args.log) + "\n")
+        print(f"Markdown atlas written to {args.markdown}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(render_json(agg, lattice.describe(), args.log) + "\n")
+        print(f"JSON atlas written to {args.json}")
+    return 0 if agg.ok else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -658,6 +770,48 @@ def build_parser() -> argparse.ArgumentParser:
                              "policies), late arrivals materialised as "
                              "basic-model losses")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "atlas",
+        help="evidence-fused solvability sweep over the (n, t, ell) "
+             "x model lattice",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="sweep the small CI lattice (n=3..5, t=1)")
+    p.add_argument("--max-n", type=int, default=6,
+                   help="largest n of the default lattice (ignored "
+                        "with --quick)")
+    p.add_argument("--t", type=int, nargs="+", default=[1],
+                   help="fault budgets to sweep (ignored with --quick)")
+    p.add_argument("--explore-max-n", type=int, default=4,
+                   help="largest n getting explorer evidence (ignored "
+                        "with --quick; restricted+numerate cells are "
+                        "always outside explorer scope)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (<=1 runs inline)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="battery seed shared by every cell")
+    p.add_argument("--full", action="store_true",
+                   help="run the full workload batteries instead of the "
+                        "quick ones")
+    p.add_argument("--resume", action="store_true",
+                   help="keep the valid prefix of the existing log and "
+                        "reuse the unit cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="unit cache directory (default .atlas-cache "
+                        "when --resume is set)")
+    p.add_argument("--log", default="atlas.jsonl", metavar="PATH",
+                   help="streaming JSONL result log (one row per cell)")
+    p.add_argument("--markdown", default=None, metavar="PATH",
+                   help="write the Markdown atlas here")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the JSON atlas here")
+    p.add_argument("--inject-conflict", action="store_true",
+                   help="seed a known-violation witness into a solvable "
+                        "cell to demonstrate that conflicts fail the run")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per fused cell")
+    p.set_defaults(func=cmd_atlas)
 
     return parser
 

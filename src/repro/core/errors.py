@@ -55,3 +55,24 @@ class SimulationError(ReproError):
 
 class ReplayError(ReproError):
     """A replay adversary was asked for a round missing from its trace."""
+
+
+class ProvenanceError(ReproError):
+    """An atlas cell's evidence set is structurally unusable.
+
+    Raised by the evidence fusion when a cell lacks the closed-form
+    claim, or carries no non-symbolic evidence at all: a verdict fused
+    from the symbolic predicate alone would just restate Table 1, and
+    the atlas exists to corroborate it.
+    """
+
+
+class AtlasConflict(ReproError):
+    """Machine-checked evidence contradicts the closed-form predicate.
+
+    The hard-error outcome of atlas fusion: a replayed violation
+    witness (or a failing campaign battery) inside the region Table 1
+    declares solvable, or the symmetric disagreement.  This is never a
+    tolerable data point -- it means either the implementation or the
+    reproduction of the paper's characterisation is wrong.
+    """

@@ -64,13 +64,13 @@ PROBLEMS: dict[str, AgreementProblem] = {"binary": BINARY}
 #: Salt folded into every unit id.  Bump the schema component when the
 #: shape *or semantics* of a unit result changes; the package version
 #: component makes caches written by a different release miss rather
-#: than serve results computed by different code.  ``campaign/4``:
-#: added the ``"delay"`` unit kind (delay-model workload slices on the
-#: unified kernel) and switched the seeded simulation RNGs
-#: (``RandomDrops``, the delay policies) from the salted builtin
-#: ``hash`` to :func:`repro.core.canonical.stable_seed`, which changes
-#: the sampled drop/delay patterns of existing units.
-CACHE_SCHEMA = "campaign/4"
+#: than serve results computed by different code.  ``campaign/5``:
+#: added the ``"atlas"`` unit kind (one solvability-atlas cell: the
+#: campaign-grade evidence slice plus, per the unit ``variant``,
+#: bounded strategy exploration -- see :mod:`repro.atlas.evidence`)
+#: and the ``variant`` spec field it is gated by, which enters every
+#: unit hash.
+CACHE_SCHEMA = "campaign/5"
 
 _SYNCHRONY = {s.short: s for s in Synchrony}
 
@@ -138,10 +138,13 @@ class CampaignUnit:
     unsolvable cell (indices are ``-1``), ``"explore"`` for one bounded
     strategy-exploration slice of the tightness frontier (indices name
     the assignment x Byzantine-placement pair of
-    :func:`repro.explore.units.explore_slice_keys`), or ``"delay"`` for
+    :func:`repro.explore.units.explore_slice_keys`), ``"delay"`` for
     one delay-model workload slice
     (:func:`repro.experiments.harness.run_delay_slice`) of a partially
-    synchronous solvable cell.
+    synchronous solvable cell, or ``"atlas"`` for the full evidence
+    collection of one solvability-atlas cell
+    (:func:`repro.atlas.evidence.run_atlas_unit`; ``variant`` selects
+    the cell's evidence plan).
     """
 
     label: str
@@ -157,6 +160,7 @@ class CampaignUnit:
     seed: int = 0
     quick: bool = True
     problem: str = "binary"
+    variant: str = ""
 
     def params(self) -> SystemParams:
         """Reconstruct the cell's :class:`SystemParams` from the spec."""
@@ -184,6 +188,8 @@ class CampaignUnit:
     def describe(self) -> str:
         if self.kind == "demonstration":
             where = "demonstration"
+        elif self.kind == "atlas":
+            where = self.variant or "atlas"
         else:  # "slice" and "explore" are both (assignment, byz) slices
             where = (
                 f"{self.kind} a{self.assignment_index}b{self.byzantine_index}"
@@ -217,6 +223,7 @@ class CampaignUnit:
         seed: int = 0,
         quick: bool = True,
         problem: str = "binary",
+        variant: str = "",
     ) -> "CampaignUnit":
         """Build a unit spec from live parameters.
 
@@ -230,6 +237,7 @@ class CampaignUnit:
             quick: Whether the trimmed quick battery is used.
             problem: Name of the agreement problem (key of
                 :data:`PROBLEMS`).
+            variant: Evidence-plan selector (``"atlas"`` units only).
 
         Returns:
             The frozen, hashable unit spec.
@@ -243,6 +251,7 @@ class CampaignUnit:
             assignment_index=assignment_index,
             byzantine_index=byzantine_index,
             seed=seed, quick=quick, problem=problem,
+            variant=variant,
         )
 
 
@@ -388,6 +397,44 @@ def enumerate_delay_units(
     ]
 
 
+def enumerate_atlas_units(
+    cells: Sequence[tuple[str, SystemParams, str]],
+    seed: int = 0,
+    quick: bool = True,
+    problem: str = "binary",
+) -> list[CampaignUnit]:
+    """Expand an atlas lattice into evidence-collection units.
+
+    One unit per lattice cell: the unit executes the whole
+    evidence plan of its cell (:func:`repro.atlas.evidence.
+    run_atlas_unit`), with ``variant`` naming the plan -- the atlas
+    driver keeps lattice knowledge on its side so this module stays
+    evidence-agnostic.
+
+    Args:
+        cells: ``(label, params, variant)`` triples in lattice order.
+        seed: The battery seed shared by every unit.
+        quick: Use the trimmed quick batteries.
+        problem: Name of the agreement problem.
+
+    Returns:
+        The ordered unit list.
+
+    Raises:
+        ConfigurationError: On duplicate cell labels.
+    """
+    labels = [label for label, _, _ in cells]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError(f"duplicate cell labels in {labels}")
+    return [
+        CampaignUnit.for_cell(
+            label, params, "atlas",
+            seed=seed, quick=quick, problem=problem, variant=variant,
+        )
+        for label, params, variant in cells
+    ]
+
+
 def shard_units(
     units: Sequence[CampaignUnit], index: int, count: int
 ) -> list[CampaignUnit]:
@@ -476,6 +523,26 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
             "records": outcome["records"],
             "elapsed_s": time.perf_counter() - start,
         }
+    elif unit.kind == "atlas":
+        from repro.atlas.evidence import run_atlas_unit
+        from repro.atlas.lattice import WITH_EXPLORER
+
+        outcome = run_atlas_unit(
+            params, seed=unit.seed, quick=unit.quick, problem=problem,
+            with_explorer=unit.variant == WITH_EXPLORER,
+        )
+        return {
+            "unit_id": unit.unit_id,
+            "label": unit.label,
+            "kind": unit.kind,
+            "assignment_index": unit.assignment_index,
+            "byzantine_index": unit.byzantine_index,
+            "algorithm": outcome["algorithm"],
+            "demonstration": outcome["demonstration"],
+            "records": outcome["records"],
+            "evidence": outcome["evidence"],
+            "elapsed_s": time.perf_counter() - start,
+        }
     else:
         raise ConfigurationError(f"unknown unit kind {unit.kind!r}")
     return {
@@ -496,6 +563,8 @@ def _unit_weight(unit: CampaignUnit) -> int:
     if unit.kind == "explore":
         # Per-round tree exploration (synchronous scopes) dwarfs the
         # persistent-face sweeps, and certificates dwarf violations.
+        # (Atlas units never pass through here: their driver submits
+        # in lattice order to keep its streaming reorder buffer small.)
         return unit.n ** 3 * (40 if unit.synchrony == "sync" else 4)
     weight = unit.n * unit.n
     if unit.synchrony == "psync":

@@ -150,6 +150,20 @@ class RunRecord:
     messages: int = 0
 
 
+#: Demonstration prefixes that mark a *machine-checked* construction
+#: (a scenario/partition/mirror run that exhibited its violation here),
+#: as opposed to a sound reduction to another cell's result (the
+#: assumed PSL citation, ``ell < 3t`` dominance).  The atlas grades
+#: impossibility evidence by this distinction
+#: (:mod:`repro.atlas.evidence`).
+CHECKED_DEMONSTRATION_PREFIXES = (
+    "figure-1 scenario:",
+    "figure-4 partition:",
+    "mirror scan:",
+    "explorer witness",
+)
+
+
 @dataclass
 class CellResult:
     """Outcome of validating one Table 1 cell."""
@@ -159,6 +173,16 @@ class CellResult:
     algorithm: str
     runs: list[RunRecord] = field(default_factory=list)
     demonstration: str = ""
+
+    @property
+    def demonstration_checked(self) -> bool:
+        """True when the demonstration was machine-checked here.
+
+        Reductions (the assumed PSL citation, dominance arguments) are
+        sound but exhibit nothing in *this* cell's runs; see
+        :data:`CHECKED_DEMONSTRATION_PREFIXES`.
+        """
+        return self.demonstration.startswith(CHECKED_DEMONSTRATION_PREFIXES)
 
     @property
     def empirically_consistent(self) -> bool:

@@ -58,7 +58,17 @@ class SearchStats:
         """How many raw-tree nodes each explored node stood in for."""
         return self.raw_tree_size / max(1, self.nodes_expanded)
 
-    def summary(self) -> str:
+    def deterministic_summary(self) -> str:
+        """The search counters without wall-clock time.
+
+        Everything here is a pure function of the scenario (the search
+        is deterministic), so consumers that need byte-stable text --
+        the atlas's streamed evidence rows -- use this instead of
+        :meth:`summary`.
+
+        Returns:
+            The counter summary, ``elapsed_s`` excluded.
+        """
         # raw_tree_size is only complete for exhausted searches; a
         # violation aborts mid-count, so the comparison is omitted.
         raw = (
@@ -72,8 +82,11 @@ class SearchStats:
             f"{self.children_deduped} duplicate faces, "
             f"{self.transposition_hits} transposition hits); "
             + raw
-            + f"depth {self.max_depth}, {self.elapsed_s:.2f}s"
+            + f"depth {self.max_depth}"
         )
+
+    def summary(self) -> str:
+        return f"{self.deterministic_summary()}, {self.elapsed_s:.2f}s"
 
 
 @dataclass

@@ -97,11 +97,20 @@ class ExploreScenario:
 
     @property
     def correct(self) -> tuple[int, ...]:
+        """Indices of correct processes, ascending."""
         byz = set(self.byzantine)
         return tuple(k for k in range(self.params.n) if k not in byz)
 
     def describe_dict(self) -> dict:
-        """The certificate's scenario section."""
+        """The certificate's scenario section.
+
+        Returns:
+            A JSON-compatible dict recording everything the bounded
+            family is quantified over -- parameters, assignment,
+            Byzantine placement, inputs, depth, mode, ghost plans,
+            mimic flag and cut alternatives -- so a certificate's
+            claim is auditable against its stated bounds.
+        """
         return {
             "params": self.params.describe(),
             "algorithm": self.algorithm,

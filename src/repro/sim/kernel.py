@@ -138,7 +138,15 @@ class TimingModel(ABC):
         return ()
 
     def ticks_executed(self, rounds: int) -> int:
-        """Network ticks consumed by ``rounds`` executed rounds."""
+        """Network ticks consumed by ``rounds`` executed rounds.
+
+        Args:
+            rounds: Number of rounds the kernel executed.
+
+        Returns:
+            The tick count -- one tick per round for the round-granular
+            models; delay models scale by their ``delta`` window.
+        """
         return rounds
 
 
@@ -327,6 +335,21 @@ class ExecutionKernel:
        addressed to it -- as a multiset when the model is numerate, a
        set otherwise;
     4. new decisions are collected into the trace.
+
+    Args:
+        params: The system parameters (fix ``n`` and the model flags).
+        assignment: The identifier assignment (must agree with ``n``).
+        processes: One :class:`~repro.sim.process.Process` per correct
+            slot, ``None`` in Byzantine slots.
+        byzantine: Byzantine slot indices.
+        adversary: The Byzantine strategy (defaults to silence).
+        timing: The timing model (defaults to :class:`LockStep`).
+
+    Raises:
+        ConfigurationError: On any structural mismatch -- wrong process
+            count, out-of-range Byzantine indices, a missing correct
+            process object, or a process claiming an identifier the
+            assignment does not give its slot.
     """
 
     def __init__(
@@ -398,9 +421,16 @@ class ExecutionKernel:
         return self._correct
 
     def all_correct_decided(self) -> bool:
+        """True when every correct process has decided."""
         return all(self.processes[k].decided for k in self._correct)
 
     def decisions(self) -> dict[int, Hashable]:
+        """Decisions so far.
+
+        Returns:
+            ``correct index -> decided value`` for the correct
+            processes that have decided (undecided slots absent).
+        """
         return {
             k: self.processes[k].decision
             for k in self._correct
@@ -484,11 +514,25 @@ class ExecutionKernel:
         return record
 
     def step(self) -> RoundRecord:
-        """Execute one round and return its trace record."""
+        """Execute one full round (compose, emit, deliver, record).
+
+        Returns:
+            The round's appended :class:`~repro.sim.trace.RoundRecord`.
+        """
         return self.finish_round(self.compose_round())
 
     def run(self, max_rounds: int, stop_when_all_decided: bool = True) -> int:
-        """Run up to ``max_rounds`` rounds; return the number executed."""
+        """Step the kernel until decision or the round budget runs out.
+
+        Args:
+            max_rounds: Upper bound on rounds to execute.
+            stop_when_all_decided: Stop early once every correct
+                process has decided (disable to observe post-decision
+                rounds).
+
+        Returns:
+            The number of rounds actually executed.
+        """
         executed = 0
         for _ in range(max_rounds):
             self.step()

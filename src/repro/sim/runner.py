@@ -230,7 +230,26 @@ def run_agreement(
     max_rounds: int = 200,
     require_termination: bool = True,
 ) -> ExecutionResult:
-    """Convenience wrapper: build processes from a factory, then run."""
+    """Convenience wrapper: build processes from a factory, then run.
+
+    Args:
+        params: The system parameters.
+        assignment: The identifier assignment.
+        factory: ``(identifier, proposal) -> Process`` builder for
+            correct slots.
+        proposals: ``correct slot index -> input value``.
+        byzantine: Byzantine slot indices.
+        adversary: The Byzantine strategy (defaults to silence).
+        drop_schedule: Legacy basic-model drop schedule (exclusive
+            with ``timing``).
+        timing: Explicit :class:`~repro.sim.kernel.TimingModel`.
+        max_rounds: Round budget.
+        require_termination: Count non-termination within the budget
+            as a violation.
+
+    Returns:
+        The finished :class:`ExecutionResult`.
+    """
     processes = make_processes(factory, assignment, proposals, byzantine)
     return run_execution(
         params=params,

@@ -1,0 +1,411 @@
+"""Solvability atlas: provenance fusion, streaming resume, conflicts.
+
+The atlas's three contracts, pinned here:
+
+* **fusion** -- a cell verdict needs the closed-form claim *and*
+  non-symbolic evidence; decisive evidence contradicting the closed
+  form is a hard :class:`~repro.core.errors.AtlasConflict`; weaker
+  grades corroborate without proving.
+* **streaming** -- the JSONL log is append-only and resumable: a run
+  resumed mid-lattice (including from a torn final line) finishes
+  byte-for-byte identical to a fresh run.
+* **conflict policy end to end** -- a seeded known-violation witness
+  planted inside the predicted-solvable region fails the whole sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.atlas import (
+    CONFLICT,
+    CONSISTENT,
+    PROVED_SOLVABLE,
+    WITNESSED_UNSOLVABLE,
+    AtlasLog,
+    LatticeSpec,
+    aggregate,
+    closed_form_evidence,
+    fuse_evidence,
+    known_violation_fixture,
+    quick_lattice,
+    render_json,
+    render_markdown,
+    run_atlas,
+    run_atlas_unit,
+)
+from repro.cli import main
+from repro.core.errors import (
+    AtlasConflict,
+    ConfigurationError,
+    ProvenanceError,
+)
+from repro.core.params import Synchrony, SystemParams
+from repro.experiments.campaign import CampaignCache, enumerate_atlas_units
+
+PSYNC = Synchrony.PARTIALLY_SYNCHRONOUS
+
+SOLVABLE = SystemParams(n=4, ell=4, t=1)
+UNSOLVABLE = SystemParams(n=3, ell=3, t=1)
+
+#: A one-n lattice: 24 cells, all predicted unsolvable, seconds to run.
+TINY = LatticeSpec(n_min=3, n_max=3, t_values=(1,), explore_max_n=3)
+
+
+def _ev(kind, claim, grade, source="test", detail="detail"):
+    return {"kind": kind, "source": source, "claim": claim, "grade": grade,
+            "detail": detail}
+
+
+class TestClosedForm:
+    def test_claim_matches_the_predicate(self):
+        assert closed_form_evidence(SOLVABLE)["claim"] == "solvable"
+        assert closed_form_evidence(UNSOLVABLE)["claim"] == "unsolvable"
+
+    def test_detail_instantiates_the_condition(self):
+        item = closed_form_evidence(
+            SystemParams(n=9, ell=6, t=1, synchrony=PSYNC)
+        )
+        assert "2*ell" in item["detail"]
+        assert item["grade"] == "theorem"
+        assert item["kind"] == "closed-form"
+
+
+class TestFusion:
+    def test_missing_closed_form_raises(self):
+        with pytest.raises(ProvenanceError):
+            fuse_evidence(
+                SOLVABLE, [_ev("campaign", "solvable", "verdict")]
+            )
+
+    def test_symbolic_only_raises(self):
+        # ``consistent`` requires both evidence kinds present: the
+        # closed form alone is never enough for a verdict.
+        with pytest.raises(ProvenanceError):
+            fuse_evidence(SOLVABLE, [closed_form_evidence(SOLVABLE)])
+
+    def test_consistent_needs_only_presence_not_decision(self):
+        verdict = fuse_evidence(UNSOLVABLE, [
+            closed_form_evidence(UNSOLVABLE),
+            _ev("campaign", None, "inconclusive"),
+        ])
+        assert verdict == CONSISTENT
+
+    def test_certificate_supports_without_proving(self):
+        verdict = fuse_evidence(SOLVABLE, [
+            closed_form_evidence(SOLVABLE),
+            _ev("explorer", "solvable", "certificate"),
+        ])
+        assert verdict == CONSISTENT
+
+    def test_derived_demonstration_supports_without_proving(self):
+        verdict = fuse_evidence(UNSOLVABLE, [
+            closed_form_evidence(UNSOLVABLE),
+            _ev("campaign", "unsolvable", "derived"),
+        ])
+        assert verdict == CONSISTENT
+
+    def test_campaign_verdict_proves_solvable(self):
+        verdict = fuse_evidence(SOLVABLE, [
+            closed_form_evidence(SOLVABLE),
+            _ev("campaign", "solvable", "verdict"),
+        ])
+        assert verdict == PROVED_SOLVABLE
+
+    def test_witness_proves_unsolvable(self):
+        verdict = fuse_evidence(UNSOLVABLE, [
+            closed_form_evidence(UNSOLVABLE),
+            _ev("explorer", "unsolvable", "witness"),
+        ])
+        assert verdict == WITNESSED_UNSOLVABLE
+
+    def test_closed_form_vs_witness_conflict_raises(self):
+        with pytest.raises(AtlasConflict):
+            fuse_evidence(SOLVABLE, [
+                closed_form_evidence(SOLVABLE),
+                _ev("explorer", "unsolvable", "witness"),
+            ])
+
+    def test_closed_form_vs_battery_conflict_raises(self):
+        with pytest.raises(AtlasConflict):
+            fuse_evidence(SOLVABLE, [
+                closed_form_evidence(SOLVABLE),
+                _ev("campaign", "unsolvable", "verdict"),
+            ])
+
+    def test_non_strict_returns_conflict_verdict(self):
+        verdict = fuse_evidence(
+            SOLVABLE,
+            [closed_form_evidence(SOLVABLE),
+             _ev("explorer", "unsolvable", "witness")],
+            strict=False,
+        )
+        assert verdict == CONFLICT
+
+    def test_unconfirmed_witness_never_conflicts(self):
+        verdict = fuse_evidence(SOLVABLE, [
+            closed_form_evidence(SOLVABLE),
+            _ev("explorer", "unsolvable", "unconfirmed"),
+        ])
+        assert verdict == CONSISTENT
+
+    def test_fixture_conflicts_on_any_solvable_cell(self):
+        with pytest.raises(AtlasConflict):
+            fuse_evidence(SOLVABLE, [
+                closed_form_evidence(SOLVABLE),
+                _ev("campaign", "solvable", "verdict"),
+                known_violation_fixture(),
+            ])
+
+
+class TestLattice:
+    def test_enumeration_is_deterministic_with_unique_labels(self):
+        cells_a = quick_lattice().cells()
+        cells_b = quick_lattice().cells()
+        assert cells_a == cells_b
+        labels = [c.label for c in cells_a]
+        assert len(set(labels)) == len(labels)
+        # n=3..5 x ell=1..n x 8 models.
+        assert len(cells_a) == (3 + 4 + 5) * 8
+
+    def test_explorer_scope_gates_size_and_family(self):
+        lattice = LatticeSpec(n_min=3, n_max=4, explore_max_n=3)
+        for cell in lattice.cells():
+            restricted_numerate = (
+                cell.params.restricted and cell.params.numerate
+            )
+            expected = cell.params.n <= 3 and not restricted_numerate
+            assert cell.with_explorer is expected
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatticeSpec(n_min=5, n_max=4)
+        with pytest.raises(ConfigurationError):
+            LatticeSpec(t_values=())
+        with pytest.raises(ConfigurationError):
+            LatticeSpec(models=())
+
+
+class TestAtlasUnit:
+    def test_solvable_psync_cell_covers_both_timing_models(self):
+        result = run_atlas_unit(
+            SystemParams(n=4, ell=2, t=1, synchrony=PSYNC,
+                         numerate=True, restricted=True),
+            quick=True,
+        )
+        sources = [e["source"] for e in result["evidence"]]
+        assert any(s.startswith("validation slice") for s in sources)
+        assert any(s.startswith("delay-model slice") for s in sources)
+        assert all(e["claim"] == "solvable" for e in result["evidence"])
+
+    def test_unsolvable_cell_yields_witness_demonstration(self):
+        # n=5, ell=3t: the Figure 1 scenario runs and exhibits the
+        # contradiction, so the demonstration is witness-grade.
+        result = run_atlas_unit(SystemParams(n=5, ell=3, t=1), quick=True)
+        (item,) = result["evidence"]
+        assert item["claim"] == "unsolvable"
+        assert item["grade"] == "witness"
+        assert result["demonstration"]
+
+    def test_psl_reduction_is_derived_not_witness(self):
+        # n=3 <= 3t: the PSL impossibility is cited, not machine-checked
+        # here, so its campaign evidence only supports the claim.
+        result = run_atlas_unit(UNSOLVABLE, quick=True)
+        (item,) = result["evidence"]
+        assert item["claim"] == "unsolvable"
+        assert item["grade"] == "derived"
+
+    def test_explorer_evidence_carries_replayed_witness(self):
+        result = run_atlas_unit(
+            SystemParams(n=3, ell=3, t=1, synchrony=PSYNC),
+            quick=True, with_explorer=True,
+        )
+        explorer = [e for e in result["evidence"]
+                    if e["kind"] == "explorer"]
+        assert explorer, "explorer evidence missing"
+        assert explorer[0]["grade"] == "witness"
+        assert "witness" in explorer[0]
+
+
+class TestStream:
+    def test_append_then_stream_roundtrips(self, tmp_path):
+        log = AtlasLog(tmp_path / "log.jsonl")
+        log.reset()
+        rows = [{"unit_id": f"u{i}", "value": i} for i in range(5)]
+        for row in rows:
+            log.append(row)
+        assert list(log.rows()) == rows
+        assert list(log.rows(limit=2)) == rows[:2]
+
+    def test_torn_final_line_is_invisible(self, tmp_path):
+        log = AtlasLog(tmp_path / "log.jsonl")
+        log.reset()
+        log.append({"unit_id": "u0"})
+        with log.path.open("a") as fh:
+            fh.write('{"unit_id": "u1"')  # no newline: torn append
+        assert [r["unit_id"] for r in log.rows()] == ["u0"]
+
+    def test_resume_prefix_truncates_at_first_mismatch(self, tmp_path):
+        log = AtlasLog(tmp_path / "log.jsonl")
+        log.reset()
+        for uid in ("a", "b", "stale", "d"):
+            log.append({"unit_id": uid})
+        kept = log.resume_prefix(["a", "b", "c", "d"])
+        assert kept == 2
+        assert [r["unit_id"] for r in log.rows()] == ["a", "b"]
+
+    def test_resume_prefix_of_missing_file_is_zero(self, tmp_path):
+        log = AtlasLog(tmp_path / "fresh.jsonl")
+        assert log.resume_prefix(["a"]) == 0
+        assert log.path.exists()
+
+
+class TestDriver:
+    def _fresh(self, tmp_path, name, **kwargs):
+        path = tmp_path / name
+        outcome = run_atlas(TINY, path, quick=True, **kwargs)
+        return path, outcome
+
+    def test_jsonl_resume_mid_lattice_equals_fresh_byte_for_byte(
+        self, tmp_path
+    ):
+        fresh_path, fresh = self._fresh(tmp_path, "fresh.jsonl")
+        assert fresh.written == fresh.cells_total
+
+        resumed_path = tmp_path / "resumed.jsonl"
+        lines = fresh_path.read_bytes().splitlines(keepends=True)
+        resumed_path.write_bytes(b"".join(lines[:7]) + b'{"torn')
+        resumed = run_atlas(TINY, resumed_path, quick=True, resume=True)
+        assert resumed.resumed == 7
+        assert resumed.written == resumed.cells_total - 7
+        assert resumed_path.read_bytes() == fresh_path.read_bytes()
+
+    def test_unit_cache_skips_execution_on_resume(self, tmp_path):
+        cache = CampaignCache(tmp_path / "cache")
+        first_path, first = self._fresh(tmp_path, "a.jsonl", cache=cache)
+        second_path, second = self._fresh(
+            tmp_path, "b.jsonl", cache=cache, resume=True
+        )
+        assert first.executed == first.cells_total
+        assert second.executed == 0
+        assert second.cached == second.cells_total
+        assert second_path.read_bytes() == first_path.read_bytes()
+
+    def test_every_cell_carries_non_symbolic_evidence(self, tmp_path):
+        path, outcome = self._fresh(tmp_path, "atlas.jsonl")
+        agg = aggregate(AtlasLog(path).rows())
+        assert agg.symbolic_only == []
+        assert agg.conflicts == []
+        assert outcome.ok
+
+    def test_injected_witness_conflict_fails_the_run(self, tmp_path):
+        target = next(
+            c.label for c in TINY.cells()
+            if c.params.synchrony is PSYNC
+        )
+        with pytest.raises(AtlasConflict):
+            run_atlas(
+                TINY, tmp_path / "log.jsonl", quick=True,
+                inject={target: [
+                    {"kind": "explorer", "source": "fixture",
+                     "claim": "solvable", "grade": "witness",
+                     "detail": "forged"},
+                ]},
+            )
+
+    def test_injection_is_incompatible_with_resume(self, tmp_path):
+        # A resumed prefix would bypass the injected evidence, turning
+        # the conflict fixture into a silent no-op; refuse the combo.
+        with pytest.raises(ConfigurationError):
+            run_atlas(
+                TINY, tmp_path / "log.jsonl", quick=True, resume=True,
+                inject={TINY.cells()[0].label: [known_violation_fixture()]},
+            )
+
+    def test_non_strict_records_conflict_rows(self, tmp_path):
+        target = TINY.cells()[0].label
+        path = tmp_path / "log.jsonl"
+        outcome = run_atlas(
+            TINY, path, quick=True, strict=False,
+            inject={target: [
+                {"kind": "explorer", "source": "fixture",
+                 "claim": "solvable", "grade": "witness",
+                 "detail": "forged"},
+            ]},
+        )
+        assert not outcome.ok
+        assert outcome.verdicts[CONFLICT] == 1
+        rows = list(AtlasLog(path).rows())
+        assert rows[0]["verdict"] == CONFLICT
+
+
+class TestRender:
+    def _rows(self, tmp_path):
+        path, _ = TestDriver()._fresh(tmp_path, "render.jsonl")
+        return path, list(AtlasLog(path).rows())
+
+    def test_markdown_reproduces_the_four_conditions(self, tmp_path):
+        path, rows = self._rows(tmp_path)
+        agg = aggregate(iter(rows))
+        text = render_markdown(agg, TINY.describe(), path.name)
+        for condition in ("ell > 3t", "2*ell > n + 3t", "ell > t"):
+            assert condition in text
+        assert "zero CONFLICT cells" in text
+        assert "non-symbolic evidence" in text
+
+    def test_json_document_is_valid_and_consistent(self, tmp_path):
+        path, rows = self._rows(tmp_path)
+        agg = aggregate(iter(rows))
+        data = json.loads(render_json(agg, TINY.describe(), path.name))
+        assert data["cells"] == len(rows)
+        assert data["ok"] is True
+        assert len(data["table1"]) == 4
+        assert all(entry["condition"] for entry in data["table1"])
+
+    def test_boundary_map_glyphs_cover_every_ell(self, tmp_path):
+        path, rows = self._rows(tmp_path)
+        agg = aggregate(iter(rows))
+        ((n, t), per_model) = next(iter(agg.maps.items()))
+        assert (n, t) == (3, 1)
+        for per_ell in per_model.values():
+            assert set(per_ell) == {1, 2, 3}
+
+
+class TestUnits:
+    def test_atlas_units_hash_the_variant(self):
+        cells = [("cell", SOLVABLE, "campaign"),
+                 ("cell2", SOLVABLE, "campaign+explorer")]
+        units = enumerate_atlas_units(cells, seed=0, quick=True)
+        assert units[0].unit_id != units[1].unit_id
+        assert all(u.kind == "atlas" for u in units)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_atlas_units(
+                [("cell", SOLVABLE, ""), ("cell", SOLVABLE, "")]
+            )
+
+
+class TestCLI:
+    def test_atlas_subcommand_quick_smoke(self, tmp_path, capsys):
+        code = main([
+            "atlas", "--max-n", "3", "--explore-max-n", "0",
+            "--log", str(tmp_path / "atlas.jsonl"),
+            "--markdown", str(tmp_path / "atlas.md"),
+            "--json", str(tmp_path / "atlas.json"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 CONFLICT cells" in out
+        assert (tmp_path / "atlas.md").exists()
+        assert (tmp_path / "atlas.json").exists()
+
+    def test_atlas_inject_conflict_exits_nonzero(self, tmp_path, capsys):
+        code = main([
+            "atlas", "--max-n", "4", "--explore-max-n", "0",
+            "--log", str(tmp_path / "atlas.jsonl"),
+            "--inject-conflict",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "ATLAS CONFLICT" in captured.err

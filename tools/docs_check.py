@@ -25,7 +25,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Markdown files whose links must resolve.
-CHECKED_FILES = ["README.md", "docs/ARCHITECTURE.md"]
+CHECKED_FILES = [
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/ATLAS.md",
+    "docs/API.md",
+]
 
 #: Headings the README must contain (substring match on heading text).
 REQUIRED_README_SECTIONS = [
@@ -38,6 +43,7 @@ REQUIRED_README_SECTIONS = [
     "The message fabric and exact metrics",
     "The execution kernel and delay models",
     "The strategy explorer",
+    "The solvability atlas",
     "Examples",
     "Architecture",
     "Testing and benchmarks",
