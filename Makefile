@@ -6,8 +6,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-all bench-quick bench-fabric bench-delay bench-explore \
-	bench-atlas docs-check api-docs campaign explore-frontier \
-	atlas-quick atlas clean
+	bench-atlas bench-snapshot docs-check api-docs campaign \
+	explore-frontier atlas-quick atlas clean
 
 ## tier-1: docs consistency plus the fast test suite (the bar every
 ## change must clear). docs-check runs first so a stale README section
@@ -42,6 +42,14 @@ bench-explore:
 bench-atlas:
 	$(PYTHON) -m pytest benchmarks/test_bench_atlas.py -q -s
 
+## the reference-comparison benches, with machine-readable
+## BENCH_<topic>.json snapshots written to bench-snapshots/
+bench-snapshot:
+	BENCH_SNAPSHOT_DIR=bench-snapshots $(PYTHON) -m pytest \
+	    benchmarks/test_bench_fabric.py \
+	    benchmarks/test_bench_delay_kernel.py \
+	    benchmarks/test_bench_campaign.py -q -s
+
 ## README sections + intra-repo doc links + API.md staleness
 docs-check:
 	$(PYTHON) tools/docs_check.py
@@ -70,6 +78,6 @@ atlas:
 	    --markdown atlas.md --json atlas.json
 
 clean:
-	rm -rf .campaign-cache .atlas-cache .pytest_cache
+	rm -rf .campaign-cache .atlas-cache .pytest_cache bench-snapshots
 	rm -f atlas.jsonl atlas.md atlas.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

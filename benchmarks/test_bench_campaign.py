@@ -18,7 +18,7 @@ from __future__ import annotations
 import os
 import time
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_once, snapshot
 from repro.experiments.campaign import run_campaign, table1_cells
 from repro.experiments.harness import evaluate_cell
 
@@ -61,6 +61,13 @@ def test_campaign_vs_sequential_throughput(benchmark):
     cpus = _usable_cpus()
     benchmark.extra_info["speedup"] = round(speedup, 2)
     benchmark.extra_info["cpus"] = cpus
+    snapshot(
+        "campaign",
+        {"workers": 4, "quick": True, "cells": len(campaign)},
+        ops_per_s=total_runs / par_s if par_s else float("inf"),
+        speedup=speedup,
+        extra={"cpus": cpus},
+    )
     emit("Campaign throughput (quick Table 1 battery)", [
         ("mode", "wall s", "runs/s"),
         ("sequential harness", f"{seq_s:.2f}", f"{total_runs / seq_s:.1f}"),

@@ -22,7 +22,7 @@ import os
 import time
 from typing import Hashable
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_once, snapshot
 from repro.core.identity import balanced_assignment
 from repro.core.params import SystemParams, Synchrony
 from repro.sim.delay import EventuallyBoundedDelays, ReferenceDelaySimulator
@@ -107,6 +107,12 @@ def test_delay_kernel_throughput(benchmark):
     cpus = _usable_cpus()
     benchmark.extra_info["delay_speedup"] = round(speedup, 2)
     benchmark.extra_info["cpus"] = cpus
+    snapshot(
+        "delay_kernel",
+        {"n": n, "ell": ell, "rounds": rounds},
+        ops_per_s=kernel_sps,
+        speedup=speedup,
+    )
     min_speedup = float(os.environ.get("DELAY_BENCH_MIN_SPEEDUP", "2.0"))
     if cpus >= 2 and min_speedup > 0:
         assert speedup >= min_speedup, (

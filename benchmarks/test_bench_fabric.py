@@ -19,7 +19,7 @@ import os
 import time
 from typing import Hashable
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_once, snapshot
 from repro.adversaries.generic import RandomByzantineAdversary
 from repro.core.identity import balanced_assignment
 from repro.core.params import SystemParams, Synchrony
@@ -105,6 +105,15 @@ def test_fabric_step_throughput(benchmark):
     clean_speedup = results["clean"][0] / results["clean"][1]
     benchmark.extra_info["clean_speedup"] = round(clean_speedup, 2)
     benchmark.extra_info["cpus"] = cpus
+    snapshot(
+        "fabric",
+        {"n": n, "ell": ell, "rounds": rounds, "byzantine": len(byz)},
+        ops_per_s=results["clean"][0],
+        speedup=clean_speedup,
+        extra={"byz_delta_speedup": round(
+            results["byz-delta"][0] / results["byz-delta"][1], 2
+        )},
+    )
     min_speedup = float(os.environ.get("FABRIC_BENCH_MIN_SPEEDUP", "2.0"))
     if cpus >= 2 and min_speedup > 0:
         assert clean_speedup >= min_speedup, (

@@ -4,40 +4,26 @@ Regenerates the primitive's specification behaviour as measurable
 series: multiplicity accuracy (alpha' between the correct-broadcaster
 count and that count plus f_i -- the Correctness and Unforgeability
 window), accept latency within the broadcast superround after
-stabilisation, and the relay bound.
+stabilisation, and the relay bound.  Runs ride the kernel runner
+(`repro.broadcast.runner.run_multiplicity_broadcast`), the same path
+`tests/test_kernel_conformance.py` pins against the frozen oracle.
 """
 
 import pytest
 
 from benchmarks.conftest import emit, run_once
-from repro.broadcast.multiplicity import ECHO_TAG, MultiplicityBroadcast
+from repro.broadcast.multiplicity import ECHO_TAG
+from repro.broadcast.runner import run_multiplicity_broadcast
 from repro.core.identity import stacked_assignment
-from repro.core.params import SystemParams
-from repro.core.problem import BINARY
 from repro.sim.adversary import Adversary
-from repro.sim.network import RoundEngine
-
-from tests.test_multiplicity_broadcast import MultiplicityHost
 
 
 def run_broadcast_system(n, ell, t, byz=(), adversary=None, rounds=8):
-    params = SystemParams(n=n, ell=ell, t=t, numerate=True, restricted=True)
-    assignment = stacked_assignment(n, ell)
-    processes = [
-        None if k in byz else MultiplicityHost(
-            assignment.identifier_of(k),
-            assignment.identifier_of(k) == 1,  # identifier 1 broadcasts
-            n, t,
-        )
-        for k in range(n)
-    ]
-    engine = RoundEngine(
-        params=params, assignment=assignment, processes=processes,
-        byzantine=byz, adversary=adversary,
+    run = run_multiplicity_broadcast(
+        n, ell, t, broadcaster_ident=1,  # identifier 1 broadcasts "m"
+        byzantine=byz, adversary=adversary, rounds=rounds,
     )
-    for _ in range(rounds):
-        engine.step()
-    return [p for p in processes if p is not None], assignment
+    return run.correct_processes, run.assignment
 
 
 class CountInflator(Adversary):

@@ -29,6 +29,7 @@ from repro.adversaries.partition import (
     run_partition_attack,
 )
 from repro.adversaries.scenario import (
+    ReferenceScenarioSystem,
     ScenarioOutcome,
     ScenarioSystem,
     ViewReport,
@@ -48,6 +49,7 @@ __all__ = [
     "PartitionLayout",
     "PartitionOutcome",
     "RandomByzantineAdversary",
+    "ReferenceScenarioSystem",
     "ReplayAdversary",
     "ScenarioOutcome",
     "ScenarioSystem",

@@ -43,15 +43,25 @@ and reports which requirement broke.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Hashable, Sequence
 
 from repro.core.errors import ConfigurationError
 from repro.core.identity import IdentityAssignment
 from repro.core.params import SystemParams
+from repro.sim.kernel import (
+    BasicPsync,
+    ComposedTiming,
+    EngineCheckpoint,
+    ExecutionKernel,
+    TimingModel,
+)
+from repro.sim.metrics import Metrics, RoundDeliveries, metrics_from_deliveries
+from repro.sim.network import ReferenceRoundEngine
+from repro.sim.partial import DropSchedule
 from repro.sim.process import Process
-from repro.sim.network import RoundEngine
 from repro.sim.topology import DirectedTopology
+from repro.sim.trace import Trace
 
 #: Factory for the algorithm under test: ``(identifier, input) -> Process``.
 AlgorithmFactory = Callable[[int, Hashable], Process]
@@ -71,10 +81,25 @@ class ViewReport:
 
 @dataclass(frozen=True)
 class ScenarioOutcome:
-    """Result of the full Figure 1 run."""
+    """Result of the full Figure 1 run.
+
+    Since the kernel port the outcome also carries the execution's
+    observability products: the exact per-round delivery log (and the
+    :class:`~repro.sim.metrics.Metrics` derived from it), the full
+    trace, and any mid-run checkpoints requested via
+    ``checkpoint_every`` -- all for free from
+    :class:`~repro.sim.kernel.ExecutionKernel`.
+    """
 
     views: tuple[ViewReport, ...]
     rounds_executed: int
+    metrics: Metrics | None = None
+    trace: Trace | None = None
+    deliveries: tuple[RoundDeliveries, ...] = ()
+    losses: tuple[tuple[int, int, int], ...] = ()
+    checkpoints: tuple[EngineCheckpoint, ...] = field(
+        default=(), repr=False, compare=False
+    )
 
     @property
     def contradiction_exhibited(self) -> bool:
@@ -171,13 +196,8 @@ class ScenarioSystem:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, factory: AlgorithmFactory, max_rounds: int) -> ScenarioOutcome:
-        """Build the big system, run it, and check the three views."""
-        params = SystemParams(n=self.total, ell=self.ell, t=0)
-        assignment = IdentityAssignment(self.ell, self.ids)
-        processes: list[Process] = [
-            factory(self.ids[k], self.inputs[k]) for k in range(self.total)
-        ]
+    def topology(self) -> DirectedTopology:
+        """The directed view wiring as a topology object."""
         in_neighbors = {}
         for c, members in enumerate(self.column_members):
             allowed: set[int] = set()
@@ -185,14 +205,92 @@ class ScenarioSystem:
                 allowed.update(self.column_members[c_in])
             for k in members:
                 in_neighbors[k] = frozenset(allowed)
-        engine = RoundEngine(
+        return DirectedTopology(in_neighbors)
+
+    def _timing_model(
+        self,
+        drop_schedule: DropSchedule | None,
+        timing: TimingModel | None,
+    ) -> TimingModel:
+        """Stack the structural view wiring under the caller's timing.
+
+        The Figure 1 wiring is not optional -- it *is* the scenario --
+        so a caller-supplied timing model composes with it via
+        :class:`~repro.sim.kernel.ComposedTiming` rather than replacing
+        it.
+        """
+        if timing is not None and drop_schedule is not None:
+            raise ConfigurationError(
+                "pass either an explicit timing model or a drop "
+                "schedule, not both"
+            )
+        structural = BasicPsync(drop_schedule, self.topology())
+        if timing is None:
+            return structural
+        return ComposedTiming(structural, timing)
+
+    def _build(self, factory: AlgorithmFactory):
+        params = SystemParams(n=self.total, ell=self.ell, t=0)
+        assignment = IdentityAssignment(self.ell, self.ids)
+        processes: list[Process] = [
+            factory(self.ids[k], self.inputs[k]) for k in range(self.total)
+        ]
+        return params, assignment, processes
+
+    def run(
+        self,
+        factory: AlgorithmFactory,
+        max_rounds: int,
+        drop_schedule: DropSchedule | None = None,
+        timing: TimingModel | None = None,
+        checkpoint_every: int | None = None,
+    ) -> ScenarioOutcome:
+        """Build the big system, run it, and check the three views.
+
+        The orchestration drives :class:`~repro.sim.kernel.ExecutionKernel`
+        through its ``compose_round``/``finish_round`` split, so the
+        scenario gets delivery metrics, checkpointing and pluggable
+        timing models for free.
+
+        Args:
+            factory: The algorithm under test.
+            max_rounds: Round budget (the run stops early once every
+                process decided).
+            drop_schedule: Optional basic-model losses stacked on top
+                of the view wiring (exclusive with ``timing``).
+            timing: Optional extra :class:`~repro.sim.kernel.TimingModel`
+                composed with the structural wiring (exclusive with
+                ``drop_schedule``).
+            checkpoint_every: When set, snapshot the kernel every that
+                many rounds; the snapshots ride on the outcome.
+
+        Returns:
+            The :class:`ScenarioOutcome` with the three view reports
+            and the execution's metrics, trace and delivery log.
+        """
+        params, assignment, processes = self._build(factory)
+        engine = ExecutionKernel(
             params=params,
             assignment=assignment,
             processes=processes,
-            topology=DirectedTopology(in_neighbors),
+            timing=self._timing_model(drop_schedule, timing),
         )
-        engine.run(max_rounds=max_rounds, stop_when_all_decided=True)
+        checkpoints: list[EngineCheckpoint] = []
+        for _ in range(max_rounds):
+            payloads = engine.compose_round()
+            engine.finish_round(payloads)
+            if checkpoint_every and engine.round_no % checkpoint_every == 0:
+                checkpoints.append(engine.checkpoint())
+            if engine.all_correct_decided():
+                break
+        return self._outcome(engine, processes, checkpoints)
 
+    def _outcome(
+        self,
+        engine: ExecutionKernel,
+        processes: Sequence[Process],
+        checkpoints: Sequence[EngineCheckpoint] = (),
+    ) -> ScenarioOutcome:
         views = self.view_columns()
         reports = [
             self._check_unanimity("V1", views["V1"], processes, expected=0),
@@ -200,7 +298,13 @@ class ScenarioSystem:
             self._check_agreement("V3", views["V3"], processes),
         ]
         return ScenarioOutcome(
-            views=tuple(reports), rounds_executed=len(engine.trace)
+            views=tuple(reports),
+            rounds_executed=len(engine.trace),
+            metrics=metrics_from_deliveries(engine.deliveries),
+            trace=engine.trace,
+            deliveries=tuple(engine.deliveries),
+            losses=tuple(engine.losses),
+            checkpoints=tuple(checkpoints),
         )
 
     def _check_unanimity(
@@ -248,6 +352,47 @@ class ScenarioSystem:
             key = "undecided" if value is None else repr(value)
             buckets[key] = buckets.get(key, 0) + 1
         return ", ".join(f"{k}x{v}" for k, v in sorted(buckets.items()))
+
+
+class ReferenceScenarioSystem(ScenarioSystem):
+    """The pre-port scenario execution, kept as a differential oracle.
+
+    Drives the Figure 1 system exactly as it ran before the kernel
+    port: an engine built on the pre-fabric per-receiver delivery loop
+    (:class:`~repro.sim.network.ReferenceRoundEngine`) stepped through
+    its monolithic ``run`` entry point.  The conformance suite pins the
+    kernelised :meth:`ScenarioSystem.run` against this class -- traces,
+    view reports, delivery counts.  Not for production use; supports the
+    basic model only (``drop_schedule``), not arbitrary timing models.
+    """
+
+    def run(
+        self,
+        factory: AlgorithmFactory,
+        max_rounds: int,
+        drop_schedule: DropSchedule | None = None,
+        timing: TimingModel | None = None,
+        checkpoint_every: int | None = None,
+    ) -> ScenarioOutcome:
+        if timing is not None:
+            raise ConfigurationError(
+                "the reference scenario oracle predates timing models; "
+                "pass a drop_schedule or nothing"
+            )
+        if checkpoint_every is not None:
+            raise ConfigurationError(
+                "the reference scenario oracle predates checkpointing"
+            )
+        params, assignment, processes = self._build(factory)
+        engine = ReferenceRoundEngine(
+            params=params,
+            assignment=assignment,
+            processes=processes,
+            drop_schedule=drop_schedule,
+            topology=self.topology(),
+        )
+        engine.run(max_rounds=max_rounds, stop_when_all_decided=True)
+        return self._outcome(engine, processes)
 
 
 def run_scenario(

@@ -133,11 +133,12 @@ def _campaign_evidence(
     problem: AgreementProblem,
     seed: int,
     quick: bool,
-) -> tuple[str, list, str, list[dict]]:
+) -> tuple[str, list, str, str, list[dict]]:
     """Empirical evidence: one validation (and delay) slice or the demo.
 
     Returns:
-        ``(algorithm, records, demonstration, evidence_items)``.
+        ``(algorithm, records, demonstration, demonstration_kind,
+        evidence_items)``.
     """
     from repro.experiments.harness import (
         algorithm_for,
@@ -157,6 +158,8 @@ def _campaign_evidence(
             # reductions to another cell's result (the assumed PSL
             # citation, ell < 3t dominance) are sound but were not
             # machine-checked here, so they only *support* the claim.
+            # The distinction rides the structured demonstration kind,
+            # never the message text.
             grade = "witness" if cell.demonstration_checked else "derived"
             evidence.append(_item(
                 CAMPAIGN, "impossibility demonstration", UNSOLVABLE,
@@ -168,7 +171,10 @@ def _campaign_evidence(
                 "inconclusive",
                 "no constructive demonstration covers this cell",
             ))
-        return cell.algorithm, cell.runs, cell.demonstration, evidence
+        return (
+            cell.algorithm, cell.runs, cell.demonstration,
+            cell.demonstration_kind, evidence,
+        )
 
     algorithm, _, _ = algorithm_for(params, problem)
     key = solvable_slice_keys(params, seed, quick)[0]
@@ -208,7 +214,7 @@ def _campaign_evidence(
                 f"all {len(drecords)} runs under delay-based timing "
                 f"satisfied agreement/validity/termination",
             ))
-    return algorithm, records, "", evidence
+    return algorithm, records, "", "", evidence
 
 
 def _explorer_evidence(
@@ -284,13 +290,14 @@ def run_atlas_unit(
             :meth:`repro.atlas.lattice.LatticeSpec.in_explorer_scope`).
 
     Returns:
-        ``{"algorithm", "records", "demonstration", "evidence"}`` where
-        ``records`` are :class:`~repro.experiments.harness.RunRecord`
-        dicts and ``evidence`` is the list of evidence items (campaign
-        first, then explorer; the closed-form item is added at fusion
-        time by the driver).
+        ``{"algorithm", "records", "demonstration",
+        "demonstration_kind", "evidence"}`` where ``records`` are
+        :class:`~repro.experiments.harness.RunRecord` dicts and
+        ``evidence`` is the list of evidence items (campaign first,
+        then explorer; the closed-form item is added at fusion time by
+        the driver).
     """
-    algorithm, records, demonstration, evidence = _campaign_evidence(
+    algorithm, records, demonstration, kind, evidence = _campaign_evidence(
         params, problem, seed, quick
     )
     if with_explorer:
@@ -299,6 +306,7 @@ def run_atlas_unit(
         "algorithm": algorithm,
         "records": [asdict(r) for r in records],
         "demonstration": demonstration,
+        "demonstration_kind": kind,
         "evidence": evidence,
     }
 

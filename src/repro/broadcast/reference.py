@@ -1,0 +1,51 @@
+"""Frozen pre-port broadcast execution, kept as differential oracles.
+
+Before the kernel unification the broadcast test-suites drove their
+hosts through hand-rolled engine loops over the pre-fabric per-receiver
+delivery path.  These wrappers reproduce exactly that execution -- the
+:mod:`repro.broadcast.runner` entry points on
+:class:`~repro.sim.network.ReferenceRoundEngine` -- so
+``tests/test_kernel_conformance.py`` can pin the kernelised runners'
+inboxes, traces, deliveries and accepts against the old semantics.
+Not for production use; the oracles support the basic model only
+(``drop_schedule``), not arbitrary timing models.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.broadcast.runner import (
+    BroadcastRun,
+    run_authenticated_broadcast,
+    run_multiplicity_broadcast,
+    run_reliable_broadcast,
+)
+
+__all__ = [
+    "BroadcastRun",
+    "run_authenticated_broadcast_reference",
+    "run_multiplicity_broadcast_reference",
+    "run_reliable_broadcast_reference",
+]
+
+run_authenticated_broadcast_reference = functools.partial(
+    run_authenticated_broadcast, _reference=True
+)
+run_authenticated_broadcast_reference.__doc__ = (
+    "The pre-port authenticated-broadcast loop (differential oracle)."
+)
+
+run_reliable_broadcast_reference = functools.partial(
+    run_reliable_broadcast, _reference=True
+)
+run_reliable_broadcast_reference.__doc__ = (
+    "The pre-port reliable-broadcast loop (differential oracle)."
+)
+
+run_multiplicity_broadcast_reference = functools.partial(
+    run_multiplicity_broadcast, _reference=True
+)
+run_multiplicity_broadcast_reference.__doc__ = (
+    "The pre-port multiplicity-broadcast loop (differential oracle)."
+)

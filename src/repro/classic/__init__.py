@@ -2,7 +2,12 @@
 
 from repro.classic.eig import EIGSpec, EIGState
 from repro.classic.phase_king import PhaseKingSpec, PhaseKingState
-from repro.classic.runner import ClassicProcess, classic_factory
+from repro.classic.runner import (
+    ClassicProcess,
+    classic_factory,
+    run_classic,
+    run_classic_reference,
+)
 from repro.classic.spec import ClassicSpec, filter_equivocators, majority_value
 
 __all__ = [
@@ -15,4 +20,6 @@ __all__ = [
     "classic_factory",
     "filter_equivocators",
     "majority_value",
+    "run_classic",
+    "run_classic_reference",
 ]

@@ -8,15 +8,32 @@ baselines are benchmarked, and it doubles as the reference behaviour
 that the Figure 3 transformation must reproduce (the simulation proof
 of Proposition 2 equates ``T(A)`` executions with executions of these
 processes).
+
+:func:`run_classic` is the surface's kernel facade: it builds the
+unique-identifier system around a spec and drives it through
+:class:`~repro.sim.kernel.ExecutionKernel` (via
+:func:`~repro.sim.runner.run_agreement`), so EIG and phase-king
+executions get delivery metrics, checkpointing and pluggable timing
+models exactly like every other surface.  :func:`run_classic_reference`
+is its frozen differential oracle on the pre-fabric per-receiver loop.
 """
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Mapping, Sequence
 
 from repro.classic.spec import ClassicSpec, filter_equivocators
+from repro.core.identity import balanced_assignment
 from repro.core.messages import Inbox
+from repro.core.params import SystemParams
+from repro.core.problem import check_agreement_properties
+from repro.sim.adversary import Adversary
+from repro.sim.kernel import TimingModel
+from repro.sim.metrics import metrics_from_deliveries
+from repro.sim.network import ReferenceRoundEngine
+from repro.sim.partial import DropSchedule
 from repro.sim.process import Process
+from repro.sim.runner import ExecutionResult, make_processes, run_agreement
 
 
 class ClassicProcess(Process):
@@ -50,3 +67,118 @@ def classic_factory(spec: ClassicSpec):
         return ClassicProcess(spec, identifier, proposal)
 
     return factory
+
+
+def _classic_system(spec: ClassicSpec, max_rounds: int | None):
+    """The unique-identifier system a Figure 2 spec runs in."""
+    params = SystemParams(n=spec.ell, ell=spec.ell, t=spec.t)
+    assignment = balanced_assignment(spec.ell, spec.ell)
+    if max_rounds is None:
+        # The +2 slack lets post-horizon silence show up in the trace
+        # (the paper's "continue running the algorithm" behaviour).
+        max_rounds = spec.max_rounds + 2
+    return params, assignment, max_rounds
+
+
+def run_classic(
+    spec: ClassicSpec,
+    proposals: Mapping[int, Hashable],
+    byzantine: Sequence[int] = (),
+    adversary: Adversary | None = None,
+    drop_schedule: DropSchedule | None = None,
+    timing: TimingModel | None = None,
+    max_rounds: int | None = None,
+    require_termination: bool = True,
+) -> ExecutionResult:
+    """Run a Figure 2 spec as one kernel-driven execution.
+
+    The thin facade over :func:`~repro.sim.runner.run_agreement` for
+    the classical setting: ``n = ell = spec.ell`` uniquely-identified
+    processes, identifiers assigned in slot order.
+
+    Args:
+        spec: The algorithm in Figure 2 functional form.
+        proposals: ``correct slot index -> input value``.
+        byzantine: Byzantine slot indices.
+        adversary: The Byzantine strategy (defaults to silence).
+        drop_schedule: Legacy basic-model drop schedule (exclusive
+            with ``timing``).
+        timing: Explicit :class:`~repro.sim.kernel.TimingModel`.
+        max_rounds: Round budget; defaults to ``spec.max_rounds + 2``.
+        require_termination: Count non-termination within the budget
+            as a violation.
+
+    Returns:
+        The finished :class:`~repro.sim.runner.ExecutionResult`.
+    """
+    params, assignment, max_rounds = _classic_system(spec, max_rounds)
+    return run_agreement(
+        params=params,
+        assignment=assignment,
+        factory=classic_factory(spec),
+        proposals=proposals,
+        byzantine=byzantine,
+        adversary=adversary,
+        drop_schedule=drop_schedule,
+        timing=timing,
+        max_rounds=max_rounds,
+        require_termination=require_termination,
+    )
+
+
+def run_classic_reference(
+    spec: ClassicSpec,
+    proposals: Mapping[int, Hashable],
+    byzantine: Sequence[int] = (),
+    adversary: Adversary | None = None,
+    drop_schedule: DropSchedule | None = None,
+    max_rounds: int | None = None,
+    require_termination: bool = True,
+) -> ExecutionResult:
+    """The pre-port classic execution, kept as a differential oracle.
+
+    Mirrors :func:`run_classic` on the pre-fabric per-receiver delivery
+    loop (:class:`~repro.sim.network.ReferenceRoundEngine`); the
+    conformance suite pins traces, inboxes, deliveries and verdicts of
+    the kernel facade against it.  Not for production use.
+    """
+    params, assignment, max_rounds = _classic_system(spec, max_rounds)
+    processes = make_processes(
+        classic_factory(spec), assignment, proposals, byzantine
+    )
+    engine = ReferenceRoundEngine(
+        params=params,
+        assignment=assignment,
+        processes=processes,
+        byzantine=byzantine,
+        adversary=adversary,
+        drop_schedule=drop_schedule,
+    )
+    executed = engine.run(max_rounds=max_rounds, stop_when_all_decided=True)
+    verdict = check_agreement_properties(
+        proposals={k: processes[k].proposal for k in engine.correct},
+        decisions={
+            k: processes[k].decision
+            for k in engine.correct
+            if processes[k].decided
+        },
+        decision_rounds={
+            k: processes[k].decision_round
+            for k in engine.correct
+            if processes[k].decided
+        },
+        correct=engine.correct,
+        rounds_executed=len(engine.trace),
+        require_termination=require_termination,
+    )
+    return ExecutionResult(
+        params=params,
+        assignment=assignment,
+        byzantine=engine.byzantine,
+        verdict=verdict,
+        trace=engine.trace,
+        metrics=metrics_from_deliveries(engine.deliveries),
+        processes=list(processes),
+        losses=tuple(engine.losses),
+        ticks=engine.timing.ticks_executed(executed),
+    )

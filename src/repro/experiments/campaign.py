@@ -64,13 +64,12 @@ PROBLEMS: dict[str, AgreementProblem] = {"binary": BINARY}
 #: Salt folded into every unit id.  Bump the schema component when the
 #: shape *or semantics* of a unit result changes; the package version
 #: component makes caches written by a different release miss rather
-#: than serve results computed by different code.  ``campaign/5``:
-#: added the ``"atlas"`` unit kind (one solvability-atlas cell: the
-#: campaign-grade evidence slice plus, per the unit ``variant``,
-#: bounded strategy exploration -- see :mod:`repro.atlas.evidence`)
-#: and the ``variant`` spec field it is gated by, which enters every
-#: unit hash.
-CACHE_SCHEMA = "campaign/5"
+#: than serve results computed by different code.  ``campaign/6``:
+#: unit results carry the structured ``"demonstration_kind"`` next to
+#: the human-readable ``"demonstration"`` text, so impossibility
+#: provenance grading no longer parses message prefixes
+#: (:data:`repro.experiments.harness.CHECKED_DEMONSTRATION_KINDS`).
+CACHE_SCHEMA = "campaign/6"
 
 _SYNCHRONY = {s.short: s for s in Synchrony}
 
@@ -478,7 +477,8 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
     Returns:
         A dict with ``unit_id``, ``label``, ``kind``, ``algorithm``,
         ``records`` (one per execution: label/ok/detail/rounds/
-        messages), ``demonstration`` and ``elapsed_s``.
+        messages), ``demonstration``, ``demonstration_kind`` and
+        ``elapsed_s``.
     """
     if not isinstance(unit, CampaignUnit):
         unit = CampaignUnit.from_dict(unit)
@@ -486,6 +486,7 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
     params = unit.params()
     problem = PROBLEMS[unit.problem]
     demonstration = ""
+    demonstration_kind = ""
     if unit.kind == "slice":
         algorithm, _, _ = algorithm_for(params, problem)
         records = run_solvable_slice(
@@ -505,6 +506,7 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
         algorithm = cell.algorithm
         records = cell.runs
         demonstration = cell.demonstration
+        demonstration_kind = cell.demonstration_kind
     elif unit.kind == "explore":
         from repro.explore.units import run_explore_unit
 
@@ -520,6 +522,7 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
             "byzantine_index": unit.byzantine_index,
             "algorithm": outcome["algorithm"],
             "demonstration": outcome["demonstration"],
+            "demonstration_kind": outcome["demonstration_kind"],
             "records": outcome["records"],
             "elapsed_s": time.perf_counter() - start,
         }
@@ -539,6 +542,7 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
             "byzantine_index": unit.byzantine_index,
             "algorithm": outcome["algorithm"],
             "demonstration": outcome["demonstration"],
+            "demonstration_kind": outcome["demonstration_kind"],
             "records": outcome["records"],
             "evidence": outcome["evidence"],
             "elapsed_s": time.perf_counter() - start,
@@ -553,6 +557,7 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
         "byzantine_index": unit.byzantine_index,
         "algorithm": algorithm,
         "demonstration": demonstration,
+        "demonstration_kind": demonstration_kind,
         "records": [asdict(r) for r in records],
         "elapsed_s": time.perf_counter() - start,
     }
@@ -595,7 +600,8 @@ class CampaignCache:
 
     #: Keys every cached result must carry, and every record within it.
     _RESULT_KEYS = frozenset(
-        ("unit_id", "label", "kind", "algorithm", "demonstration", "records")
+        ("unit_id", "label", "kind", "algorithm", "demonstration",
+         "demonstration_kind", "records")
     )
     _RECORD_KEYS = frozenset(RunRecord.__dataclass_fields__)
 
@@ -682,6 +688,7 @@ class CampaignReport:
                 )
                 if result["demonstration"]:
                     cell.demonstration = result["demonstration"]
+                    cell.demonstration_kind = result["demonstration_kind"]
             cells.append((label, cell))
         self.__dict__["_labelled_cache"] = cells
         return cells
@@ -735,6 +742,7 @@ class CampaignReport:
                 "rounds_total": sum(r.rounds for r in cell.runs),
                 "messages_total": sum(r.messages for r in cell.runs),
                 "demonstration": cell.demonstration,
+                "demonstration_kind": cell.demonstration_kind,
                 "consistent": cell.empirically_consistent,
             }
             for label, cell in labelled

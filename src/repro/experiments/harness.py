@@ -150,29 +150,39 @@ class RunRecord:
     messages: int = 0
 
 
-#: Demonstration prefixes that mark a *machine-checked* construction
-#: (a scenario/partition/mirror run that exhibited its violation here),
-#: as opposed to a sound reduction to another cell's result (the
-#: assumed PSL citation, ``ell < 3t`` dominance).  The atlas grades
+#: Demonstration kinds that mark a *machine-checked* construction
+#: (a scenario/partition/mirror/explorer run that exhibited its
+#: violation here), as opposed to a sound reduction to another cell's
+#: result (:data:`DERIVED_DEMONSTRATION_KINDS`).  The atlas grades
 #: impossibility evidence by this distinction
 #: (:mod:`repro.atlas.evidence`).
-CHECKED_DEMONSTRATION_PREFIXES = (
-    "figure-1 scenario:",
-    "figure-4 partition:",
-    "mirror scan:",
-    "explorer witness",
+CHECKED_DEMONSTRATION_KINDS = frozenset(
+    {"scenario", "partition", "mirror", "explorer"}
 )
+
+#: Demonstration kinds that are sound reductions -- the assumed PSL
+#: citation and the ``ell < 3t`` dominance argument -- rather than
+#: violations exhibited in this cell's own runs.
+DERIVED_DEMONSTRATION_KINDS = frozenset({"psl-citation", "dominance"})
 
 
 @dataclass
 class CellResult:
-    """Outcome of validating one Table 1 cell."""
+    """Outcome of validating one Table 1 cell.
+
+    ``demonstration`` is the human-readable detail; its provenance is
+    carried separately in ``demonstration_kind`` (one of
+    :data:`CHECKED_DEMONSTRATION_KINDS` or
+    :data:`DERIVED_DEMONSTRATION_KINDS`, or ``""`` when there is no
+    demonstration), so grading never parses message text.
+    """
 
     params: SystemParams
     predicted_solvable: bool
     algorithm: str
     runs: list[RunRecord] = field(default_factory=list)
     demonstration: str = ""
+    demonstration_kind: str = ""
 
     @property
     def demonstration_checked(self) -> bool:
@@ -180,9 +190,9 @@ class CellResult:
 
         Reductions (the assumed PSL citation, dominance arguments) are
         sound but exhibit nothing in *this* cell's runs; see
-        :data:`CHECKED_DEMONSTRATION_PREFIXES`.
+        :data:`CHECKED_DEMONSTRATION_KINDS`.
         """
-        return self.demonstration.startswith(CHECKED_DEMONSTRATION_PREFIXES)
+        return self.demonstration_kind in CHECKED_DEMONSTRATION_KINDS
 
     @property
     def empirically_consistent(self) -> bool:
@@ -515,25 +525,42 @@ def evaluate_unsolvable_cell(
 
     Returns:
         The :class:`CellResult`; ``demonstration`` carries the
-        machine-checked impossibility evidence.
+        impossibility evidence detail and ``demonstration_kind`` its
+        structured provenance.
     """
     name, factory, horizon = algorithm_for(params, problem, unchecked=True)
     result = CellResult(params=params, predicted_solvable=False, algorithm=name)
+    kind, detail = _demonstrate_unsolvable(params, factory, horizon)
+    result.demonstration_kind = kind
+    result.demonstration = detail
+    return result
 
+
+def _demonstrate_unsolvable(
+    params: SystemParams, factory, horizon: int
+) -> tuple[str, str]:
+    """Build the cell's impossibility demonstration.
+
+    Returns:
+        ``(kind, detail)`` -- ``kind`` is a member of
+        :data:`CHECKED_DEMONSTRATION_KINDS` or
+        :data:`DERIVED_DEMONSTRATION_KINDS` and ``detail`` the
+        human-readable evidence, or ``("", "")`` when no demonstration
+        covers the cell.
+    """
     n, ell, t = params.n, params.ell, params.t
     if not params.meets_psl_bound:
-        result.demonstration = (
+        return "psl-citation", (
             f"n={n} <= 3t={3 * t}: classical PSL impossibility (assumed, "
             f"paper cites [13, 17])"
         )
-        return result
 
     if params.restricted and params.numerate:
         # ell <= t: Lemma 17 mirror scan (valency argument).
         scan = mirror_chain_scan(params, factory, max_rounds=horizon)
         if scan.impossibility_evidence:
-            result.demonstration = f"mirror scan: {scan.detail}"
-        return result
+            return "mirror", f"mirror scan: {scan.detail}"
+        return "", ""
 
     if ell == 3 * t:
         # Figure 1 scenario (applies to sync; psync inherits it since the
@@ -541,15 +568,14 @@ def evaluate_unsolvable_cell(
         outcome = run_scenario(n, t, factory, max_rounds=horizon)
         if outcome.contradiction_exhibited:
             broken = [v.name for v in outcome.views if not v.satisfied]
-            result.demonstration = f"figure-1 scenario: views {broken} violated"
-        return result
+            return "scenario", f"figure-1 scenario: views {broken} violated"
+        return "", ""
 
     if ell < 3 * t:
-        result.demonstration = (
+        return "dominance", (
             f"ell={ell} < 3t={3 * t}: dominated by the ell=3t scenario "
             f"(fewer identifiers are strictly weaker)"
         )
-        return result
 
     # Remaining case: partially synchronous, 3t < ell, 2*ell <= n + 3t.
     if partition_attack_feasible(n, ell, t):
@@ -558,14 +584,13 @@ def evaluate_unsolvable_cell(
             reference_rounds=dls_horizon(params, 0),
         )
         if outcome.attack_succeeded:
-            result.demonstration = (
+            return "partition", (
                 "figure-4 partition: gamma verdict "
                 + "; ".join(str(v) for v in outcome.gamma.verdict.violations)
             )
-        return result
+        return "", ""
 
-    result.demonstration = ""
-    return result
+    return "", ""
 
 
 def evaluate_cell(

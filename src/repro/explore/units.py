@@ -160,7 +160,8 @@ def run_explore_unit(
         problem: The agreement problem.
 
     Returns:
-        ``{"algorithm", "records", "demonstration"}`` where records are
+        ``{"algorithm", "records", "demonstration",
+        "demonstration_kind"}`` where records are
         :class:`~repro.experiments.harness.RunRecord` dicts -- ``rounds``
         carries the nodes expanded and ``messages`` the children
         generated, so campaign totals reflect search effort.
@@ -226,4 +227,5 @@ def run_explore_unit(
         "algorithm": algorithm or "explore",
         "records": [asdict(r) for r in records],
         "demonstration": demonstration,
+        "demonstration_kind": "explorer" if demonstration else "",
     }

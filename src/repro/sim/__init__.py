@@ -19,6 +19,7 @@ from repro.sim.delay import (
 )
 from repro.sim.kernel import (
     BasicPsync,
+    ComposedTiming,
     DelayBased,
     EngineCheckpoint,
     ExecutionKernel,
@@ -60,6 +61,7 @@ __all__ = [
     "AdversaryView",
     "AlwaysBoundedUnknownDelays",
     "BasicPsync",
+    "ComposedTiming",
     "DelayBased",
     "DelayPolicy",
     "DelayRoundSimulator",

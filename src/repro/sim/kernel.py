@@ -269,6 +269,61 @@ class DelayBased(TimingModel):
         return f"DelayBased({self.policy!r})"
 
 
+class ComposedTiming(TimingModel):
+    """The union of several timing models' removals, as one model.
+
+    A surface with *structural* message removals -- the Figure 1
+    scenario's directed view wiring -- composes them with a caller's
+    timing model by stacking both here: a round is active when any
+    layer is active, and a broadcast is removed for a receiver when any
+    layer removes it (first-seen order, no duplicates).  ``losses`` are
+    logged when any layer logs them, and the tick count is the maximum
+    over the layers (a round occupies the widest layer's window).
+
+    Args:
+        models: The stacked timing models, queried in order.
+
+    Raises:
+        ConfigurationError: When no model is given (an empty
+            composition has no defined tick semantics; use
+            :class:`LockStep` explicitly).
+    """
+
+    def __init__(self, *models: TimingModel) -> None:
+        if not models:
+            raise ConfigurationError(
+                "ComposedTiming needs at least one timing model"
+            )
+        self.models: tuple[TimingModel, ...] = tuple(models)
+        self.logs_losses = any(m.logs_losses for m in self.models)
+
+    def describe(self) -> str:
+        return " + ".join(m.describe() for m in self.models)
+
+    def active(self, round_no: int) -> bool:
+        return any(m.active(round_no) for m in self.models)
+
+    def removed_senders(
+        self, round_no: int, recipient: int, senders: Sequence[int]
+    ) -> tuple[int, ...]:
+        removed: list[int] = []
+        seen: set[int] = set()
+        for model in self.models:
+            if not model.active(round_no):
+                continue
+            for s in model.removed_senders(round_no, recipient, senders):
+                if s not in seen:
+                    seen.add(s)
+                    removed.append(s)
+        return tuple(removed)
+
+    def ticks_executed(self, rounds: int) -> int:
+        return max(m.ticks_executed(rounds) for m in self.models)
+
+    def __repr__(self) -> str:
+        return f"ComposedTiming{self.models!r}"
+
+
 def timing_model_for(
     drop_schedule: DropSchedule | None = None,
     topology: Topology | None = None,

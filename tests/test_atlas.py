@@ -206,6 +206,7 @@ class TestAtlasUnit:
         assert item["claim"] == "unsolvable"
         assert item["grade"] == "witness"
         assert result["demonstration"]
+        assert result["demonstration_kind"] == "scenario"
 
     def test_psl_reduction_is_derived_not_witness(self):
         # n=3 <= 3t: the PSL impossibility is cited, not machine-checked
@@ -279,6 +280,71 @@ class TestDriver:
         assert resumed.resumed == 7
         assert resumed.written == resumed.cells_total - 7
         assert resumed_path.read_bytes() == fresh_path.read_bytes()
+
+    def test_crash_mid_cell_then_resume_is_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill the driver mid-cell; resume must finish byte-for-byte.
+
+        The crash is injected into the unit executor itself (the driver
+        dies *between* appends), then the torn-final-line case is
+        layered on top by appending the partial row the dying process
+        would have been writing.
+        """
+        import repro.atlas.driver as driver_mod
+
+        fresh_path, fresh = self._fresh(tmp_path, "fresh.jsonl")
+
+        crash_after = 5
+        calls = {"n": 0}
+        real_execute = driver_mod.execute_unit
+
+        def dying_execute(unit):
+            if calls["n"] >= crash_after:
+                raise KeyboardInterrupt("simulated mid-cell kill")
+            calls["n"] += 1
+            return real_execute(unit)
+
+        crashed_path = tmp_path / "crashed.jsonl"
+        monkeypatch.setattr(driver_mod, "execute_unit", dying_execute)
+        with pytest.raises(KeyboardInterrupt):
+            run_atlas(TINY, crashed_path, quick=True)
+        monkeypatch.setattr(driver_mod, "execute_unit", real_execute)
+
+        # The log holds exactly the cells fused before the kill...
+        survivors = crashed_path.read_bytes()
+        assert survivors.endswith(b"\n")
+        assert len(survivors.splitlines()) == crash_after
+        # ...plus, in the worst crash, a torn final line mid-append.
+        with crashed_path.open("ab") as fh:
+            fh.write(b'{"unit_id": "torn')
+
+        resumed = run_atlas(TINY, crashed_path, quick=True, resume=True)
+        assert resumed.resumed == crash_after
+        assert resumed.written == resumed.cells_total - crash_after
+        assert crashed_path.read_bytes() == fresh_path.read_bytes()
+
+    def test_crash_before_any_cell_resumes_from_scratch(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.atlas.driver as driver_mod
+
+        fresh_path, _ = self._fresh(tmp_path, "fresh.jsonl")
+
+        def dying_execute(unit):
+            raise KeyboardInterrupt("simulated kill before first cell")
+
+        crashed_path = tmp_path / "crashed.jsonl"
+        monkeypatch.setattr(driver_mod, "execute_unit", dying_execute)
+        with pytest.raises(KeyboardInterrupt):
+            run_atlas(TINY, crashed_path, quick=True)
+        monkeypatch.undo()
+
+        assert crashed_path.read_bytes() == b""
+        resumed = run_atlas(TINY, crashed_path, quick=True, resume=True)
+        assert resumed.resumed == 0
+        assert resumed.written == resumed.cells_total
+        assert crashed_path.read_bytes() == fresh_path.read_bytes()
 
     def test_unit_cache_skips_execution_on_resume(self, tmp_path):
         cache = CampaignCache(tmp_path / "cache")

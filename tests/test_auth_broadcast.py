@@ -1,8 +1,9 @@
 """Tests for the Proposition 6 authenticated broadcast primitive.
 
-Unit tests drive the layer directly; property tests run it inside the
-engine via a minimal host process and check Correctness, Unforgeability
-and Relay under drop schedules and Byzantine echo forgery.
+Unit tests drive the layer directly; property tests run it through the
+kernel via :func:`repro.broadcast.runner.run_authenticated_broadcast`
+and check Correctness, Unforgeability and Relay under drop schedules
+and Byzantine echo forgery.
 """
 
 import pytest
@@ -14,14 +15,10 @@ from repro.broadcast.authenticated import (
     AuthenticatedBroadcast,
     parse_broadcast_items,
 )
+from repro.broadcast.runner import run_authenticated_broadcast
 from repro.core.errors import BoundViolation
-from repro.core.identity import balanced_assignment
-from repro.core.messages import Inbox
-from repro.core.params import SystemParams
 from repro.sim.adversary import Adversary
-from repro.sim.network import RoundEngine
 from repro.sim.partial import SilenceUntil
-from repro.sim.process import Process
 
 
 class TestLayerUnit:
@@ -86,63 +83,13 @@ class TestLayerUnit:
         assert echoes == [("m", 4, 2)]
 
 
-class BroadcastHost(Process):
-    """Minimal host: broadcasts its value in a chosen superround and
-    records every Accept it performs."""
-
-    def __init__(self, identifier, value=None, broadcast_superround=0):
-        super().__init__(identifier, value)
-        self.value = value
-        self.broadcast_superround = broadcast_superround
-        self.ab = None  # configured by attach()
-        self.accepts: list[Accept] = []
-
-    def attach(self, ell, t):
-        self.ab = AuthenticatedBroadcast(ell, t, self.identifier)
-        return self
-
-    def compose(self, round_no):
-        if (
-            self.value is not None
-            and round_no == 2 * self.broadcast_superround
-        ):
-            self.ab.broadcast(("val", self.value), self.broadcast_superround)
-        inits, echoes = self.ab.outgoing(round_no)
-        return ("ab", inits, echoes)
-
-    def deliver(self, round_no, inbox: Inbox):
-        for m in inbox:
-            payload = m.payload
-            if not (isinstance(payload, tuple) and len(payload) == 3
-                    and payload[0] == "ab"):
-                continue
-            inits, echoes = parse_broadcast_items(payload[1] + payload[2])
-            for mm, r in inits:
-                self.ab.note_init(m.sender_id, mm, r, round_no)
-            for mm, r, i in echoes:
-                self.ab.note_echo(m.sender_id, mm, r, i, round_no)
-        self.accepts.extend(self.ab.drain_accepts())
-
-
 def run_hosts(n, ell, t, byz=(), adversary=None, drop_schedule=None,
               rounds=10, broadcast_sr=0, values=None):
-    params = SystemParams(n=n, ell=ell, t=t)
-    assignment = balanced_assignment(n, ell)
-    if values is None:
-        values = {k: k for k in range(n)}
-    processes = [
-        None if k in byz else BroadcastHost(
-            assignment.identifier_of(k), values.get(k), broadcast_sr
-        ).attach(ell, t)
-        for k in range(n)
-    ]
-    engine = RoundEngine(
-        params=params, assignment=assignment, processes=processes,
-        byzantine=byz, adversary=adversary, drop_schedule=drop_schedule,
-    )
-    for _ in range(rounds):
-        engine.step()
-    return processes
+    return run_authenticated_broadcast(
+        n, ell, t, byzantine=byz, adversary=adversary,
+        drop_schedule=drop_schedule, rounds=rounds,
+        broadcast_superround=broadcast_sr, values=values,
+    ).processes
 
 
 class TestCorrectnessProperty:

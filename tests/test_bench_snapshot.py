@@ -1,0 +1,60 @@
+"""Tests for the machine-readable benchmark snapshot writer.
+
+``benchmarks.conftest.snapshot`` backs ``make bench-snapshot``: the
+reference-comparison benches call it unconditionally, and it writes
+``BENCH_<topic>.json`` only when ``BENCH_SNAPSHOT_DIR`` points
+somewhere, so plain benchmark runs stay side-effect free.
+"""
+
+import json
+
+from benchmarks.conftest import snapshot
+
+
+class TestSnapshotWriter:
+    def test_noop_without_snapshot_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("BENCH_SNAPSHOT_DIR", raising=False)
+        assert snapshot("fabric", {"n": 64}, ops_per_s=123.4) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_writes_topic_named_json(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("BENCH_SNAPSHOT_DIR", str(tmp_path / "snaps"))
+        path = snapshot(
+            "delay_kernel",
+            {"n": 64, "rounds": 32},
+            ops_per_s=1234.5678,
+            speedup=3.14159,
+        )
+        assert path is not None
+        assert path.name == "BENCH_delay_kernel.json"
+        data = json.loads(path.read_text())
+        assert data == {
+            "topic": "delay_kernel",
+            "params": {"n": 64, "rounds": 32},
+            "ops_per_s": 1234.57,
+            "speedup": 3.14,
+        }
+
+    def test_speedup_optional_and_extra_fields_merge(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("BENCH_SNAPSHOT_DIR", str(tmp_path))
+        path = snapshot(
+            "campaign", {"workers": 4}, ops_per_s=10.0,
+            extra={"cpus": 8},
+        )
+        data = json.loads(path.read_text())
+        assert data["speedup"] is None
+        assert data["cpus"] == 8
+
+    def test_rewrites_deterministically(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("BENCH_SNAPSHOT_DIR", str(tmp_path))
+        first = snapshot("fabric", {"n": 16}, ops_per_s=5.0, speedup=2.0)
+        second = snapshot("fabric", {"n": 16}, ops_per_s=5.0, speedup=2.0)
+        assert first == second
+        # sort_keys + trailing newline: stable bytes for artefact diffing.
+        text = first.read_text()
+        assert text.endswith("\n")
+        assert text == json.dumps(
+            json.loads(text), indent=2, sort_keys=True
+        ) + "\n"

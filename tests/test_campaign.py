@@ -117,8 +117,8 @@ CHEAP_DELAY_CELLS = [
 
 
 class TestDelayUnits:
-    def test_cache_schema_is_campaign_5(self):
-        assert CACHE_SCHEMA == "campaign/5"
+    def test_cache_schema_is_campaign_6(self):
+        assert CACHE_SCHEMA == "campaign/6"
 
     def test_delay_cells_are_the_psync_solvable_cells(self):
         labels = {label for label, _ in delay_cells()}

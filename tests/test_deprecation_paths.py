@@ -1,0 +1,156 @@
+"""Tests for the kernel facades' deprecation paths.
+
+Two shims survive from the pre-kernel era:
+
+* :class:`repro.sim.delay.DelayRoundSimulator` -- the old delay entry
+  point, now a thin wrapper over an :class:`ExecutionKernel` with a
+  :class:`DelayBased` timing model;
+* :func:`repro.sim.metrics.metrics_from_trace` -- the uniform-fanout
+  cost estimate superseded by exact delivery accounting.
+
+Each must emit a :class:`DeprecationWarning` exactly once per use and
+remain behaviorally identical to its replacement.
+"""
+
+import warnings
+from typing import Hashable
+
+import pytest
+
+from repro.core.identity import balanced_assignment
+from repro.core.params import SystemParams, Synchrony
+from repro.sim.delay import (
+    DelayRoundSimulator,
+    EventuallyBoundedDelays,
+    run_delay_execution,
+)
+from repro.sim.metrics import metrics_from_deliveries, metrics_from_trace
+from repro.sim.network import RoundEngine
+from repro.sim.process import Process
+
+
+class CountingProcess(Process):
+    """Deterministic sender that decides after a fixed round budget."""
+
+    def compose(self, round_no: int) -> Hashable:
+        return ("count", self.identifier, round_no)
+
+    def deliver(self, round_no: int, inbox) -> None:
+        if round_no >= 5:
+            self.record_decision(("done", self.identifier), round_no)
+
+
+def _workload(n: int = 5, ell: int = 3):
+    params = SystemParams(
+        n=n, ell=ell, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+    )
+    assignment = balanced_assignment(n, ell)
+    processes = [
+        CountingProcess(assignment.identifier_of(k)) for k in range(n)
+    ]
+    return params, assignment, processes
+
+
+def _policy(seed: int = 3) -> EventuallyBoundedDelays:
+    return EventuallyBoundedDelays(
+        delta=2, gst_tick=8, chaos_factor=3, seed=seed
+    )
+
+
+def _canonical(trace):
+    return [
+        (r.round_no, r.payloads, r.emissions, r.decisions) for r in trace
+    ]
+
+
+class TestDelayRoundSimulatorShim:
+    def test_construction_warns_exactly_once(self):
+        params, assignment, processes = _workload()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sim = DelayRoundSimulator(params, assignment, processes,
+                                      _policy())
+            deprecations = [w for w in caught
+                            if issubclass(w.category, DeprecationWarning)]
+            assert len(deprecations) == 1
+            assert "DelayRoundSimulator is deprecated" in str(
+                deprecations[0].message
+            )
+        # Running the shim does not warn again.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sim.run(max_rounds=8)
+            assert not [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+
+    def test_warning_points_at_the_caller(self):
+        params, assignment, processes = _workload()
+        with pytest.warns(DeprecationWarning) as record:
+            DelayRoundSimulator(params, assignment, processes, _policy())
+        assert record[0].filename == __file__
+
+    def test_shim_matches_run_delay_execution(self):
+        params, assignment, processes = _workload()
+        with pytest.warns(DeprecationWarning):
+            shim = DelayRoundSimulator(params, assignment, processes,
+                                       _policy())
+        shim_result = shim.run(max_rounds=12)
+
+        params, assignment, processes = _workload()
+        kernel_result = run_delay_execution(
+            params, assignment, processes, _policy(), max_rounds=12,
+        )
+        assert _canonical(shim_result.trace) == _canonical(kernel_result.trace)
+        assert shim_result.dropped == kernel_result.dropped
+        assert shim_result.ticks_executed == kernel_result.ticks_executed
+        assert shim_result.rounds_executed == kernel_result.rounds_executed
+
+    def test_shim_matches_under_byzantine_slots(self):
+        params, assignment, processes = _workload()
+        byz = (params.n - 1,)
+        processes[-1] = None
+        with pytest.warns(DeprecationWarning):
+            shim = DelayRoundSimulator(
+                params, assignment, processes, _policy(), byzantine=byz,
+            )
+        shim_result = shim.run(max_rounds=10)
+
+        params, assignment, processes = _workload()
+        processes[-1] = None
+        kernel_result = run_delay_execution(
+            params, assignment, processes, _policy(), byzantine=byz,
+            max_rounds=10,
+        )
+        assert _canonical(shim_result.trace) == _canonical(kernel_result.trace)
+        assert shim_result.dropped == kernel_result.dropped
+
+
+class TestMetricsFromTraceShim:
+    def _run_engine(self):
+        params, assignment, processes = _workload()
+        engine = RoundEngine(
+            params=params, assignment=assignment, processes=processes,
+        )
+        engine.run(max_rounds=8)
+        return engine
+
+    def test_warns_exactly_once_per_call(self):
+        engine = self._run_engine()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            metrics_from_trace(engine.trace, fanout=engine.params.n)
+            deprecations = [w for w in caught
+                            if issubclass(w.category, DeprecationWarning)]
+            assert len(deprecations) == 1
+            assert "metrics_from_deliveries" in str(deprecations[0].message)
+
+    def test_estimate_matches_exact_accounting_on_clean_runs(self):
+        # Full fanout, no drops: the deprecated estimate and the exact
+        # per-delivery accounting must agree.
+        engine = self._run_engine()
+        with pytest.warns(DeprecationWarning):
+            estimated = metrics_from_trace(
+                engine.trace, fanout=engine.params.n
+            )
+        exact = metrics_from_deliveries(engine.deliveries)
+        assert estimated == exact

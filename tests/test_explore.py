@@ -308,6 +308,7 @@ class TestExploreCampaign:
         assert result["kind"] == "explore"
         assert result["algorithm"] == "fig5-dls"
         assert result["demonstration"].startswith("explorer witness")
+        assert result["demonstration_kind"] == "explorer"
         assert all(r["ok"] for r in result["records"])
 
     def test_campaign_folds_explore_cells(self):
@@ -320,6 +321,8 @@ class TestExploreCampaign:
         (cell,) = report.cell_results()
         assert not cell.predicted_solvable
         assert cell.demonstration
+        assert cell.demonstration_kind == "explorer"
+        assert cell.demonstration_checked
 
 
 # ----------------------------------------------------------------------

@@ -64,6 +64,8 @@ class TestUnsolvableCells:
         cell = evaluate_unsolvable_cell(SystemParams(n=4, ell=3, t=1))
         assert not cell.predicted_solvable
         assert "figure-1" in cell.demonstration
+        assert cell.demonstration_kind == "scenario"
+        assert cell.demonstration_checked
         assert cell.empirically_consistent
 
     def test_psync_gap_uses_partition(self):
@@ -73,6 +75,8 @@ class TestUnsolvableCells:
             )
         )
         assert "figure-4" in cell.demonstration
+        assert cell.demonstration_kind == "partition"
+        assert cell.demonstration_checked
         assert cell.empirically_consistent
 
     def test_restricted_at_ell_le_t_uses_mirror(self):
@@ -83,15 +87,30 @@ class TestUnsolvableCells:
             )
         )
         assert "mirror" in cell.demonstration
+        assert cell.demonstration_kind == "mirror"
+        assert cell.demonstration_checked
         assert cell.empirically_consistent
 
     def test_below_psl_is_cited_not_run(self):
         cell = evaluate_unsolvable_cell(SystemParams(n=3, ell=3, t=1))
         assert "PSL" in cell.demonstration
+        assert cell.demonstration_kind == "psl-citation"
+        assert not cell.demonstration_checked
 
     def test_small_ell_dominated(self):
         cell = evaluate_unsolvable_cell(SystemParams(n=8, ell=2, t=1))
         assert "dominated" in cell.demonstration
+        assert cell.demonstration_kind == "dominance"
+        assert not cell.demonstration_checked
+
+    def test_grading_ignores_message_text(self):
+        # Provenance rides the structured kind: a checked-looking
+        # message with a derived kind (or no kind) never upgrades.
+        cell = evaluate_unsolvable_cell(SystemParams(n=4, ell=3, t=1))
+        cell.demonstration_kind = "dominance"
+        assert not cell.demonstration_checked
+        cell.demonstration_kind = ""
+        assert not cell.demonstration_checked
 
 
 class TestReports:

@@ -16,14 +16,11 @@ from repro.broadcast.multiplicity import (
     MultiplicityAccept,
     MultiplicityBroadcast,
 )
+from repro.broadcast.runner import run_multiplicity_broadcast
 from repro.core.errors import BoundViolation
-from repro.core.identity import balanced_assignment, stacked_assignment
-from repro.core.messages import Inbox
-from repro.core.params import SystemParams
+from repro.core.identity import stacked_assignment
 from repro.sim.adversary import Adversary
-from repro.sim.network import RoundEngine
 from repro.sim.partial import SilenceUntil
-from repro.sim.process import Process
 
 
 class TestLayerUnit:
@@ -109,50 +106,13 @@ class TestLayerUnit:
         assert second[0].accepted_superround == 2
 
 
-class MultiplicityHost(Process):
-    """Host process: every correct holder of `broadcast_ident` broadcasts
-    the value in superround 0; all record accepts."""
-
-    def __init__(self, identifier, should_broadcast, n, t):
-        super().__init__(identifier, 0)
-        self.should_broadcast = should_broadcast
-        self.mb = MultiplicityBroadcast(n, t, identifier)
-        self.accepts: list[MultiplicityAccept] = []
-
-    def compose(self, round_no):
-        if round_no == 0 and self.should_broadcast:
-            self.mb.broadcast("m", 0)
-        return ("mb", self.mb.outgoing(round_no))
-
-    def deliver(self, round_no, inbox: Inbox):
-        for m in inbox:
-            payload = m.payload
-            if (isinstance(payload, tuple) and len(payload) == 2
-                    and payload[0] == "mb"):
-                self.mb.note_message(m.sender_id, payload[1], round_no)
-        self.accepts.extend(self.mb.end_round(round_no))
-
-
 def run_multiplicity(n, ell, t, broadcaster_ident, byz=(), adversary=None,
                      drop_schedule=None, rounds=8, assignment=None):
-    params = SystemParams(n=n, ell=ell, t=t, numerate=True, restricted=True)
-    if assignment is None:
-        assignment = stacked_assignment(n, ell)
-    processes = [
-        None if k in byz else MultiplicityHost(
-            assignment.identifier_of(k),
-            assignment.identifier_of(k) == broadcaster_ident,
-            n, t,
-        )
-        for k in range(n)
-    ]
-    engine = RoundEngine(
-        params=params, assignment=assignment, processes=processes,
-        byzantine=byz, adversary=adversary, drop_schedule=drop_schedule,
+    run = run_multiplicity_broadcast(
+        n, ell, t, broadcaster_ident, byzantine=byz, adversary=adversary,
+        drop_schedule=drop_schedule, rounds=rounds, assignment=assignment,
     )
-    for _ in range(rounds):
-        engine.step()
-    return [p for p in processes if p is not None], assignment
+    return run.correct_processes, run.assignment
 
 
 class TestCorrectnessProperty:
@@ -238,32 +198,14 @@ def test_post_gst_broadcast_accepted_with_full_multiplicity(gst, seed):
     with multiplicity >= the number of broadcasters."""
     from repro.sim.partial import RandomDrops
 
-    class DelayedHost(MultiplicityHost):
-        def __init__(self, identifier, should, n, t, start_sr):
-            super().__init__(identifier, should, n, t)
-            self.start_sr = start_sr
-
-        def compose(self, round_no):
-            if round_no == 2 * self.start_sr and self.should_broadcast:
-                self.mb.broadcast("m", self.start_sr)
-            return ("mb", self.mb.outgoing(round_no))
-
     n, ell, t = 5, 3, 1
     start_sr = (gst + 1) // 2 + 1
-    params = SystemParams(n=n, ell=ell, t=t, numerate=True, restricted=True)
-    assignment = stacked_assignment(n, ell)
-    processes = [
-        DelayedHost(assignment.identifier_of(k),
-                    assignment.identifier_of(k) == 1, n, t, start_sr)
-        for k in range(n)
-    ]
-    engine = RoundEngine(
-        params=params, assignment=assignment, processes=processes,
+    run = run_multiplicity_broadcast(
+        n, ell, t, broadcaster_ident=1,
         drop_schedule=RandomDrops(gst=gst, p=0.5, seed=seed),
+        rounds=2 * start_sr + 6, broadcast_superround=start_sr,
     )
-    for _ in range(2 * start_sr + 6):
-        engine.step()
-    alpha = len(assignment.group(1))
-    for p in processes:
+    alpha = len(run.assignment.group(1))
+    for p in run.correct_processes:
         mine = [a for a in p.accepts if a.ident == 1 and a.message == "m"]
         assert mine and max(a.multiplicity for a in mine) >= alpha

@@ -6,43 +6,22 @@ from repro.broadcast.reliable import (
     ReliableBroadcastProcess,
     reliable_broadcast_factory,
 )
+from repro.broadcast.runner import run_reliable_broadcast
 from repro.core.errors import BoundViolation
-from repro.core.identity import balanced_assignment, stacked_assignment
-from repro.core.params import SystemParams
-from repro.core.problem import BINARY
+from repro.core.identity import stacked_assignment
 from repro.sim.adversary import Adversary
-from repro.sim.network import RoundEngine
 from repro.sim.partial import SilenceUntil
 
 
 def run_rbc(n, ell, t, sender_ident, values_by_slot, byz=(),
             adversary=None, drop_schedule=None, rounds=14,
             assignment=None, start_superround=0):
-    params = SystemParams(n=n, ell=ell, t=t)
-    if assignment is None:
-        assignment = balanced_assignment(n, ell)
-    processes = []
-    for k in range(n):
-        if k in byz:
-            processes.append(None)
-            continue
-        ident = assignment.identifier_of(k)
-        proposal = values_by_slot.get(k) if ident == sender_ident else None
-        processes.append(
-            ReliableBroadcastProcess(
-                ell, t, ident, sender_ident,
-                proposal=proposal, start_superround=start_superround,
-            )
-        )
-    engine = RoundEngine(
-        params=params, assignment=assignment, processes=processes,
-        byzantine=byz, adversary=adversary, drop_schedule=drop_schedule,
+    run = run_reliable_broadcast(
+        n, ell, t, sender_ident, values_by_slot, byzantine=byz,
+        adversary=adversary, drop_schedule=drop_schedule, rounds=rounds,
+        assignment=assignment, start_superround=start_superround,
     )
-    for _ in range(rounds):
-        engine.step()
-        if all(p.decided for p in processes if p is not None):
-            break
-    return [p for p in processes if p is not None], assignment
+    return run.correct_processes, run.assignment
 
 
 class TestConstruction:

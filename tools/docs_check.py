@@ -49,6 +49,16 @@ REQUIRED_README_SECTIONS = [
     "Testing and benchmarks",
 ]
 
+#: Headings other checked docs must contain (substring match), keyed by
+#: repo-relative path.
+REQUIRED_DOC_SECTIONS = {
+    "docs/ARCHITECTURE.md": [
+        "The execution kernel",
+        "Kernel coverage",
+        "The message fabric",
+    ],
+}
+
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 
@@ -69,6 +79,19 @@ def check_readme_sections(errors: list[str]) -> None:
     for required in REQUIRED_README_SECTIONS:
         if not any(required in heading for heading in headings):
             errors.append(f"README.md: missing section {required!r}")
+
+
+def check_doc_sections(errors: list[str]) -> None:
+    """Verify required section headings in the other checked docs."""
+    for name, required_sections in REQUIRED_DOC_SECTIONS.items():
+        path = REPO_ROOT / name
+        if not path.exists():
+            errors.append(f"{name} is missing")
+            continue
+        headings = _HEADING.findall(path.read_text())
+        for required in required_sections:
+            if not any(required in heading for heading in headings):
+                errors.append(f"{name}: missing section {required!r}")
 
 
 def check_links(errors: list[str]) -> None:
@@ -106,6 +129,7 @@ def main() -> int:
     """
     errors: list[str] = []
     check_readme_sections(errors)
+    check_doc_sections(errors)
     check_links(errors)
     if errors:
         print("docs-check: FAILED")
