@@ -5,21 +5,28 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all bench-quick bench-fabric bench-delay bench-explore \
-	bench-atlas bench-snapshot docs-check api-docs campaign \
-	explore-frontier atlas-quick atlas clean
+.PHONY: test test-all lint bench-quick bench-fabric bench-delay \
+	bench-explore bench-atlas bench-snapshot bench-diff docs-check \
+	api-docs campaign explore-frontier atlas-quick atlas clean
 
-## tier-1: docs consistency plus the fast test suite (the bar every
-## change must clear). docs-check runs first so a stale README section
-## fails fast, before the two-minute suite. Tests marked `exhaustive`
-## (full small-scope sweeps, the explorer tightness matrix) are skipped
+## tier-1: docs consistency, the invariant linter, then the fast test
+## suite (the bar every change must clear). The cheap static gates run
+## first so a stale README section or an undigested oracle edit fails
+## fast, before the two-minute suite. Tests marked `exhaustive` (full
+## small-scope sweeps, the explorer tightness matrix) are skipped
 ## here; `make test-all` runs everything.
-test: docs-check
+test: docs-check lint
 	$(PYTHON) -m pytest -x -q
 
 ## the whole suite including the exhaustive tier
-test-all: docs-check
+test-all: docs-check lint
 	$(PYTHON) -m pytest -q --exhaustive
+
+## the AST-based invariant linter: determinism, oracle freezing, and
+## cache-schema discipline over the package, tests, benchmarks, and
+## tooling (see docs/ARCHITECTURE.md "Static analysis").
+lint:
+	$(PYTHON) -m tools.reprolint src tests benchmarks tools
 
 ## the fast benchmark slice: Table 1 regeneration + campaign throughput
 bench-quick:
@@ -49,6 +56,16 @@ bench-snapshot:
 	    benchmarks/test_bench_fabric.py \
 	    benchmarks/test_bench_delay_kernel.py \
 	    benchmarks/test_bench_campaign.py -q -s
+
+## diff two (or more) BENCH_<topic>.json snapshot directories, oldest
+## first, and fail on >MAX_REGRESS% ops/s regression:
+##   make bench-diff BASE=archived-snapshots NEW=bench-snapshots
+BASE ?= bench-snapshots
+NEW ?= bench-snapshots
+MAX_REGRESS ?= 25
+bench-diff:
+	$(PYTHON) tools/bench_diff.py $(BASE) $(NEW) \
+	    --max-regress $(MAX_REGRESS)
 
 ## README sections + intra-repo doc links + API.md staleness
 docs-check:

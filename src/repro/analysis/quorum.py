@@ -56,7 +56,7 @@ def sole_owner_correct_in_intersection(
     """
     byz_ids = {assignment.identifier_of(b) for b in byzantine}
     result = []
-    for ident in set(quorum_a) & set(quorum_b):
+    for ident in sorted(set(quorum_a) & set(quorum_b)):
         if len(assignment.group(ident)) == 1 and ident not in byz_ids:
             result.append(ident)
     return tuple(sorted(result))

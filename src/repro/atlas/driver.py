@@ -180,7 +180,7 @@ def run_atlas(
             evidence (indicates a broken evidence plan).
         ConfigurationError: ``inject`` combined with ``resume``.
     """
-    start = time.perf_counter()
+    start = time.perf_counter()  # reprolint: disable=RL002 -- diagnostic timing only
     cells = lattice.cells()
     units = enumerate_atlas_units(
         [(c.label, c.params, c.variant) for c in cells],
@@ -294,5 +294,5 @@ def run_atlas(
                     pool.shutdown(wait=False, cancel_futures=True)
                     raise
     finally:
-        outcome.elapsed_s = time.perf_counter() - start
+        outcome.elapsed_s = time.perf_counter() - start  # reprolint: disable=RL002 -- diagnostic timing only
     return outcome

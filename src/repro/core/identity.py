@@ -184,6 +184,8 @@ def random_assignment(
     """Seeded random assignment: cover ``1..ell`` then assign the rest uniformly."""
     if n < ell:
         raise ConfigurationError(f"need n >= ell, got n={n}, ell={ell}")
+    # reprolint: disable=RL003 -- int-or-Random seed (salt-free); the
+    # stream is pinned by cached campaign records.
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     ids = list(range(1, ell + 1))
     ids.extend(rng.randrange(1, ell + 1) for _ in range(n - ell))
@@ -220,6 +222,8 @@ def byzantine_sets(
     assignment: IdentityAssignment, t: int, seed: int | random.Random = 0
 ) -> tuple[int, ...]:
     """Pick a seeded random set of at most ``t`` Byzantine process indices."""
+    # reprolint: disable=RL003 -- int-or-Random seed (salt-free); the
+    # stream is pinned by cached campaign records.
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     count = min(t, assignment.n)
     return tuple(sorted(rng.sample(range(assignment.n), count)))

@@ -482,7 +482,7 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
     """
     if not isinstance(unit, CampaignUnit):
         unit = CampaignUnit.from_dict(unit)
-    start = time.perf_counter()
+    start = time.perf_counter()  # reprolint: disable=RL002 -- diagnostic timing only
     params = unit.params()
     problem = PROBLEMS[unit.problem]
     demonstration = ""
@@ -524,7 +524,7 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
             "demonstration": outcome["demonstration"],
             "demonstration_kind": outcome["demonstration_kind"],
             "records": outcome["records"],
-            "elapsed_s": time.perf_counter() - start,
+            "elapsed_s": time.perf_counter() - start,  # reprolint: disable=RL002 -- diagnostic timing only
         }
     elif unit.kind == "atlas":
         from repro.atlas.evidence import run_atlas_unit
@@ -545,7 +545,7 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
             "demonstration_kind": outcome["demonstration_kind"],
             "records": outcome["records"],
             "evidence": outcome["evidence"],
-            "elapsed_s": time.perf_counter() - start,
+            "elapsed_s": time.perf_counter() - start,  # reprolint: disable=RL002 -- diagnostic timing only
         }
     else:
         raise ConfigurationError(f"unknown unit kind {unit.kind!r}")
@@ -559,7 +559,7 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
         "demonstration": demonstration,
         "demonstration_kind": demonstration_kind,
         "records": [asdict(r) for r in records],
-        "elapsed_s": time.perf_counter() - start,
+        "elapsed_s": time.perf_counter() - start,  # reprolint: disable=RL002 -- diagnostic timing only
     }
 
 
@@ -892,7 +892,7 @@ def run_campaign(
     Raises:
         ConfigurationError: On an unknown ``unit_kind``.
     """
-    start = time.perf_counter()
+    start = time.perf_counter()  # reprolint: disable=RL002 -- diagnostic timing only
     if unit_kind == "validate":
         cells = table1_cells() if cells is None else list(cells)
         units = enumerate_units(cells, seed=seed, quick=quick)
@@ -960,5 +960,5 @@ def run_campaign(
         workers=max(1, workers),
         executed=len(pending),
         cached=cached,
-        elapsed_s=time.perf_counter() - start,
+        elapsed_s=time.perf_counter() - start,  # reprolint: disable=RL002 -- diagnostic timing only
     )

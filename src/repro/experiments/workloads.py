@@ -48,6 +48,8 @@ def random_inputs(
     indices: Sequence[int], problem: AgreementProblem, seed: int
 ) -> dict[int, Hashable]:
     """Seeded uniform proposals."""
+    # reprolint: disable=RL003 -- int battery seed (salt-free); the
+    # stream is pinned by cached campaign records.
     rng = random.Random(seed)
     return {k: rng.choice(problem.domain) for k in sorted(indices)}
 
@@ -148,6 +150,8 @@ def random_byzantine(
     assignment: IdentityAssignment, t: int, seed: int
 ) -> tuple[int, ...]:
     """Seeded uniform Byzantine placement."""
+    # reprolint: disable=RL003 -- int battery seed (salt-free); the
+    # stream is pinned by cached campaign records.
     rng = random.Random(seed)
     return tuple(sorted(rng.sample(range(assignment.n), min(t, assignment.n))))
 

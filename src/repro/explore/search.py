@@ -819,14 +819,14 @@ def explore(scenario: ExploreScenario) -> Certificate:
         exhaustiveness certificate with the search counters.
     """
     stats = SearchStats()
-    start = time.perf_counter()
+    start = time.perf_counter()  # reprolint: disable=RL002 -- diagnostic timing only
     try:
         if scenario.persistent_faces:
             raw = _explore_persistent(scenario, stats)
         else:
             raw = _explore_tree(scenario, stats)
     except _ViolationFound as found:
-        stats.elapsed_s = time.perf_counter() - start
+        stats.elapsed_s = time.perf_counter() - start  # reprolint: disable=RL002 -- diagnostic timing only
         # The raw-tree counter is only meaningful for completed sweeps;
         # a violation aborts mid-count (possibly with totals from
         # earlier, clean cut alternatives), so report none at all.
@@ -841,7 +841,7 @@ def explore(scenario: ExploreScenario) -> Certificate:
             decisions=found.decisions,
         )
     stats.raw_tree_size = raw
-    stats.elapsed_s = time.perf_counter() - start
+    stats.elapsed_s = time.perf_counter() - start  # reprolint: disable=RL002 -- diagnostic timing only
     return Certificate(
         outcome="exhausted",
         scenario=scenario.describe_dict(),

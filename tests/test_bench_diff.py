@@ -1,0 +1,133 @@
+"""tools/bench_diff.py: snapshot diffing, the gate, the trajectory."""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.bench_diff import (  # noqa: E402
+    diff_snapshots,
+    load_snapshots,
+    main as bench_diff_main,
+)
+
+
+def write_snapshot(directory, topic, ops_per_s, speedup=2.0, params=None):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{topic}.json").write_text(
+        json.dumps(
+            {
+                "topic": topic,
+                "params": params if params is not None else {"n": 16},
+                "ops_per_s": ops_per_s,
+                "speedup": speedup,
+            }
+        )
+    )
+
+
+class TestDiff:
+    def test_improvement_and_small_noise_pass(self, tmp_path):
+        write_snapshot(tmp_path / "old", "fabric", 100.0)
+        write_snapshot(tmp_path / "old", "delay", 50.0)
+        write_snapshot(tmp_path / "new", "fabric", 140.0)
+        write_snapshot(tmp_path / "new", "delay", 45.0)  # -10%: tolerated
+        rows, regressions = diff_snapshots(
+            load_snapshots(tmp_path / "old"),
+            load_snapshots(tmp_path / "new"),
+            max_regress=25.0,
+        )
+        assert regressions == []
+        by_topic = {row["topic"]: row for row in rows}
+        assert by_topic["fabric"]["ops_pct"] > 39
+        assert by_topic["delay"]["comparable"]
+
+    def test_regression_beyond_threshold_fails(self, tmp_path):
+        write_snapshot(tmp_path / "old", "fabric", 100.0)
+        write_snapshot(tmp_path / "new", "fabric", 60.0)  # -40%
+        rows, regressions = diff_snapshots(
+            load_snapshots(tmp_path / "old"),
+            load_snapshots(tmp_path / "new"),
+            max_regress=25.0,
+        )
+        assert len(regressions) == 1
+        assert "fabric" in regressions[0]
+
+    def test_changed_params_are_advisory_only(self, tmp_path):
+        write_snapshot(tmp_path / "old", "fabric", 100.0, params={"n": 16})
+        write_snapshot(tmp_path / "new", "fabric", 10.0, params={"n": 256})
+        rows, regressions = diff_snapshots(
+            load_snapshots(tmp_path / "old"),
+            load_snapshots(tmp_path / "new"),
+            max_regress=25.0,
+        )
+        assert regressions == []
+        assert rows[0]["note"] == "params changed; advisory"
+
+    def test_one_sided_topics_are_reported_not_gated(self, tmp_path):
+        write_snapshot(tmp_path / "old", "fabric", 100.0)
+        write_snapshot(tmp_path / "new", "fabric", 100.0)
+        write_snapshot(tmp_path / "new", "soak", 10.0)
+        rows, regressions = diff_snapshots(
+            load_snapshots(tmp_path / "old"),
+            load_snapshots(tmp_path / "new"),
+            max_regress=25.0,
+        )
+        assert regressions == []
+        notes = {row["topic"]: row["note"] for row in rows}
+        assert notes["soak"] == "current only"
+
+
+class TestCli:
+    def test_clean_diff_exits_zero(self, tmp_path, capsys):
+        write_snapshot(tmp_path / "a", "fabric", 100.0)
+        write_snapshot(tmp_path / "b", "fabric", 110.0)
+        status = bench_diff_main([str(tmp_path / "a"), str(tmp_path / "b")])
+        assert status == 0
+        assert "bench-diff: ok" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        write_snapshot(tmp_path / "a", "fabric", 100.0)
+        write_snapshot(tmp_path / "b", "fabric", 10.0)
+        status = bench_diff_main([str(tmp_path / "a"), str(tmp_path / "b")])
+        assert status == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_trajectory_spans_all_runs(self, tmp_path, capsys):
+        for pos, speed in enumerate([1.0, 4.0, 9.0]):
+            write_snapshot(
+                tmp_path / f"run{pos}", "fabric", 100.0 * (pos + 1),
+                speedup=speed,
+            )
+        status = bench_diff_main(
+            [str(tmp_path / f"run{pos}") for pos in range(3)]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "speedup trajectory" in out
+        assert "9.00" in out and "1.00" in out
+
+    def test_markdown_rendering(self, tmp_path):
+        write_snapshot(tmp_path / "a", "fabric", 100.0, speedup=40.0)
+        write_snapshot(tmp_path / "b", "fabric", 120.0, speedup=44.0)
+        report = tmp_path / "diff.md"
+        status = bench_diff_main(
+            [str(tmp_path / "a"), str(tmp_path / "b"),
+             "--markdown", str(report)]
+        )
+        assert status == 0
+        text = report.read_text()
+        assert "## Speedup trajectory" in text
+        assert "| fabric |" in text
+
+    def test_single_directory_renders_without_gating(self, tmp_path, capsys):
+        write_snapshot(tmp_path / "only", "fabric", 100.0)
+        status = bench_diff_main([str(tmp_path / "only")])
+        assert status == 0
+        assert "nothing to diff" in capsys.readouterr().out
+
+    def test_committed_snapshots_load(self):
+        snapshots = load_snapshots(REPO_ROOT / "bench-snapshots")
+        assert {"fabric", "delay_kernel", "campaign"} <= set(snapshots)

@@ -1,0 +1,7 @@
+"""Repository tooling: docs checks, API-doc generation, reprolint.
+
+The scripts here run directly (``python tools/docs_check.py``) or as
+modules from the repository root (``python -m tools.reprolint``); none
+of them are part of the installable :mod:`repro` package and none may
+grow third-party runtime dependencies.
+"""

@@ -1,0 +1,283 @@
+#!/usr/bin/env python
+"""Diff ``BENCH_<topic>.json`` snapshots and gate on regressions.
+
+``make bench-snapshot`` writes one machine-readable snapshot per
+reference-comparison bench (topic, params, ops/s, speedup).  This tool
+is the other half of the persisted perf trajectory: given two or more
+snapshot directories in chronological order it
+
+* diffs the **first** (baseline) against the **last** (current) run,
+  topic by topic, and exits nonzero when any topic's ``ops_per_s``
+  regresses by more than ``--max-regress`` percent (comparisons whose
+  ``params`` changed are advisory only -- a different workload is not
+  a regression);
+* renders the speedup trajectory across *all* given runs, so a series
+  of archived snapshot directories becomes the per-topic history the
+  ROADMAP asks every "make it faster" PR to be checkable against.
+
+Usage::
+
+    python tools/bench_diff.py BASELINE_DIR [DIR ...] CURRENT_DIR \
+        [--max-regress PCT] [--markdown PATH]
+
+With a single directory the tool just renders the table (nothing to
+diff, exit 0).  Stdlib only; snapshots missing from either side are
+reported but never fail the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Snapshot filename shape written by ``benchmarks/conftest.py``.
+SNAPSHOT_GLOB = "BENCH_*.json"
+
+
+def load_snapshots(directory: Path) -> dict[str, dict]:
+    """Load every ``BENCH_<topic>.json`` in ``directory``, by topic.
+
+    Args:
+        directory: A snapshot directory.
+
+    Returns:
+        ``topic -> snapshot dict``; unreadable files are skipped with
+        a note on stderr.
+    """
+    snapshots: dict[str, dict] = {}
+    for path in sorted(directory.glob(SNAPSHOT_GLOB)):
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"bench-diff: skipping unreadable {path}: {exc}",
+                  file=sys.stderr)
+            continue
+        topic = data.get("topic") or path.stem.removeprefix("BENCH_")
+        snapshots[topic] = data
+    return snapshots
+
+
+def pct_change(old: float, new: float) -> float:
+    """Percent change from ``old`` to ``new`` (positive = faster)."""
+    if old == 0:
+        return 0.0
+    return (new - old) / old * 100.0
+
+
+def diff_snapshots(
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    max_regress: float,
+) -> tuple[list[dict], list[str]]:
+    """Compare two snapshot sets topic by topic.
+
+    Args:
+        baseline: ``topic -> snapshot`` of the baseline run.
+        current: ``topic -> snapshot`` of the current run.
+        max_regress: Regression tolerance on ``ops_per_s``, percent.
+
+    Returns:
+        ``(rows, regressions)``: one row dict per topic (keys
+        ``topic``, ``old_ops``, ``new_ops``, ``ops_pct``,
+        ``old_speedup``, ``new_speedup``, ``comparable``, ``note``)
+        and the failing topics' messages.
+    """
+    rows: list[dict] = []
+    regressions: list[str] = []
+    for topic in sorted(set(baseline) | set(current)):
+        old, new = baseline.get(topic), current.get(topic)
+        if old is None or new is None:
+            rows.append({
+                "topic": topic,
+                "old_ops": old.get("ops_per_s") if old else None,
+                "new_ops": new.get("ops_per_s") if new else None,
+                "ops_pct": None,
+                "old_speedup": old.get("speedup") if old else None,
+                "new_speedup": new.get("speedup") if new else None,
+                "comparable": False,
+                "note": "baseline only" if new is None else "current only",
+            })
+            continue
+        comparable = old.get("params") == new.get("params")
+        ops_pct = pct_change(
+            float(old.get("ops_per_s", 0.0)), float(new.get("ops_per_s", 0.0))
+        )
+        note = "" if comparable else "params changed; advisory"
+        if comparable and ops_pct < -max_regress:
+            note = f"REGRESSION beyond -{max_regress:g}%"
+            regressions.append(
+                f"{topic}: ops/s {old.get('ops_per_s')} -> "
+                f"{new.get('ops_per_s')} ({ops_pct:+.1f}%)"
+            )
+        rows.append({
+            "topic": topic,
+            "old_ops": old.get("ops_per_s"),
+            "new_ops": new.get("ops_per_s"),
+            "ops_pct": ops_pct,
+            "old_speedup": old.get("speedup"),
+            "new_speedup": new.get("speedup"),
+            "comparable": comparable,
+            "note": note,
+        })
+    return rows, regressions
+
+
+def _fmt(value: object, spec: str = "") -> str:
+    """Render one table cell (``-`` for missing values)."""
+    if value is None:
+        return "-"
+    return format(value, spec) if spec else str(value)
+
+
+def render_diff(rows: list[dict], max_regress: float) -> str:
+    """The baseline-vs-current table as text."""
+    lines = [
+        f"bench-diff: baseline vs current (gate: ops/s regression "
+        f"> {max_regress:g}% fails)",
+        "",
+        f"{'topic':<14} {'ops/s old':>12} {'ops/s new':>12} "
+        f"{'change':>9} {'speedup old':>12} {'speedup new':>12}  note",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['topic']:<14} {_fmt(row['old_ops'], '.2f'):>12} "
+            f"{_fmt(row['new_ops'], '.2f'):>12} "
+            f"{_fmt(row['ops_pct'], '+.1f'):>8}{'%' if row['ops_pct'] is not None else ' '} "
+            f"{_fmt(row['old_speedup'], '.2f'):>12} "
+            f"{_fmt(row['new_speedup'], '.2f'):>12}  {row['note']}"
+        )
+    return "\n".join(lines)
+
+
+def render_trajectory(
+    labels: list[str], runs: list[dict[str, dict]]
+) -> str:
+    """The per-topic speedup trajectory across every given run."""
+    topics = sorted({t for run in runs for t in run})
+    lines = ["", "speedup trajectory (x over the frozen reference):", ""]
+    header = f"{'topic':<14}" + "".join(f" {label:>14}" for label in labels)
+    lines.append(header)
+    for topic in topics:
+        cells = []
+        for run in runs:
+            snap = run.get(topic)
+            cells.append(
+                _fmt(snap.get("speedup") if snap else None, ".2f")
+            )
+        lines.append(
+            f"{topic:<14}" + "".join(f" {cell:>14}" for cell in cells)
+        )
+    return "\n".join(lines)
+
+
+def render_markdown(
+    rows: list[dict],
+    labels: list[str],
+    runs: list[dict[str, dict]],
+) -> str:
+    """Markdown rendering of the diff table plus the trajectory."""
+    lines = [
+        "# Benchmark diff",
+        "",
+        "| topic | ops/s old | ops/s new | change | speedup old "
+        "| speedup new | note |",
+        "|---|---:|---:|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        pct = (
+            f"{row['ops_pct']:+.1f}%" if row["ops_pct"] is not None else "-"
+        )
+        lines.append(
+            f"| {row['topic']} | {_fmt(row['old_ops'], '.2f')} "
+            f"| {_fmt(row['new_ops'], '.2f')} | {pct} "
+            f"| {_fmt(row['old_speedup'], '.2f')} "
+            f"| {_fmt(row['new_speedup'], '.2f')} | {row['note']} |"
+        )
+    topics = sorted({t for run in runs for t in run})
+    lines += [
+        "",
+        "## Speedup trajectory",
+        "",
+        "| topic | " + " | ".join(labels) + " |",
+        "|---|" + "---:|" * len(labels),
+    ]
+    for topic in topics:
+        cells = [
+            _fmt((run.get(topic) or {}).get("speedup"), ".2f")
+            for run in runs
+        ]
+        lines.append(f"| {topic} | " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point.
+
+    Args:
+        argv: Argument list (defaults to ``sys.argv[1:]``).
+
+    Returns:
+        0 when clean (or nothing to gate), 1 on regression, 2 on bad
+        invocation.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_diff.py",
+        description="Diff BENCH_<topic>.json snapshots; fail on regression.",
+    )
+    parser.add_argument(
+        "dirs",
+        nargs="+",
+        type=Path,
+        help="snapshot directories, oldest first (first=baseline, "
+        "last=current)",
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=25.0,
+        help="tolerated ops/s regression in percent (default: 25)",
+    )
+    parser.add_argument(
+        "--markdown",
+        type=Path,
+        default=None,
+        help="also write the diff + trajectory as Markdown to this path",
+    )
+    args = parser.parse_args(argv)
+    for directory in args.dirs:
+        if not directory.is_dir():
+            parser.error(f"not a directory: {directory}")
+    if args.max_regress < 0:
+        parser.error("--max-regress must be >= 0")
+
+    runs = [load_snapshots(d) for d in args.dirs]
+    labels = [d.name or str(d) for d in args.dirs]
+    if len(runs) == 1:
+        rows, regressions = diff_snapshots(runs[0], runs[0], args.max_regress)
+        for row in rows:
+            row["note"] = "single run; nothing to diff"
+        regressions = []
+    else:
+        rows, regressions = diff_snapshots(runs[0], runs[-1], args.max_regress)
+
+    print(render_diff(rows, args.max_regress))
+    print(render_trajectory(labels, runs))
+    if args.markdown is not None:
+        args.markdown.write_text(
+            render_markdown(rows, labels, runs), encoding="utf-8"
+        )
+        print(f"\nbench-diff: wrote {args.markdown}")
+
+    if regressions:
+        print("\nbench-diff: FAILED")
+        for message in regressions:
+            print(f"  - {message}")
+        return 1
+    print("\nbench-diff: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,7 @@ REQUIRED_README_SECTIONS = [
     "Examples",
     "Architecture",
     "Testing and benchmarks",
+    "Static analysis",
 ]
 
 #: Headings other checked docs must contain (substring match), keyed by
@@ -56,6 +57,7 @@ REQUIRED_DOC_SECTIONS = {
         "The execution kernel",
         "Kernel coverage",
         "The message fabric",
+        "Static analysis",
     ],
 }
 

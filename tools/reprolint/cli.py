@@ -1,0 +1,163 @@
+"""The reprolint command line.
+
+Run from the repository root::
+
+    python -m tools.reprolint                      # lint the default tree
+    python -m tools.reprolint src tests            # lint a subset
+    python -m tools.reprolint --list-rules         # rule table
+    python -m tools.reprolint --update-oracles     # re-pin RL004 digests
+    python -m tools.reprolint --update-schema      # re-pin RL005 shapes
+    python -m tools.reprolint --report lint.json   # machine-readable report
+
+Exit status: 0 clean, 1 findings, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from tools.reprolint.engine import FileRule, all_rules, lint_paths
+from tools.reprolint.rules_repo import update_oracles, update_schema
+
+#: What `make lint` covers: the package, its tests, the benchmark
+#: suites, and the tooling itself.
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "tools")
+
+
+def _repo_root() -> Path:
+    """The repository root (the parent of ``tools/``)."""
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def _list_rules() -> str:
+    """The rule table: code, name, scope summary."""
+    lines = ["reprolint rules:"]
+    for rule in all_rules():
+        kind = "file" if isinstance(rule, FileRule) else "repo"
+        lines.append(f"  {rule.code}  {rule.name:<28} [{kind}] {rule.summary}")
+    lines.append(
+        "\nsuppress a file-rule finding inline with "
+        "`# reprolint: disable=CODE -- justification`"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point.
+
+    Args:
+        argv: Argument list (defaults to ``sys.argv[1:]``).
+
+    Returns:
+        The process exit status.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="AST-based invariant linter for this reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: autodetected from this file)",
+    )
+    parser.add_argument(
+        "--update-oracles",
+        action="store_true",
+        help="re-pin the RL004 frozen-oracle digests, then exit",
+    )
+    parser.add_argument(
+        "--update-schema",
+        action="store_true",
+        help="re-pin the RL005 cache-schema fingerprint, then exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format on stdout",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="also write a JSON report (findings + metadata) to this path",
+    )
+    args = parser.parse_args(argv)
+    root = (args.root or _repo_root()).resolve()
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if args.update_oracles:
+        changed = update_oracles(root)
+        what = ", ".join(changed) if changed else "none drifted"
+        print(f"reprolint: oracle digests re-pinned ({what})")
+        return 0
+    if args.update_schema:
+        fingerprint = update_schema(root)
+        print(
+            "reprolint: cache-schema fingerprint re-pinned "
+            f"(CACHE_SCHEMA={fingerprint['cache_schema']!r})"
+        )
+        return 0
+
+    start = time.perf_counter()
+    findings, files = lint_paths(root, args.paths)
+    elapsed = time.perf_counter() - start
+    rules = all_rules()
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                [diag.to_dict() for diag in findings], indent=2, sort_keys=True
+            )
+        )
+    else:
+        for diag in findings:
+            print(diag.format())
+        if findings:
+            print(
+                f"reprolint: {len(findings)} finding(s) in {files} files "
+                f"({len(rules)} rules, {elapsed:.2f}s)"
+            )
+        else:
+            print(
+                f"reprolint: ok ({files} files, {len(rules)} rules, "
+                f"{elapsed:.2f}s)"
+            )
+
+    if args.report is not None:
+        report = {
+            "findings": [diag.to_dict() for diag in findings],
+            "files_checked": files,
+            "rules": [
+                {"code": r.code, "name": r.name, "summary": r.summary}
+                for r in rules
+            ],
+            "elapsed_s": round(elapsed, 3),
+            "clean": not findings,
+        }
+        args.report.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

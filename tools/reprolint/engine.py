@@ -1,0 +1,309 @@
+"""The reprolint engine: rule registry, suppressions, file driver.
+
+Two rule families plug into the same diagnostic stream:
+
+* *File rules* (:class:`FileRule`) get a parsed :class:`FileContext`
+  per Python file and emit line-precise findings.  They are the
+  ``ast``-level conventions (RL001/RL002/RL003/RL006) and honour
+  inline ``# reprolint: disable=CODE`` suppressions.
+* *Repo rules* (:class:`RepoRule`) check whole-repository invariants
+  against a committed pin file (RL004 oracle digests, RL005 the
+  cache-schema fingerprint).  They are deliberately *not*
+  suppressible: their escape hatch is regenerating the pin via the
+  CLI's ``--update-oracles`` / ``--update-schema``.
+
+The engine itself knows nothing about individual rules; they register
+via :func:`register_file_rule` / :func:`register_repo_rule` on import
+(:mod:`tools.reprolint.rules_ast`, :mod:`tools.reprolint.rules_repo`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "FileRule",
+    "RepoRule",
+    "register_file_rule",
+    "register_repo_rule",
+    "all_rules",
+    "iter_python_files",
+    "lint_source",
+    "lint_paths",
+]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, which rule, and what to do about it."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """Render the finding in the ``path:line:col: CODE message`` shape."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form for machine-readable reports."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a file rule may look at: one parsed Python file."""
+
+    rel_path: str
+    source: str
+    tree: ast.AST
+
+    _parents: dict[int, ast.AST] | None = field(default=None, repr=False)
+
+    def parents(self) -> dict[int, ast.AST]:
+        """``id(child) -> parent`` for every node; built once, on demand."""
+        if self._parents is None:
+            parents: dict[int, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[id(child)] = node
+            self._parents = parents
+        return self._parents
+
+
+class FileRule:
+    """Base class for per-file AST rules."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def applies_to(self, rel_path: str) -> bool:
+        """Whether this rule runs on ``rel_path`` (repo-relative)."""
+        return True
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        """Return this rule's findings for one file."""
+        raise NotImplementedError
+
+
+class RepoRule:
+    """Base class for whole-repository rules pinned by a committed file."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check_repo(self, root: Path) -> list[Diagnostic]:
+        """Return this rule's findings for the repository at ``root``."""
+        raise NotImplementedError
+
+
+_FILE_RULES: list[FileRule] = []
+_REPO_RULES: list[RepoRule] = []
+
+
+def register_file_rule(cls: type[FileRule]) -> type[FileRule]:
+    """Class decorator: instantiate and register a :class:`FileRule`."""
+    _FILE_RULES.append(cls())
+    return cls
+
+
+def register_repo_rule(cls: type[RepoRule]) -> type[RepoRule]:
+    """Class decorator: instantiate and register a :class:`RepoRule`."""
+    _REPO_RULES.append(cls())
+    return cls
+
+
+def all_rules() -> list[FileRule | RepoRule]:
+    """Every registered rule, file rules first, in registration order."""
+    _load_rules()
+    return [*_FILE_RULES, *_REPO_RULES]
+
+
+_LOADED = False
+
+
+def _load_rules() -> None:
+    """Import the rule modules exactly once (they register on import)."""
+    global _LOADED
+    if not _LOADED:
+        from tools.reprolint import rules_ast, rules_repo  # noqa: F401
+
+        _LOADED = True
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+_SUPPRESS = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+)
+
+
+def suppressed_lines(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule codes suppressed on that line.
+
+    A ``# reprolint: disable=RL003`` comment suppresses the listed
+    codes on its own line; a comment that is *alone* on its line also
+    covers the next code line (skipping the rest of its comment block
+    and blank lines), so a statement can carry a multi-line
+    justification above it.  Comments are found with ``tokenize``, so
+    the marker inside a string literal is never mistaken for a
+    suppression.
+
+    Args:
+        source: The file's source text.
+
+    Returns:
+        The suppression map (absent lines suppress nothing).
+    """
+    result: dict[int, set[str]] = {}
+    lines = source.splitlines()
+
+    def next_code_line(after: int) -> int:
+        line = after + 1
+        while line <= len(lines):
+            text = lines[line - 1].strip()
+            if text and not text.startswith("#"):
+                return line
+            line += 1
+        return after + 1
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS.search(tok.string)
+            if not match:
+                continue
+            codes = {c.strip() for c in match.group(1).split(",")}
+            line = tok.start[0]
+            result.setdefault(line, set()).update(codes)
+            standalone = not tok.line[: tok.start[1]].strip()
+            if standalone:
+                target = next_code_line(line)
+                result.setdefault(target, set()).update(codes)
+    except tokenize.TokenError:
+        pass  # the parse error surfaces via ast in lint_source
+    return result
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def lint_source(
+    source: str,
+    rel_path: str,
+    rules: Sequence[FileRule] | None = None,
+) -> list[Diagnostic]:
+    """Lint one in-memory Python source with the file rules.
+
+    Args:
+        source: The source text.
+        rel_path: Repo-relative path (drives per-rule scoping).
+        rules: File rules to run; defaults to every registered one.
+
+    Returns:
+        Unsuppressed findings, sorted by (line, col, rule).
+    """
+    _load_rules()
+    if rules is None:
+        rules = _FILE_RULES
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="RL000",
+                path=rel_path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(rel_path=rel_path, source=source, tree=tree)
+    suppressions = suppressed_lines(source)
+    findings: list[Diagnostic] = []
+    for rule in rules:
+        if not rule.applies_to(rel_path):
+            continue
+        for diag in rule.check(ctx):
+            if diag.rule in suppressions.get(diag.line, ()):
+                continue
+            findings.append(diag)
+    return sorted(findings, key=lambda d: (d.line, d.col, d.rule))
+
+
+def iter_python_files(root: Path, paths: Iterable[str]) -> list[Path]:
+    """Expand ``paths`` (files or directories, relative to ``root``).
+
+    Directories are walked recursively for ``*.py`` files; cache and
+    VCS directories are skipped.  The result is sorted by repo-relative
+    path so diagnostics order is stable across platforms.
+
+    Args:
+        root: Repository root.
+        paths: Files or directories, relative to ``root``.
+
+    Returns:
+        Sorted absolute file paths.
+    """
+    skip_parts = {"__pycache__", ".git", ".pytest_cache"}
+    found: set[Path] = set()
+    for entry in paths:
+        target = (root / entry).resolve()
+        if target.is_file() and target.suffix == ".py":
+            found.add(target)
+        elif target.is_dir():
+            for path in target.rglob("*.py"):
+                if not skip_parts & set(path.parts):
+                    found.add(path)
+    return sorted(found, key=lambda p: p.relative_to(root).as_posix())
+
+
+def lint_paths(
+    root: Path,
+    paths: Iterable[str],
+    with_repo_rules: bool = True,
+) -> tuple[list[Diagnostic], int]:
+    """Lint files under ``paths`` plus the repo-level invariants.
+
+    Args:
+        root: Repository root (pins resolve against it).
+        paths: Files or directories, relative to ``root``.
+        with_repo_rules: Also run RL004/RL005 against their pins.
+
+    Returns:
+        ``(findings, files_checked)``; findings are sorted by path,
+        line, column, rule.
+    """
+    _load_rules()
+    findings: list[Diagnostic] = []
+    files = iter_python_files(root, paths)
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        source = path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, rel))
+    if with_repo_rules:
+        for rule in _REPO_RULES:
+            findings.extend(rule.check_repo(root))
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return findings, len(files)

@@ -1,0 +1,443 @@
+"""The repo-level pinned rules: RL004 and RL005.
+
+Both rules compare the working tree against a committed pin file and
+have no inline suppression -- the only way to silence them is to
+regenerate the pin deliberately (``--update-oracles`` /
+``--update-schema``), which turns "I touched a frozen oracle" and "I
+changed a result shape" into explicit, reviewable diffs.
+
+The check/update helpers take explicit ``root``/pin paths so the test
+suite can exercise drift scenarios against throwaway repository
+copies without touching the real pins.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+
+from tools.reprolint.engine import (
+    Diagnostic,
+    RepoRule,
+    register_repo_rule,
+)
+
+_HERE = Path(__file__).resolve().parent
+
+#: Committed pin of the frozen-oracle content digests (RL004).
+ORACLE_DIGESTS = _HERE / "oracle_digests.json"
+
+#: Committed pin of the cache-schema result-shape fingerprint (RL005).
+SCHEMA_FINGERPRINT = _HERE / "schema_fingerprint.json"
+
+
+# ----------------------------------------------------------------------
+# RL004: frozen-oracle drift
+# ----------------------------------------------------------------------
+def _symbol_source(source: str, symbol: str) -> str | None:
+    """Source segment of top-level class/function ``symbol``, or None."""
+    tree = ast.parse(source)
+    for node in tree.body:
+        if (
+            isinstance(node, (ast.ClassDef, ast.FunctionDef,
+                              ast.AsyncFunctionDef))
+            and node.name == symbol
+        ):
+            return ast.get_source_segment(source, node)
+    return None
+
+
+def oracle_digest(root: Path, path: str, symbol: str | None) -> str | None:
+    """SHA-256 digest of one pinned oracle.
+
+    Args:
+        root: Repository root.
+        path: Repo-relative file holding the oracle.
+        symbol: Top-level class/function to digest, or ``None`` for
+            the whole module.
+
+    Returns:
+        The hex digest, or ``None`` when the file/symbol is missing.
+    """
+    target = root / path
+    if not target.is_file():
+        return None
+    source = target.read_text(encoding="utf-8")
+    if symbol is None:
+        text = source
+    else:
+        segment = _symbol_source(source, symbol)
+        if segment is None:
+            return None
+        text = segment
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def check_oracles(
+    root: Path, manifest_path: Path = ORACLE_DIGESTS
+) -> list[Diagnostic]:
+    """Compare every pinned oracle digest against the working tree.
+
+    Args:
+        root: Repository root to digest.
+        manifest_path: The pin file (``oracle_digests.json``).
+
+    Returns:
+        One diagnostic per drifted/missing oracle (empty when clean).
+    """
+    findings: list[Diagnostic] = []
+    rel_manifest = manifest_path.name
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [
+            Diagnostic(
+                rule="RL004",
+                path=rel_manifest,
+                line=0,
+                col=0,
+                message=f"oracle digest pin unreadable: {exc}",
+            )
+        ]
+    for name, entry in sorted(manifest.get("oracles", {}).items()):
+        path, symbol = entry["path"], entry.get("symbol")
+        where = path if symbol is None else f"{path}::{symbol}"
+        try:
+            actual = oracle_digest(root, path, symbol)
+        except SyntaxError as exc:
+            findings.append(
+                Diagnostic(
+                    rule="RL004",
+                    path=path,
+                    line=exc.lineno or 0,
+                    col=0,
+                    message=(
+                        f"frozen oracle {name} at {where} no longer "
+                        f"parses ({exc.msg}); the reference source has "
+                        "drifted"
+                    ),
+                )
+            )
+            continue
+        if actual is None:
+            findings.append(
+                Diagnostic(
+                    rule="RL004",
+                    path=path,
+                    line=0,
+                    col=0,
+                    message=(
+                        f"frozen oracle {name} not found at {where}; "
+                        "reference oracles must not be moved or deleted "
+                        "silently -- update oracle_digests.json via "
+                        "--update-oracles if this is deliberate"
+                    ),
+                )
+            )
+        elif actual != entry["sha256"]:
+            findings.append(
+                Diagnostic(
+                    rule="RL004",
+                    path=path,
+                    line=0,
+                    col=0,
+                    message=(
+                        f"frozen oracle {name} ({where}) changed: digest "
+                        f"{actual[:12]}... != pinned "
+                        f"{entry['sha256'][:12]}...; a Reference* oracle "
+                        "edit invalidates the conformance grid -- rerun "
+                        "it, then regenerate the pin with "
+                        "`python -m tools.reprolint --update-oracles`"
+                    ),
+                )
+            )
+    return findings
+
+
+def update_oracles(
+    root: Path, manifest_path: Path = ORACLE_DIGESTS
+) -> list[str]:
+    """Re-pin every oracle digest from the working tree.
+
+    Args:
+        root: Repository root to digest.
+        manifest_path: The pin file to rewrite in place.
+
+    Returns:
+        The names of entries whose digest actually changed.
+
+    Raises:
+        ValueError: When a pinned oracle is missing from the tree (a
+            pin must never silently drop coverage).
+    """
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    changed: list[str] = []
+    for name, entry in manifest.get("oracles", {}).items():
+        actual = oracle_digest(root, entry["path"], entry.get("symbol"))
+        if actual is None:
+            raise ValueError(
+                f"cannot re-pin oracle {name}: "
+                f"{entry['path']}::{entry.get('symbol')} not found"
+            )
+        if actual != entry.get("sha256"):
+            changed.append(name)
+        entry["sha256"] = actual
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return changed
+
+
+@register_repo_rule
+class FrozenOracleDrift(RepoRule):
+    """RL004: ``Reference*`` oracle sources are digest-pinned.
+
+    The kernel-conformance grid is only as strong as its oracles; an
+    oracle edit that slips in beside a kernel change re-defines
+    correctness instead of testing it.  Every edit must therefore be
+    acknowledged by regenerating ``oracle_digests.json``.
+    """
+
+    code = "RL004"
+    name = "frozen-oracle-drift"
+    summary = "Reference* oracle sources must match their pinned digests"
+
+    def check_repo(self, root: Path) -> list[Diagnostic]:
+        return check_oracles(root)
+
+
+# ----------------------------------------------------------------------
+# RL005: cache-schema fingerprint
+# ----------------------------------------------------------------------
+#: Where result shapes are extracted from, and how.
+_CAMPAIGN = "src/repro/experiments/campaign.py"
+_EVIDENCE = "src/repro/atlas/evidence.py"
+
+
+def _return_dict_shapes(source: str, func_name: str) -> list[list[str]]:
+    """Sorted key-lists of every dict literal returned by ``func_name``.
+
+    Args:
+        source: Module source text.
+        func_name: Top-level function whose ``return {...}`` statements
+            are fingerprinted.
+
+    Returns:
+        Deduplicated, sorted list of sorted key-name lists (one per
+        distinct returned dict-literal shape).
+    """
+    tree = ast.parse(source)
+    shapes: set[tuple[str, ...]] = set()
+    for node in tree.body:
+        if not (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == func_name
+        ):
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Return) and isinstance(
+                sub.value, ast.Dict
+            ):
+                keys = tuple(
+                    sorted(
+                        key.value
+                        for key in sub.value.keys
+                        if isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                    )
+                )
+                if keys:
+                    shapes.add(keys)
+    return sorted(list(shape) for shape in shapes)
+
+
+def _string_constant(source: str, name: str) -> str | None:
+    """Value of module-level string assignment ``name = "..."``."""
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if name in targets and isinstance(node.value, ast.Constant):
+                value = node.value.value
+                if isinstance(value, str):
+                    return value
+    return None
+
+
+def _frozenset_literal(source: str, name: str) -> list[str]:
+    """String elements of any ``name = frozenset((...))`` assignment."""
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if name not in targets:
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "frozenset"
+            and value.args
+            and isinstance(value.args[0], (ast.Tuple, ast.List, ast.Set))
+        ):
+            return sorted(
+                elt.value
+                for elt in value.args[0].elts
+                if isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)
+            )
+    return []
+
+
+def current_fingerprint(root: Path) -> dict:
+    """Extract the live cache-schema fingerprint from the working tree.
+
+    The fingerprint covers the ``CACHE_SCHEMA`` string itself plus the
+    structural result shapes that string vouches for: every dict
+    literal returned by :func:`repro.experiments.campaign.execute_unit`
+    and :func:`repro.atlas.evidence.run_atlas_unit`, and the cache's
+    ``_RESULT_KEYS`` validation set.
+
+    Args:
+        root: Repository root.
+
+    Returns:
+        ``{"cache_schema": str | None, "result_shapes": {...}}``.
+    """
+    campaign_src = (root / _CAMPAIGN).read_text(encoding="utf-8")
+    evidence_src = (root / _EVIDENCE).read_text(encoding="utf-8")
+    return {
+        "cache_schema": _string_constant(campaign_src, "CACHE_SCHEMA"),
+        "result_shapes": {
+            "campaign.execute_unit": _return_dict_shapes(
+                campaign_src, "execute_unit"
+            ),
+            "campaign.CampaignCache._RESULT_KEYS": _frozenset_literal(
+                campaign_src, "_RESULT_KEYS"
+            ),
+            "atlas.run_atlas_unit": _return_dict_shapes(
+                evidence_src, "run_atlas_unit"
+            ),
+        },
+    }
+
+
+def check_schema(
+    root: Path, pin_path: Path = SCHEMA_FINGERPRINT
+) -> list[Diagnostic]:
+    """Compare the live result-shape fingerprint against the pin.
+
+    Args:
+        root: Repository root.
+        pin_path: The pin file (``schema_fingerprint.json``).
+
+    Returns:
+        One diagnostic per violation (empty when clean).
+    """
+    try:
+        pinned = json.loads(pin_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [
+            Diagnostic(
+                rule="RL005",
+                path=pin_path.name,
+                line=0,
+                col=0,
+                message=f"schema fingerprint pin unreadable: {exc}",
+            )
+        ]
+    try:
+        live = current_fingerprint(root)
+    except (OSError, SyntaxError) as exc:
+        return [
+            Diagnostic(
+                rule="RL005",
+                path=_CAMPAIGN,
+                line=0,
+                col=0,
+                message=f"cannot extract cache-schema fingerprint: {exc}",
+            )
+        ]
+    findings: list[Diagnostic] = []
+    if live["cache_schema"] != pinned.get("cache_schema"):
+        findings.append(
+            Diagnostic(
+                rule="RL005",
+                path=_CAMPAIGN,
+                line=0,
+                col=0,
+                message=(
+                    f"CACHE_SCHEMA changed "
+                    f"({pinned.get('cache_schema')!r} -> "
+                    f"{live['cache_schema']!r}); acknowledge the bump by "
+                    "regenerating the fingerprint with "
+                    "`python -m tools.reprolint --update-schema`"
+                ),
+            )
+        )
+    elif live["result_shapes"] != pinned.get("result_shapes"):
+        drifted = sorted(
+            name
+            for name in set(live["result_shapes"])
+            | set(pinned.get("result_shapes", {}))
+            if live["result_shapes"].get(name)
+            != pinned.get("result_shapes", {}).get(name)
+        )
+        findings.append(
+            Diagnostic(
+                rule="RL005",
+                path=_CAMPAIGN,
+                line=0,
+                col=0,
+                message=(
+                    "campaign/atlas result-dict shape changed without a "
+                    f"CACHE_SCHEMA bump (drifted: {', '.join(drifted)}); "
+                    "stale caches would silently serve results with the "
+                    "old shape -- bump CACHE_SCHEMA, then run "
+                    "`python -m tools.reprolint --update-schema`"
+                ),
+            )
+        )
+    return findings
+
+
+def update_schema(
+    root: Path, pin_path: Path = SCHEMA_FINGERPRINT
+) -> dict:
+    """Re-pin the cache-schema fingerprint from the working tree.
+
+    Args:
+        root: Repository root.
+        pin_path: The pin file to rewrite in place.
+
+    Returns:
+        The fingerprint that was written.
+    """
+    live = current_fingerprint(root)
+    pin_path.write_text(
+        json.dumps(live, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return live
+
+
+@register_repo_rule
+class CacheSchemaFingerprint(RepoRule):
+    """RL005: result-shape changes must bump ``CACHE_SCHEMA``.
+
+    The campaign cache trusts ``CACHE_SCHEMA`` to gate reuse; a result
+    shape change that forgets the bump makes every existing cache a
+    source of silently wrong-shaped results.
+    """
+
+    code = "RL005"
+    name = "cache-schema-fingerprint"
+    summary = "campaign/atlas result shapes must match the pinned schema"
+
+    def check_repo(self, root: Path) -> list[Diagnostic]:
+        return check_schema(root)
