@@ -6,8 +6,9 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-all lint bench-quick bench-fabric bench-delay \
-	bench-explore bench-atlas bench-snapshot bench-diff docs-check \
-	api-docs campaign explore-frontier atlas-quick atlas clean
+	bench-explore bench-atlas bench-soak bench-snapshot bench-diff \
+	docs-check api-docs campaign explore-frontier atlas-quick atlas \
+	soak-smoke clean
 
 ## tier-1: docs consistency, the invariant linter, then the fast test
 ## suite (the bar every change must clear). The cheap static gates run
@@ -49,13 +50,18 @@ bench-explore:
 bench-atlas:
 	$(PYTHON) -m pytest benchmarks/test_bench_atlas.py -q -s
 
+## soak-farm throughput: batched kernels + streamed log vs solo replays
+bench-soak:
+	$(PYTHON) -m pytest benchmarks/test_bench_soak.py -q -s
+
 ## the reference-comparison benches, with machine-readable
 ## BENCH_<topic>.json snapshots written to bench-snapshots/
 bench-snapshot:
 	BENCH_SNAPSHOT_DIR=bench-snapshots $(PYTHON) -m pytest \
 	    benchmarks/test_bench_fabric.py \
 	    benchmarks/test_bench_delay_kernel.py \
-	    benchmarks/test_bench_campaign.py -q -s
+	    benchmarks/test_bench_campaign.py \
+	    benchmarks/test_bench_soak.py -q -s
 
 ## diff two (or more) BENCH_<topic>.json snapshot directories, oldest
 ## first, and fail on >MAX_REGRESS% ops/s regression:
@@ -94,7 +100,13 @@ atlas:
 	$(PYTHON) -m repro atlas --workers 4 --resume \
 	    --markdown atlas.md --json atlas.json
 
+## the 10k-instance soak smoke (what CI runs and uploads)
+soak-smoke:
+	$(PYTHON) -m repro soak --quick --workers 4 --resume \
+	    --report soak-report.json
+
 clean:
-	rm -rf .campaign-cache .atlas-cache .pytest_cache bench-snapshots
-	rm -f atlas.jsonl atlas.md atlas.json
+	rm -rf .campaign-cache .atlas-cache .soak-cache .pytest_cache \
+	    bench-snapshots
+	rm -f atlas.jsonl atlas.md atlas.json soak.jsonl soak-report.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

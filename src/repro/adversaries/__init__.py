@@ -14,6 +14,7 @@ from repro.adversaries.generic import (
     SimulatedCorrectAdversary,
     standard_attack_suite,
 )
+from repro.adversaries.ghosts import GhostFaceAdversary
 from repro.adversaries.mirror import (
     ChainScanOutcome,
     MirrorAdversary,
@@ -43,6 +44,7 @@ __all__ = [
     "CrashAdversary",
     "DuplicatorAdversary",
     "EquivocatorAdversary",
+    "GhostFaceAdversary",
     "InputFlipAdversary",
     "MirrorAdversary",
     "MirrorPairReport",

@@ -1,0 +1,74 @@
+"""Ghost faces as standalone adversaries: restricted-visibility imposters.
+
+The bounded strategy explorer's most productive face is the *ghost*
+(:mod:`repro.explore.alphabet`): a Byzantine slot runs a private
+**correct** instance of the algorithm under test with an adversarially
+chosen input and an adversarially restricted view of the network, and
+broadcasts whatever that instance would.  A ghost with full visibility
+is the classic obedient imposter; a ghost that only hears one side of a
+partition is the live core of the Figure 4 construction.
+
+Inside the explorer, ghosts live in a :class:`~repro.explore.alphabet.
+GhostBank` driven by the search loop.  The soak farm wants the same
+faces as ordinary :class:`~repro.sim.adversary.Adversary` objects it
+can mix into sustained traffic, so this module packages one
+:class:`~repro.explore.alphabet.GhostPlan` as a
+:class:`GhostFaceAdversary` -- the generic simulated-correct machinery
+with the delivery replay narrowed to the plan's visibility.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Sequence
+
+from repro.core.messages import Inbox, Message
+from repro.adversaries.generic import ImitationFactory, SimulatedCorrectAdversary
+
+if TYPE_CHECKING:  # avoid adversaries <- explore <- harness import cycle
+    from repro.explore.alphabet import GhostPlan
+
+
+class GhostFaceAdversary(SimulatedCorrectAdversary):
+    """One ghost plan per Byzantine slot, played as a full adversary.
+
+    Every Byzantine slot runs a private correct instance proposing
+    ``plan.proposal``; its inbox replay is restricted to the correct
+    slots ``plan.sees`` (plus its own previous broadcast -- the model's
+    unconditional self-delivery), exactly the view a
+    :class:`~repro.explore.alphabet.GhostBank` ghost gets.  The
+    instance's current payload is broadcast to everybody, so emissions
+    are restricted-model legal by construction.
+
+    Args:
+        factory: ``(identifier, proposal) -> Process`` builder for the
+            imitated algorithm.
+        plan: The ghost's input and visibility.  ``visible=None`` is
+            the obedient imposter; a proper subset of the correct slots
+            is a live partition face.
+    """
+
+    def __init__(self, factory: ImitationFactory, plan: "GhostPlan") -> None:
+        super().__init__(factory)
+        self.plan = plan
+
+    def instance_plan(self, slot: int, ident: int) -> Sequence[Hashable]:
+        return (self.plan.proposal,)
+
+    def _rebuild_inbox(self, view, record, slot: int) -> Inbox:
+        assignment = view.assignment
+        messages = [
+            Message(assignment.identifier_of(k), payload)
+            for k, payload in record.payloads.items()
+            if self.plan.sees(k)
+        ]
+        # Unconditional self-delivery: the ghost hears what it itself
+        # broadcast last round (its emission routed to its own slot),
+        # regardless of the plan's visibility -- mirroring GhostBank's
+        # ``_last`` replay.  Other Byzantine slots stay invisible, as
+        # they are to a bank ghost.
+        for payload in record.emissions.get(slot, {}).get(slot, ()):
+            messages.append(Message(assignment.identifier_of(slot), payload))
+        return Inbox(messages, numerate=view.params.numerate)
+
+    def describe(self) -> str:
+        return self.plan.describe()

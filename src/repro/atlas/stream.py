@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Iterator, Sequence
 
 from repro.core.canonical import canonical_json
+from repro.core.errors import AtlasLogCorrupt
 
 
 class AtlasLog:
@@ -50,34 +51,87 @@ class AtlasLog:
             fh.flush()
             os.fsync(fh.fileno())
 
+    def append_many(self, rows: Sequence[dict]) -> None:
+        """Append a batch of rows with a single flush+fsync.
+
+        The soak farm appends thousands of rows per window; one fsync
+        per row (:meth:`append`) would dominate its wall clock.  A crash
+        mid-batch can still only tear the *final* line -- the writes go
+        through one buffered handle in order -- which is exactly the
+        wear :meth:`resume_prefix` repairs.
+
+        Args:
+            rows: JSON-compatible rows (each must contain ``unit_id``).
+        """
+        if not rows:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            for row in rows:
+                fh.write(canonical_json(row) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
     def rows(self, limit: int | None = None) -> Iterator[dict]:
         """Stream the log's rows without holding them in memory.
+
+        A torn or corrupt *final* line (a previous writer died
+        mid-append) ends iteration silently -- that is normal wear,
+        repaired by :meth:`resume_prefix`.  A bad line *followed by*
+        well-formed rows cannot come from a torn append and raises
+        :class:`~repro.core.errors.AtlasLogCorrupt` instead of silently
+        dropping the valid tail.
 
         Args:
             limit: Stop after this many rows (``None`` streams all).
 
         Yields:
-            One parsed row dict per complete, well-formed line;
-            iteration stops silently at the first torn or corrupt line
-            (everything after it is unreachable by the resume contract).
+            One parsed row dict per complete, well-formed line.
+
+        Raises:
+            AtlasLogCorrupt: A corrupt line has well-formed rows after
+                it (mid-file corruption, not a torn append).
         """
         if not self.path.exists():
             return
         count = 0
         with self.path.open() as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, start=1):
                 if limit is not None and count >= limit:
                     return
-                if not line.endswith("\n"):
-                    return  # torn final line from an interrupted append
-                try:
-                    row = json.loads(line)
-                except ValueError:
-                    return
-                if not isinstance(row, dict):
+                row = self._parse(line)
+                if row is None:
+                    self._require_torn_tail(fh, lineno)
                     return
                 yield row
                 count += 1
+
+    @staticmethod
+    def _parse(line: str) -> dict | None:
+        """Parse one line; ``None`` for torn/corrupt/non-dict lines."""
+        if not line.endswith("\n"):
+            return None  # torn final line from an interrupted append
+        try:
+            row = json.loads(line)
+        except ValueError:
+            return None
+        return row if isinstance(row, dict) else None
+
+    def _require_torn_tail(self, fh, bad_lineno: int) -> None:
+        """Verify nothing well-formed follows a bad line.
+
+        ``fh`` is positioned just past the bad line.  Any complete,
+        well-formed row after it proves mid-file corruption rather than
+        a torn final append, which must surface loudly.
+        """
+        for offset, line in enumerate(fh, start=1):
+            if self._parse(line) is not None:
+                raise AtlasLogCorrupt(
+                    f"{self.path}: corrupt line {bad_lineno} is followed "
+                    f"by a well-formed row at line {bad_lineno + offset}; "
+                    "a torn append can only damage the final line, so "
+                    "this file was corrupted mid-stream"
+                )
 
     def resume_prefix(self, expected_unit_ids: Sequence[str]) -> int:
         """Validate and keep the longest usable prefix of the log.

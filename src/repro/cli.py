@@ -69,6 +69,7 @@ from repro.core.identity import (
     random_assignment,
     stacked_assignment,
 )
+from repro.core.canonical import canonical_json
 from repro.core.params import SystemParams, Synchrony
 from repro.core.problem import BINARY
 from repro.core.errors import ConfigurationError
@@ -632,6 +633,96 @@ def cmd_atlas(args) -> int:
     return 0 if agg.ok else 1
 
 
+def cmd_soak(args) -> int:
+    """``soak``: sustained adversarial agreement traffic on the kernel.
+
+    Drives the deterministic soak stream of a mixture profile through
+    :func:`repro.soak.driver.run_soak` -- batched kernels, the campaign
+    pool and unit cache, and a torn-line-safe JSONL metrics log with
+    checkpointed cumulative counters.  ``--quick`` selects the quick
+    profile with the standard 10k-instance smoke budget; kill the
+    process at any point and rerun with ``--resume`` to continue to a
+    byte-identical log.
+
+    Args:
+        args: Parsed namespace (``profile``, ``instances``,
+            ``duration``, ``window``, ``workers``, ``seed``,
+            ``resume``, ``cache_dir``, ``log``, ``report``,
+            ``verbose``, ``quick``).
+
+    Returns:
+        0 when every instance satisfied agreement, 1 on any violation.
+    """
+    from repro.soak import PROFILES, run_soak
+
+    profile = args.profile
+    instances = args.instances
+    if args.quick:
+        profile = "quick"
+        if instances is None and args.duration is None:
+            instances = 10_000
+    if instances is None and args.duration is None:
+        raise ConfigurationError(
+            "pass an --instances or --duration budget (or --quick for "
+            "the standard 10k-instance smoke run)"
+        )
+    if profile not in PROFILES:
+        known = ", ".join(sorted(PROFILES))
+        raise ConfigurationError(
+            f"unknown soak profile {profile!r} (profiles: {known})"
+        )
+
+    cache_dir = args.cache_dir
+    if args.resume and cache_dir is None:
+        cache_dir = ".soak-cache"
+    cache = CampaignCache(cache_dir) if cache_dir else None
+
+    budget = (
+        f"{instances} instances" if instances is not None
+        else f"{args.duration:g}s"
+    )
+    print(f"soak farm: profile={profile} seed={args.seed} budget={budget} "
+          f"window={args.window} workers={args.workers}")
+    outcome = run_soak(
+        profile,
+        seed=args.seed,
+        instances=instances,
+        duration=args.duration,
+        window=args.window,
+        workers=args.workers,
+        cache=cache,
+        resume=args.resume,
+        log_path=args.log,
+        progress=print if args.verbose else None,
+    )
+    print(outcome.summary())
+    print(f"per-instance metrics streamed to {outcome.log_path}")
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(canonical_json(
+                {
+                    "schema": "soak-report/1",
+                    "profile": outcome.profile,
+                    "seed": outcome.seed,
+                    "window": outcome.window,
+                    "budget": outcome.budget,
+                    "instances": outcome.instances,
+                    "ok": outcome.ok,
+                    "violations": outcome.violations,
+                    "rounds": outcome.rounds,
+                    "messages": outcome.messages,
+                    "losses": outcome.losses,
+                    "passed": outcome.passed,
+                }
+            ) + "\n")
+        print(f"JSON report written to {args.report}")
+    if not outcome.passed:
+        print(f"SOAK FAILED: {outcome.violations} agreement violations "
+              f"(grep the log for \"ok\": false)", file=sys.stderr)
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -812,6 +903,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print one line per fused cell")
     p.set_defaults(func=cmd_atlas)
+
+    p = sub.add_parser(
+        "soak",
+        help="sustained adversarial agreement traffic on the execution "
+             "kernel (the soak farm)",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="quick profile with the standard 10k-instance "
+                        "smoke budget")
+    p.add_argument("--profile", default="standard",
+                   help="mixture profile (default: standard; --quick "
+                        "overrides to quick)")
+    p.add_argument("--instances", type=int, default=None,
+                   help="total instance budget")
+    p.add_argument("--duration", type=float, default=None,
+                   help="wall-clock budget in seconds (checked between "
+                        "scheduling waves)")
+    p.add_argument("--window", type=int, default=250,
+                   help="instances per window (checkpoint cadence and "
+                        "pool unit of work)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (<=1 runs inline)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="farm seed fixing the whole instance stream")
+    p.add_argument("--resume", action="store_true",
+                   help="keep the valid prefix of the existing log and "
+                        "reuse the unit cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="window unit cache directory (default "
+                        ".soak-cache when --resume is set)")
+    p.add_argument("--log", default="soak.jsonl", metavar="PATH",
+                   help="streaming JSONL metrics log (one row per "
+                        "instance plus one checkpoint row per window)")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="write a JSON summary report here")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per flushed window")
+    p.set_defaults(func=cmd_soak)
 
     return parser
 

@@ -67,6 +67,18 @@ class ProvenanceError(ReproError):
     """
 
 
+class AtlasLogCorrupt(ReproError):
+    """A streaming JSONL log is corrupt in the middle of the file.
+
+    A torn or garbled *final* line is expected wear (a writer died
+    mid-append) and readers tolerate it, but a bad line with well-formed
+    rows *after* it cannot come from a torn append: it means the file
+    was edited, truncated-and-rewritten, or hit media corruption.
+    Silently stopping there would quietly drop the valid tail from
+    renders and soak aggregation, so readers raise this instead.
+    """
+
+
 class AtlasConflict(ReproError):
     """Machine-checked evidence contradicts the closed-form predicate.
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
@@ -64,12 +65,11 @@ PROBLEMS: dict[str, AgreementProblem] = {"binary": BINARY}
 #: Salt folded into every unit id.  Bump the schema component when the
 #: shape *or semantics* of a unit result changes; the package version
 #: component makes caches written by a different release miss rather
-#: than serve results computed by different code.  ``campaign/6``:
-#: unit results carry the structured ``"demonstration_kind"`` next to
-#: the human-readable ``"demonstration"`` text, so impossibility
-#: provenance grading no longer parses message prefixes
-#: (:data:`repro.experiments.harness.CHECKED_DEMONSTRATION_KINDS`).
-CACHE_SCHEMA = "campaign/6"
+#: than serve results computed by different code.  ``campaign/7``:
+#: run records carry the exact basic-model ``"losses"`` count next to
+#: ``"rounds"``/``"messages"`` (delay slices and the soak farm's loss
+#: accounting), so records written by the 6-key schema miss.
+CACHE_SCHEMA = "campaign/7"
 
 _SYNCHRONY = {s.short: s for s in Synchrony}
 
@@ -189,6 +189,11 @@ class CampaignUnit:
             where = "demonstration"
         elif self.kind == "atlas":
             where = self.variant or "atlas"
+        elif self.kind == "soak":
+            where = (
+                f"{self.variant}[{self.assignment_index}:"
+                f"{self.assignment_index + self.byzantine_index}]"
+            )
         else:  # "slice" and "explore" are both (assignment, byz) slices
             where = (
                 f"{self.kind} a{self.assignment_index}b{self.byzantine_index}"
@@ -434,6 +439,60 @@ def enumerate_atlas_units(
     ]
 
 
+def enumerate_soak_units(
+    profile: str,
+    farm_seed: int,
+    instances: int,
+    window: int,
+) -> list[CampaignUnit]:
+    """Expand a soak farm budget into window units.
+
+    One ``kind="soak"`` unit per window of the deterministic instance
+    stream: ``variant`` names the profile, ``assignment_index`` the
+    window's first instance, ``byzantine_index`` its instance count
+    (the slice-key fields repurposed as the stream slice -- a soak
+    window spans many cells, so it has no single ``(n, ell, t)``; the
+    cell fields carry the trivial placeholder and are unused).  The
+    unit id still content-hashes the full spec, so windows from a
+    different profile, seed, window size or schema never collide in
+    the cache.
+
+    Args:
+        profile: A :data:`repro.soak.mixture.PROFILES` key.
+        farm_seed: The farm's seed.
+        instances: Total instance budget (the last window may be
+            short).
+        window: Instances per window.
+
+    Returns:
+        The ordered window units.
+
+    Raises:
+        ConfigurationError: Non-positive window or negative budget.
+    """
+    if window < 1:
+        raise ConfigurationError(f"soak window must be >= 1, got {window}")
+    if instances < 0:
+        raise ConfigurationError(
+            f"soak instance budget must be >= 0, got {instances}"
+        )
+    units = []
+    for start in range(0, instances, window):
+        units.append(
+            CampaignUnit(
+                label=f"soak/{profile}",
+                n=1, ell=1, t=0,
+                synchrony="sync", numerate=False, restricted=False,
+                kind="soak",
+                assignment_index=start,
+                byzantine_index=min(window, instances - start),
+                seed=farm_seed,
+                variant=profile,
+            )
+        )
+    return units
+
+
 def shard_units(
     units: Sequence[CampaignUnit], index: int, count: int
 ) -> list[CampaignUnit]:
@@ -501,6 +560,14 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
             (unit.assignment_index, unit.byzantine_index),
             problem, unit.seed, unit.quick,
         )
+    elif unit.kind == "soak":
+        from repro.soak.units import run_soak_window
+
+        algorithm = "soak-mixture"
+        records = run_soak_window(
+            unit.variant, unit.seed,
+            unit.assignment_index, unit.byzantine_index,
+        )
     elif unit.kind == "demonstration":
         cell = evaluate_unsolvable_cell(params, problem, unit.seed)
         algorithm = cell.algorithm
@@ -565,6 +632,10 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
 
 def _unit_weight(unit: CampaignUnit) -> int:
     """Crude cost estimate used to schedule heavy units first."""
+    if unit.kind == "soak":
+        # Windows are near-uniform; weight by instance count so a
+        # short final window schedules last.
+        return max(1, unit.byzantine_index)
     if unit.kind == "explore":
         # Per-round tree exploration (synchronous scopes) dwarfs the
         # persistent-face sweeps, and certificates dwarf violations.
@@ -578,6 +649,76 @@ def _unit_weight(unit: CampaignUnit) -> int:
         # A delay slice runs the whole policy battery per pattern.
         weight *= 3
     return weight
+
+
+def execute_units(
+    pending: Sequence[CampaignUnit],
+    workers: int,
+    finish: Callable[[CampaignUnit, dict], None],
+) -> None:
+    """Execute units inline or on a process pool, heaviest first.
+
+    The shared fan-out loop behind :func:`run_campaign` and the soak
+    farm's window shards.  ``finish`` is invoked in completion order
+    with each unit's result (store to cache, fold into a report, ...).
+
+    Failure contract: the first worker exception aborts the batch
+    *promptly*.  Every queued-but-unstarted unit is cancelled before
+    the pool is torn down, so one poisoned unit costs at most the units
+    already running (one per worker), never the whole campaign's tail.
+    The exception is re-raised with the failing unit's ``describe()``
+    and id attached as a note.
+
+    Args:
+        pending: Units to execute (any order; the pool path re-sorts
+            heaviest first for LPT-style makespan).
+        workers: Pool size; ``<= 1`` runs inline in this process.
+        finish: Callback ``(unit, result)`` run in this process for
+            each completed unit, in completion order.
+    """
+    def attach(exc: BaseException, unit: CampaignUnit) -> None:
+        exc.add_note(
+            f"while executing campaign unit {unit.describe()} "
+            f"({unit.unit_id})"
+        )
+
+    if workers <= 1:
+        for unit in pending:
+            try:
+                result = execute_unit(unit)
+            except Exception as exc:
+                attach(exc, unit)
+                raise
+            finish(unit, result)
+        return
+
+    # Heavy units first: better makespan under LPT-style greedy
+    # scheduling, identical results in any order.
+    ordered = sorted(pending, key=_unit_weight, reverse=True)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        try:
+            futures = {
+                pool.submit(execute_unit, unit.to_dict()): unit
+                for unit in ordered
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining,
+                                       return_when=FIRST_COMPLETED)
+                for future in done:
+                    unit = futures[future]
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        attach(exc, unit)
+                        raise
+                    finish(unit, result)
+        except BaseException:
+            # Without this, the executor's __exit__ joins every
+            # outstanding future, so one bad unit would make the whole
+            # campaign hang until all unrelated heavy units finish.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
 
 # ----------------------------------------------------------------------
@@ -629,12 +770,33 @@ class CampaignCache:
         return data
 
     def store(self, unit: CampaignUnit, result: Mapping) -> None:
-        """Persist a unit result atomically (write-then-rename)."""
+        """Persist a unit result atomically (write-then-rename).
+
+        The tmp name is unique per process *and* per thread: concurrent
+        writers of the same unit (two shards sharing a cache root, or a
+        resumed run racing a still-draining one) must never share a tmp
+        path, or one writer's rename publishes another's half-written
+        file -- and the loser's ``replace`` then fails on a vanished
+        source.  The payload is flushed and fsynced *before* the rename,
+        so a crash between the two cannot persist a truncated entry
+        under the final name; the rename itself stays the atomic commit
+        point, and the last writer wins with a complete file.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(unit)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(dict(result), sort_keys=True))
-        tmp.replace(path)
+        tmp = path.with_name(
+            f"{unit.unit_id}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            with tmp.open("w") as fh:
+                fh.write(json.dumps(dict(result), sort_keys=True))
+                fh.flush()
+                os.fsync(fh.fileno())
+            tmp.replace(path)
+        finally:
+            # Only reachable with the tmp still on disk when the write
+            # or rename failed; never leave orphans in the cache root.
+            tmp.unlink(missing_ok=True)
 
 
 # ----------------------------------------------------------------------
@@ -933,24 +1095,7 @@ def run_campaign(
                 f"{len(result['records'])} runs)"
             )
 
-    if workers <= 1:
-        for unit in pending:
-            finish(unit, execute_unit(unit))
-    else:
-        # Heavy units first: better makespan under LPT-style greedy
-        # scheduling, identical results in any order.
-        ordered = sorted(pending, key=_unit_weight, reverse=True)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute_unit, unit.to_dict()): unit
-                for unit in ordered
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining,
-                                       return_when=FIRST_COMPLETED)
-                for future in done:
-                    finish(futures[future], future.result())
+    execute_units(pending, workers, finish)
 
     return CampaignReport(
         cells=cells,

@@ -148,6 +148,11 @@ class RunRecord:
     detail: str
     rounds: int = 0
     messages: int = 0
+    #: Basic-model loss edges a loss-logging timing model (the delay
+    #: models) materialised during the run; 0 under round-granular
+    #: timing.  Gives delay slices and the soak farm exact loss
+    #: accounting without retaining the per-edge loss log.
+    losses: int = 0
 
 
 #: Demonstration kinds that mark a *machine-checked* construction
@@ -361,6 +366,7 @@ def _run_slice(
                         detail=brief.detail,
                         rounds=brief.rounds,
                         messages=brief.messages,
+                        losses=brief.losses,
                     )
                 )
     return records

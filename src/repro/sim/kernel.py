@@ -731,3 +731,49 @@ class ExecutionKernel:
             correct_payload_bytes=correct_bytes,
             byzantine_payload_bytes=byz_bytes,
         )
+
+
+# ----------------------------------------------------------------------
+# Batch scheduling
+# ----------------------------------------------------------------------
+def run_batch(
+    jobs: Sequence[tuple[ExecutionKernel, int]],
+    stop_when_all_decided: bool = True,
+) -> list[int]:
+    """Drive many independent kernels round-robin until each finishes.
+
+    The soak farm's scheduling hook: rather than running each agreement
+    instance to completion in turn, every live kernel advances one round
+    per sweep.  Kernels never share state, so each one executes exactly
+    the rounds :meth:`ExecutionKernel.run` would have -- batch results
+    are bit-identical to solo runs, which is what makes every soak
+    instance replayable in isolation -- while the interleaving keeps a
+    heterogeneous batch's wavefront moving instead of serialising behind
+    its slowest member, and exercises the engine the way sustained
+    mixed traffic does.
+
+    Args:
+        jobs: ``(kernel, max_rounds)`` pairs; each kernel steps until
+            its own round budget runs out (or it decides).
+        stop_when_all_decided: Per kernel, stop early once every
+            correct process has decided (same contract as
+            :meth:`ExecutionKernel.run`).
+
+    Returns:
+        Rounds executed per job, aligned with ``jobs``.
+    """
+    executed = [0] * len(jobs)
+    live = [index for index, (_, budget) in enumerate(jobs) if budget > 0]
+    while live:
+        survivors = []
+        for index in live:
+            kernel, budget = jobs[index]
+            kernel.step()
+            executed[index] += 1
+            if executed[index] >= budget:
+                continue
+            if stop_when_all_decided and kernel.all_correct_decided():
+                continue
+            survivors.append(index)
+        live = survivors
+    return executed

@@ -132,6 +132,77 @@ def metrics_from_deliveries(deliveries: Iterable[RoundDeliveries]) -> Metrics:
     return m
 
 
+@dataclass
+class WindowAggregator:
+    """Streaming fold of per-instance verdict/cost records.
+
+    The soak farm never holds its instance stream in memory: each
+    finished agreement instance is folded into these cumulative
+    counters, and every window boundary snapshots them into the
+    checkpoint row of the streaming log.  All fields are deterministic
+    functions of the instance stream (no wall-clock), which is what
+    keeps checkpoint rows byte-identical across kill/resume.
+    """
+
+    instances: int = 0
+    ok: int = 0
+    violations: int = 0
+    rounds: int = 0
+    messages: int = 0
+    losses: int = 0
+
+    def add(
+        self, ok: bool, rounds: int, messages: int, losses: int = 0
+    ) -> None:
+        """Fold one finished instance into the counters.
+
+        Args:
+            ok: The instance's agreement verdict.
+            rounds: Rounds the instance executed (its latency in the
+                round-model clock).
+            messages: Delivered-edge count (exact fabric accounting).
+            losses: Basic-model loss edges under a loss-logging timing
+                model.
+        """
+        self.instances += 1
+        if ok:
+            self.ok += 1
+        else:
+            self.violations += 1
+        self.rounds += int(rounds)
+        self.messages += int(messages)
+        self.losses += int(losses)
+
+    def add_record(self, record: "dict | object") -> None:
+        """Fold a run-record-shaped mapping or object.
+
+        Accepts anything carrying ``ok``/``rounds``/``messages``/
+        ``losses`` as keys or attributes -- a
+        :class:`~repro.experiments.harness.RunRecord`, its ``asdict``
+        form, or a soak log instance row.
+        """
+        get = record.get if isinstance(record, dict) else (
+            lambda name, default=0: getattr(record, name, default)
+        )
+        self.add(
+            ok=bool(get("ok", False)),
+            rounds=get("rounds", 0),
+            messages=get("messages", 0),
+            losses=get("losses", 0),
+        )
+
+    def snapshot(self) -> dict:
+        """The cumulative counters as a JSON-compatible dict."""
+        return {
+            "instances": self.instances,
+            "ok": self.ok,
+            "violations": self.violations,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "losses": self.losses,
+        }
+
+
 def metrics_from_trace(
     trace: Trace, fanout: int, topology=None, drop_schedule=None
 ) -> Metrics:

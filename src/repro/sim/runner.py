@@ -46,6 +46,9 @@ class RunSummary:
     rounds: int
     messages: int
     decisions: tuple[Hashable, ...]
+    #: Basic-model loss edges materialised by a loss-logging timing
+    #: model (delay models); 0 under round-granular timing.
+    losses: int = 0
 
     def summary(self) -> str:
         return self.detail
@@ -100,6 +103,7 @@ class ExecutionResult:
             rounds=self.metrics.rounds,
             messages=self.metrics.total_messages,
             decisions=tuple(decisions),
+            losses=len(self.losses),
         )
 
     def summary(self) -> str:
@@ -181,7 +185,33 @@ def run_execution(
     executed = engine.run(
         max_rounds=max_rounds, stop_when_all_decided=stop_when_all_decided
     )
+    return result_from_kernel(
+        engine, executed, require_termination=require_termination
+    )
 
+
+def result_from_kernel(
+    engine: ExecutionKernel,
+    executed: int,
+    require_termination: bool = True,
+) -> ExecutionResult:
+    """Grade a finished kernel into an :class:`ExecutionResult`.
+
+    Shared verdict/metrics tail of :func:`run_execution`, also used by
+    the soak farm's batch scheduler (:func:`repro.sim.kernel.run_batch`
+    drives many kernels, then each one is graded here individually).
+
+    Args:
+        engine: A kernel that has executed its rounds.
+        executed: The number of rounds actually executed (what
+            :meth:`~repro.sim.kernel.ExecutionKernel.run` returned).
+        require_termination: Count non-termination within the budget as
+            a violation.
+
+    Returns:
+        The finished :class:`ExecutionResult`.
+    """
+    processes = engine.processes
     # Every correct slot's proposal is handed to the validity check,
     # explicitly including ``None``: silently dropping a None proposal
     # would let the check conclude unanimity from the remaining
@@ -206,8 +236,8 @@ def run_execution(
     )
     metrics = metrics_from_deliveries(engine.deliveries)
     return ExecutionResult(
-        params=params,
-        assignment=assignment,
+        params=engine.params,
+        assignment=engine.assignment,
         byzantine=engine.byzantine,
         verdict=verdict,
         trace=engine.trace,

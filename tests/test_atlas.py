@@ -37,6 +37,7 @@ from repro.atlas import (
 from repro.cli import main
 from repro.core.errors import (
     AtlasConflict,
+    AtlasLogCorrupt,
     ConfigurationError,
     ProvenanceError,
 )
@@ -475,3 +476,94 @@ class TestCLI:
         captured = capsys.readouterr()
         assert code == 1
         assert "ATLAS CONFLICT" in captured.err
+
+
+class TestStreamCorruption:
+    """Regression: `AtlasLog.rows` must not swallow mid-file corruption.
+
+    Pre-fix, *any* unparsable line silently ended iteration, so a
+    corrupt line in the middle of a log made every later row -- real,
+    fsynced data -- vanish without a whisper.  Only a torn **final**
+    line (the one failure mode append-only writing can produce) is
+    legitimate wear; anything else must raise
+    :class:`~repro.core.errors.AtlasLogCorrupt`.
+    """
+
+    def _log(self, tmp_path):
+        log = AtlasLog(tmp_path / "log.jsonl")
+        log.reset()
+        for uid in ("u0", "u1", "u2"):
+            log.append({"unit_id": uid})
+        return log
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        log = self._log(tmp_path)
+        lines = log.path.read_text().splitlines(keepends=True)
+        lines[1] = "!! not json !!\n"
+        log.path.write_text("".join(lines))
+        rows = []
+        with pytest.raises(AtlasLogCorrupt) as err:
+            for row in log.rows():
+                rows.append(row)
+        # Rows before the corruption are still yielded; the error names
+        # both the corrupt line and the well-formed row after it.
+        assert [r["unit_id"] for r in rows] == ["u0"]
+        assert "line 2" in str(err.value)
+        assert "line 3" in str(err.value)
+
+    def test_non_dict_row_mid_file_raises(self, tmp_path):
+        log = self._log(tmp_path)
+        lines = log.path.read_text().splitlines(keepends=True)
+        lines[1] = "[1, 2, 3]\n"
+        log.path.write_text("".join(lines))
+        with pytest.raises(AtlasLogCorrupt):
+            list(log.rows())
+
+    def test_torn_final_line_is_still_tolerated(self, tmp_path):
+        log = self._log(tmp_path)
+        with log.path.open("a") as fh:
+            fh.write('{"unit_id": "torn"')  # crash mid-append
+        assert [r["unit_id"] for r in log.rows()] == ["u0", "u1", "u2"]
+
+    def test_corrupt_final_line_with_newline_is_tolerated(self, tmp_path):
+        # A torn line can end exactly at a flushed newline boundary
+        # when the tear happened inside an earlier buffered batch write.
+        log = self._log(tmp_path)
+        with log.path.open("a") as fh:
+            fh.write("{half a row\n")
+        assert [r["unit_id"] for r in log.rows()] == ["u0", "u1", "u2"]
+
+    def test_limit_short_of_corruption_does_not_raise(self, tmp_path):
+        log = self._log(tmp_path)
+        lines = log.path.read_text().splitlines(keepends=True)
+        lines[2] = "!! not json !!\n"
+        log.path.write_text("".join(lines) + '{"unit_id": "u3"}\n')
+        # A bounded read that never reaches the damage stays clean.
+        assert [r["unit_id"] for r in log.rows(limit=2)] == ["u0", "u1"]
+
+
+class TestAppendMany:
+    def test_batch_append_equals_row_appends(self, tmp_path):
+        one = AtlasLog(tmp_path / "one.jsonl")
+        one.reset()
+        rows = [{"unit_id": f"u{i}", "value": i} for i in range(10)]
+        for row in rows:
+            one.append(row)
+        batch = AtlasLog(tmp_path / "batch.jsonl")
+        batch.reset()
+        batch.append_many(rows)
+        assert batch.path.read_bytes() == one.path.read_bytes()
+
+    def test_batch_append_fsyncs_once(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            "repro.atlas.stream.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd)),
+        )
+        log = AtlasLog(tmp_path / "log.jsonl")
+        log.reset()
+        log.append_many([{"unit_id": f"u{i}"} for i in range(50)])
+        assert len(synced) == 1

@@ -19,8 +19,10 @@ from repro.experiments.campaign import (
     CampaignUnit,
     delay_cells,
     enumerate_delay_units,
+    enumerate_soak_units,
     enumerate_units,
     execute_unit,
+    execute_units,
     run_campaign,
     shard_units,
     table1_cells,
@@ -117,8 +119,8 @@ CHEAP_DELAY_CELLS = [
 
 
 class TestDelayUnits:
-    def test_cache_schema_is_campaign_6(self):
-        assert CACHE_SCHEMA == "campaign/6"
+    def test_cache_schema_is_campaign_7(self):
+        assert CACHE_SCHEMA == "campaign/7"
 
     def test_delay_cells_are_the_psync_solvable_cells(self):
         labels = {label for label, _ in delay_cells()}
@@ -252,3 +254,164 @@ class TestReportEmitters:
         report = run_campaign(CHEAP_CELLS, shard=(0, len(units)))
         assert len(report.unit_results) == 1
         assert len(report.cell_results()) == 1
+
+
+class TestCacheStoreDurability:
+    """Regression: `CampaignCache.store` under concurrency and crashes.
+
+    Pre-fix, every writer of a unit shared one tmp path
+    (``<unit_id>.tmp``): two concurrent stores interleaved write and
+    rename, so the loser's ``replace`` raised ``FileNotFoundError`` on
+    the vanished tmp -- and nothing was fsynced, so a crash right after
+    the rename could persist a truncated entry.
+    """
+
+    def _unit(self):
+        return enumerate_units(CHEAP_CELLS, quick=True)[0]
+
+    def test_concurrent_stores_of_one_unit_never_collide(self, tmp_path):
+        import threading
+
+        cache = CampaignCache(tmp_path)
+        unit = self._unit()
+        payloads = [
+            dict(execute_unit(unit), writer=i, pad="x" * 2000)
+            for i in range(8)
+        ]
+        errors = []
+
+        def hammer(payload):
+            try:
+                for _ in range(100):
+                    cache.store(unit, payload)
+            except OSError as exc:  # pragma: no cover - the pre-fix bug
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(p,)) for p in payloads
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # Last writer wins with a *complete* file: whatever survived
+        # must be one of the exact payloads, never an interleaving.
+        final = json.loads(cache.path(unit).read_text())
+        assert final in [
+            json.loads(json.dumps(p, sort_keys=True)) for p in payloads
+        ]
+        # No orphaned tmp files left behind.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_store_fsyncs_before_publishing(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        cache = CampaignCache(tmp_path)
+        unit = self._unit()
+        result = execute_unit(unit)
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            "repro.experiments.campaign.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd)),
+        )
+        cache.store(unit, result)
+        assert synced, "store() published a result without fsyncing it"
+        assert cache.load(unit) == json.loads(
+            json.dumps(result, sort_keys=True)
+        )
+
+    def test_failed_write_leaves_no_tmp_and_no_entry(self, tmp_path):
+        cache = CampaignCache(tmp_path)
+        unit = self._unit()
+        with pytest.raises(TypeError):
+            cache.store(unit, {"unserialisable": object()})
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.load(unit) is None
+
+
+class TestPoolFailureContract:
+    """Regression: one poisoned unit must abort the batch promptly.
+
+    Pre-fix, a worker exception propagated only after the executor's
+    ``__exit__`` joined *every* outstanding future, so one bad unit made
+    the campaign hang until all unrelated heavy units finished -- and
+    the exception said nothing about which unit raised it.
+    """
+
+    def _poison(self):
+        # An unknown soak profile fails validation in milliseconds.
+        u = enumerate_soak_units("quick", 0, 10, 10)[0]
+        return CampaignUnit.from_dict(
+            dict(u.to_dict(), variant="no-such-profile",
+                 byzantine_index=10_000)
+        )
+
+    def _heavies(self, count):
+        # Real soak windows, a few hundred ms each.
+        return enumerate_soak_units("quick", 0, 150 * count, 150)
+
+    def test_inline_failure_attaches_unit_note(self):
+        poison = self._poison()
+        finished = []
+        with pytest.raises(ConfigurationError) as err:
+            execute_units(
+                [poison, *self._heavies(1)], 1,
+                lambda unit, result: finished.append(unit.unit_id),
+            )
+        assert any(poison.describe() in n for n in err.value.__notes__)
+        assert any(poison.unit_id in n for n in err.value.__notes__)
+        assert finished == []
+
+    def test_pool_failure_cancels_queued_units(self):
+        poison = self._poison()
+        heavies = self._heavies(4)
+        finished = []
+        with pytest.raises(ConfigurationError) as err:
+            execute_units(
+                [*heavies, poison], 2,
+                lambda unit, result: finished.append(unit.unit_id),
+            )
+        assert any(poison.describe() in n for n in err.value.__notes__)
+        # The poison unit is the heaviest, so it is scheduled in the
+        # first wave and fails while at most one heavy unit is in
+        # flight; the cancelled tail must never reach ``finish``.
+        assert len(finished) < len(heavies)
+
+
+class TestSoakUnits:
+    def test_budget_expands_to_windows_with_a_short_tail(self):
+        units = enumerate_soak_units("quick", 5, 250, 100)
+        assert [(u.assignment_index, u.byzantine_index) for u in units] \
+            == [(0, 100), (100, 100), (200, 50)]
+        assert all(u.kind == "soak" for u in units)
+        assert all(u.variant == "quick" for u in units)
+        assert all(u.seed == 5 for u in units)
+        assert len({u.unit_id for u in units}) == len(units)
+
+    def test_profile_seed_and_schema_separate_cache_keys(self):
+        base = enumerate_soak_units("quick", 0, 100, 100)[0]
+        other_profile = enumerate_soak_units("standard", 0, 100, 100)[0]
+        other_seed = enumerate_soak_units("quick", 1, 100, 100)[0]
+        assert len({base.unit_id, other_profile.unit_id,
+                    other_seed.unit_id}) == 3
+
+    def test_describe_names_the_stream_slice(self):
+        unit = enumerate_soak_units("quick", 0, 250, 100)[1]
+        assert "quick" in unit.describe()
+        assert "100" in unit.describe()
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_soak_units("quick", 0, 100, 0)
+        with pytest.raises(ConfigurationError):
+            enumerate_soak_units("quick", 0, -1, 100)
+
+    def test_execute_unit_runs_the_window(self):
+        unit = enumerate_soak_units("quick", 0, 8, 8)[0]
+        result = execute_unit(unit.to_dict())
+        assert result["kind"] == "soak"
+        assert result["algorithm"] == "soak-mixture"
+        assert len(result["records"]) == 8
+        assert all(r["ok"] for r in result["records"])

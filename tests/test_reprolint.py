@@ -292,10 +292,10 @@ class TestRL005:
     def test_schema_bump_requires_deliberate_re_pin(self, schema_copy):
         path = schema_copy / "src/repro/experiments/campaign.py"
         source = path.read_text()
-        assert 'CACHE_SCHEMA = "campaign/6"' in source
+        assert 'CACHE_SCHEMA = "campaign/7"' in source
         path.write_text(
             source.replace(
-                'CACHE_SCHEMA = "campaign/6"', 'CACHE_SCHEMA = "campaign/7"'
+                'CACHE_SCHEMA = "campaign/7"', 'CACHE_SCHEMA = "campaign/8"'
             )
         )
         findings = rules_repo.check_schema(schema_copy)
@@ -309,14 +309,14 @@ class TestRL005:
             source
             .replace('"unit_id": unit.unit_id,', '"uid": unit.unit_id,')
             .replace(
-                'CACHE_SCHEMA = "campaign/6"', 'CACHE_SCHEMA = "campaign/7"'
+                'CACHE_SCHEMA = "campaign/7"', 'CACHE_SCHEMA = "campaign/8"'
             )
         )
         pin = tmp_path / "schema_fingerprint.json"
         rules_repo.update_schema(schema_copy, pin)
         assert rules_repo.check_schema(schema_copy, pin) == []
         written = json.loads(pin.read_text())
-        assert written["cache_schema"] == "campaign/7"
+        assert written["cache_schema"] == "campaign/8"
         shapes = written["result_shapes"]["campaign.execute_unit"]
         assert any("uid" in shape for shape in shapes)
 

@@ -44,6 +44,7 @@ REQUIRED_README_SECTIONS = [
     "The execution kernel and delay models",
     "The strategy explorer",
     "The solvability atlas",
+    "The soak farm",
     "Examples",
     "Architecture",
     "Testing and benchmarks",
@@ -57,6 +58,7 @@ REQUIRED_DOC_SECTIONS = {
         "The execution kernel",
         "Kernel coverage",
         "The message fabric",
+        "The soak farm",
         "Static analysis",
     ],
 }
