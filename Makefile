@@ -61,7 +61,10 @@ bench-snapshot:
 	    benchmarks/test_bench_fabric.py \
 	    benchmarks/test_bench_delay_kernel.py \
 	    benchmarks/test_bench_campaign.py \
-	    benchmarks/test_bench_soak.py -q -s
+	    benchmarks/test_bench_soak.py \
+	    benchmarks/test_bench_scaling.py \
+	    benchmarks/test_bench_atlas.py \
+	    benchmarks/test_bench_explore.py -q -s
 
 ## diff two (or more) BENCH_<topic>.json snapshot directories, oldest
 ## first, and fail on >MAX_REGRESS% ops/s regression:

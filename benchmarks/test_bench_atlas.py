@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 import time
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_once, snapshot
 from repro.atlas import AtlasLog, aggregate, fuse_evidence
 from repro.atlas.evidence import closed_form_evidence
 from repro.core.canonical import canonical_json
@@ -119,6 +119,18 @@ def test_fusion_and_stream_throughput(benchmark, tmp_path):
         ("aggregate fold (render input)", f"{fold_s:.2f}",
          f"{rates['render fold']:.0f}"),
     ])
+
+    snapshot(
+        "atlas",
+        {"cells": cells, "n_min": N_RANGE.start,
+         "n_max": N_RANGE.stop - 1},
+        ops_per_s=rates["fuse+write"],
+        extra={
+            "resume_scan_rows_per_s": round(rates["resume scan"], 1),
+            "render_fold_rows_per_s": round(rates["render fold"], 1),
+            "log_mb": round(size_mb, 2),
+        },
+    )
 
     floor = float(os.environ.get("ATLAS_BENCH_MIN_ROWS_PER_S", "200"))
     if floor > 0:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import os
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_once, snapshot
 from repro.core.params import SystemParams
 from repro.explore import default_scenario, explore, replay_witness
 
@@ -47,6 +47,17 @@ def test_bench_explore_certificate_n4(benchmark):
     ]
     benchmark.extra_info["explore_n4"] = {k: str(v) for k, v in rows}
     emit("explorer certificate, n=4 ell=4 t=1 (sync)", rows)
+
+    snapshot(
+        "explore",
+        {"n": 4, "ell": 4, "t": 1, "synchrony": "sync"},
+        ops_per_s=stats.nodes_expanded / max(stats.elapsed_s, 1e-9),
+        extra={
+            "nodes_expanded": stats.nodes_expanded,
+            "pruning_factor": round(stats.pruning_factor, 1),
+            "elapsed_s": round(stats.elapsed_s, 2),
+        },
+    )
 
     assert certificate.outcome == "exhausted"
     assert stats.raw_tree_size > stats.nodes_expanded

@@ -19,11 +19,16 @@ import os
 import time
 from typing import Hashable
 
+import pytest
+
 from benchmarks.conftest import emit, run_once, snapshot
 from repro.adversaries.generic import RandomByzantineAdversary
 from repro.core.identity import balanced_assignment
 from repro.core.params import SystemParams, Synchrony
+from repro.sim import fabric
+from repro.sim.kernel import BasicPsync, ExecutionKernel, LockStep
 from repro.sim.network import ReferenceRoundEngine, RoundEngine
+from repro.sim.partial import PartitionSchedule
 from repro.sim.process import Process
 
 
@@ -120,6 +125,95 @@ def test_fabric_step_throughput(benchmark):
             f"expected >= {min_speedup}x fabric speedup at n={n}, "
             f"got {clean_speedup:.2f}x"
         )
+
+
+def _build_timed(n: int, timing) -> ExecutionKernel:
+    ell = max(4, n // 4)
+    params = SystemParams(
+        n=n, ell=ell, t=1, synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+    )
+    assignment = balanced_assignment(n, ell)
+    processes = [
+        BroadcastProcess(assignment.identifier_of(k)) for k in range(n)
+    ]
+    return ExecutionKernel(
+        params=params, assignment=assignment, processes=processes,
+        timing=timing,
+    )
+
+
+def _always_active_partition(n: int) -> PartitionSchedule:
+    # An effectively infinite gst keeps the removal machinery engaged
+    # every round -- the worst case for the per-receiver dict fabric,
+    # the representative case for the mask path (two distinct rows).
+    half = n // 2
+    return PartitionSchedule(
+        10**9, tuple(range(half)), tuple(range(half, n))
+    )
+
+
+@pytest.mark.skipif(
+    not fabric.HAVE_NUMPY,
+    reason="array path needs numpy (REPRO_NO_NUMPY unset)",
+)
+def test_fabric_array_gate(benchmark):
+    """The PR 9 gate: the numpy mask path delivers >= 5x the dict
+    fabric's round throughput at n=256 on an always-active removal
+    workload, byte-identically."""
+    n, rounds = 256, 10
+
+    def body():
+        with fabric.forced_path(True):
+            array_engine = _build_timed(n, BasicPsync(
+                _always_active_partition(n), None
+            ))
+            array_sps = _steps_per_second(array_engine, rounds)
+        with fabric.forced_path(False):
+            scalar_engine = _build_timed(n, BasicPsync(
+                _always_active_partition(n), None
+            ))
+            scalar_sps = _steps_per_second(scalar_engine, rounds)
+        # Differential check: both paths, same physics, byte for byte.
+        assert array_engine.deliveries == scalar_engine.deliveries
+        assert array_engine.losses == scalar_engine.losses
+        assert array_engine.trace.snapshot() == scalar_engine.trace.snapshot()
+
+        # Large-n wall clock: n=1000 lockstep rounds complete in seconds.
+        with fabric.forced_path(True):
+            big = _build_timed(1000, LockStep())
+            big_sps = _steps_per_second(big, rounds)
+        return array_sps, scalar_sps, big_sps
+
+    array_sps, scalar_sps, big_sps = run_once(benchmark, body)
+    speedup = array_sps / scalar_sps
+    emit(f"Array fabric vs dict fabric (n={n}, always-active partition)", [
+        ("path", "steps/s"),
+        ("array (numpy masks)", f"{array_sps:.1f}"),
+        ("scalar (dict fabric)", f"{scalar_sps:.1f}"),
+        ("speedup", f"{speedup:.2f}x"),
+        ("n=1000 lockstep", f"{big_sps:.1f}"),
+    ])
+    benchmark.extra_info["array_speedup"] = round(speedup, 2)
+    benchmark.extra_info["lockstep_1000_sps"] = round(big_sps, 1)
+    snapshot(
+        "fabric_array",
+        {"n": n, "rounds": rounds, "schedule": "partition-always"},
+        ops_per_s=array_sps,
+        speedup=speedup,
+        extra={"lockstep_1000_sps": round(big_sps, 1)},
+    )
+    cpus = _usable_cpus()
+    min_speedup = float(
+        os.environ.get("FABRIC_ARRAY_BENCH_MIN_SPEEDUP", "5.0")
+    )
+    if cpus >= 2 and min_speedup > 0:
+        assert speedup >= min_speedup, (
+            f"expected >= {min_speedup}x array-path speedup at n={n}, "
+            f"got {speedup:.2f}x"
+        )
+        # "n=1000 lockstep runs completing in seconds": >= 10 rounds/s
+        # is two orders of magnitude inside that envelope.
+        assert big_sps >= 10, f"n=1000 lockstep too slow: {big_sps:.1f} sps"
 
 
 def test_fabric_scaling_profile(benchmark):

@@ -8,15 +8,21 @@ trajectories:
 * Figure 5 at the minimal solvable identifier count for each ``n``
   (``ell = floor((n + 3t)/2) + 1``);
 * Figure 7 pinned at ``ell = t + 1`` while ``n`` grows -- the identifier
-  count is *constant* in n, the whole point of the restricted model.
+  count is *constant* in n, the whole point of the restricted model;
+* raw kernel round throughput over the array fabric's target range
+  (n into the thousands), written to ``BENCH_scaling.json`` so
+  ``make bench-diff`` tracks the large-n win.
 
 The cost-model bounds of :mod:`repro.analysis.complexity` are asserted
 along the way, so the printed curves are guaranteed, not incidental.
 """
 
+import time
+from typing import Hashable
+
 import pytest
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_once, snapshot
 from repro.analysis.complexity import (
     dls_all_decided_bound,
     restricted_all_decided_bound,
@@ -26,6 +32,10 @@ from repro.core.params import SystemParams, Synchrony
 from repro.core.problem import BINARY
 from repro.psync.dls_homonyms import dls_factory
 from repro.psync.restricted import restricted_factory
+from repro.sim import fabric
+from repro.sim.kernel import BasicPsync, ExecutionKernel
+from repro.sim.partial import PartitionSchedule
+from repro.sim.process import Process
 from repro.sim.runner import run_agreement
 
 PSYNC = Synchrony.PARTIALLY_SYNCHRONOUS
@@ -101,3 +111,80 @@ def test_scaling_fig7(benchmark):
          [("n", "ell", "last decision round", "messages")] + rows)
     # Identifier demand is constant in n -- the restricted dividend.
     assert {row[1] for row in rows} == {2}
+
+
+# ----------------------------------------------------------------------
+# Large-n fabric range
+# ----------------------------------------------------------------------
+class _Broadcaster(Process):
+    """Constant-shape sender: times the delivery engine, nothing else."""
+
+    def compose(self, round_no: int) -> Hashable:
+        return ("vote", self.identifier, round_no % 4)
+
+    def deliver(self, round_no: int, inbox) -> None:
+        pass
+
+
+def _kernel_at(n: int) -> ExecutionKernel:
+    ell = max(4, n // 8)
+    params = SystemParams(n=n, ell=ell, t=1, synchrony=PSYNC)
+    assignment = balanced_assignment(n, ell)
+    half = n // 2
+    return ExecutionKernel(
+        params=params,
+        assignment=assignment,
+        processes=[
+            _Broadcaster(assignment.identifier_of(k)) for k in range(n)
+        ],
+        # Always-active partition: the removal machinery works every
+        # round, the regime the array fabric exists for.
+        timing=BasicPsync(
+            PartitionSchedule(
+                10**9, tuple(range(half)), tuple(range(half, n))
+            ),
+            None,
+        ),
+    )
+
+
+LARGE_NS = (128, 256, 512, 1024)
+
+
+def test_scaling_large_n_kernel_throughput(benchmark):
+    """Kernel steps/s over the array fabric's target range, snapshotted
+    as ``BENCH_scaling.json`` for the bench-diff trajectory."""
+    rounds = 6
+
+    def body():
+        series = []
+        for n in LARGE_NS:
+            engine = _kernel_at(n)
+            t0 = time.perf_counter()
+            engine.run(max_rounds=rounds, stop_when_all_decided=False)
+            series.append((n, rounds / (time.perf_counter() - t0)))
+        return series
+
+    series = run_once(benchmark, body)
+    path = "array" if fabric.array_path_enabled() else "scalar"
+    emit(f"Kernel round throughput, always-active partition ({path} path)", [
+        ("n", "steps/s"),
+        *[(n, f"{sps:.1f}") for n, sps in series],
+    ])
+    benchmark.extra_info["steps_per_s"] = {
+        n: round(sps, 1) for n, sps in series
+    }
+    by_n = dict(series)
+    snapshot(
+        "scaling",
+        {"ns": list(LARGE_NS), "rounds": rounds,
+         "schedule": "partition-always"},
+        ops_per_s=by_n[256],
+        extra={
+            "path": path,
+            "steps_per_s": {str(n): round(sps, 1) for n, sps in series},
+        },
+    )
+    # Even the scalar fallback clears one round/s at n=1024; the array
+    # path clears it by orders of magnitude.  A floor, not a race.
+    assert by_n[1024] >= 1.0

@@ -3,10 +3,34 @@
 The environment ships setuptools without the ``wheel`` package, so
 PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
 This shim lets ``pip install -e . --no-use-pep517`` (and plain
-``python setup.py develop``) work; all metadata lives in
-``pyproject.toml``.
+``python setup.py develop``) work.
+
+Metadata is declared here rather than in a ``pyproject.toml`` because
+the baked-in toolchain predates reliable PEP 621 editable support.
+numpy is deliberately an *extra* (``repro[fast]``), not a hard
+dependency: every simulation path has a pure-Python fallback
+(see ``repro.sim.fabric``), selected automatically at import, and the
+``REPRO_NO_NUMPY=1`` CI leg keeps that fallback honest.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-homonyms",
+    version="0.9.0",
+    description=(
+        "Reproduction of Byzantine agreement with homonyms "
+        "(Delporte-Gallet et al., PODC 2011)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[],
+    extras_require={
+        # Array delivery fabric: ~20x round throughput at n >= 256.
+        # Optional -- without it the scalar path produces byte-identical
+        # results, just slower at large n.
+        "fast": ["numpy"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

@@ -283,7 +283,10 @@ class ScenarioSystem:
                 checkpoints.append(engine.checkpoint())
             if engine.all_correct_decided():
                 break
-        return self._outcome(engine, processes, checkpoints)
+        # Read process state back off the engine: with copy-on-write
+        # checkpoints the kernel may rebind its process list after a
+        # snapshot, leaving the locally built list stale.
+        return self._outcome(engine, engine.processes, checkpoints)
 
     def _outcome(
         self,

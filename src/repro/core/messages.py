@@ -93,10 +93,13 @@ class Inbox:
 
     def __init__(self, messages: Iterable[Message], numerate: bool) -> None:
         msgs = list(messages)
+        # Sorting by explicit key computes each message's (id, repr)
+        # pair once instead of once per comparison; same total order as
+        # Message.__lt__, so canonical inbox bytes are unchanged.
         if not numerate:
-            msgs = sorted(set(msgs))
+            msgs = sorted(set(msgs), key=Message.sort_key)
         else:
-            msgs = sorted(msgs)
+            msgs = sorted(msgs, key=Message.sort_key)
         self._messages: tuple[Message, ...] = tuple(msgs)
         self._numerate = bool(numerate)
 

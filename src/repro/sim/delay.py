@@ -56,6 +56,7 @@ from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.identity import IdentityAssignment
 from repro.core.messages import Inbox, Message, ensure_hashable
 from repro.core.params import SystemParams
+from repro.sim import fabric
 from repro.sim.adversary import (
     Adversary,
     AdversaryView,
@@ -86,6 +87,38 @@ class DelayPolicy(ABC):
     @abstractmethod
     def delay(self, send_tick: int, sender: int, recipient: int) -> int:
         """Delay in ticks for this message."""
+
+    def delay_matrix(
+        self, send_tick: int, receivers: Sequence[int], senders: Sequence[int]
+    ):
+        """All of one tick's edge delays as a ``(receivers, senders)`` array.
+
+        The array fabric's batch form of :meth:`delay`: entry ``[i, j]``
+        is the delay of the message ``senders[j] -> receivers[i]`` sent
+        at ``send_tick``.  Self-edges are skipped (left ``0``; they
+        never traverse the network and ``delta >= 1`` keeps them
+        punctual).  The default queries :meth:`delay` per edge in
+        (receiver, sender) order, so RNG-backed policies -- whose
+        per-link ``stable_seed`` draws cannot be vectorized
+        byte-identically -- participate in the array path unchanged;
+        closed-form policies may override with real array ops.
+
+        Args:
+            send_tick: The window's first tick.
+            receivers: The receiving process indices (ascending).
+            senders: This round's composing senders (ascending).
+
+        Returns:
+            A numpy int64 array of delays.
+        """
+        np = fabric.require_numpy()
+        delays = np.zeros((len(receivers), len(senders)), dtype=np.int64)
+        for i, q in enumerate(receivers):
+            for j, s in enumerate(senders):
+                if s == q:
+                    continue
+                delays[i, j] = self.delay(send_tick, s, q)
+        return delays
 
     @abstractmethod
     def max_late_tick(self) -> int:

@@ -40,7 +40,11 @@ The fabric counts every edge it delivers into
 :func:`~repro.sim.metrics.metrics_from_deliveries` -- and, when the
 timing model logs losses (:class:`DelayBased`), records every removed
 edge into :attr:`ExecutionKernel.losses` as a ``(round, sender,
-recipient)`` basic-model loss.
+recipient)`` basic-model loss.  Delivery itself lives in
+:mod:`repro.sim.fabric`, in two byte-identical implementations: a
+numpy array path batching each round's removals into one
+``(receivers, senders)`` mask (:meth:`TimingModel.removed_mask`), and
+the pure-Python per-receiver fallback.
 
 Determinism: given identical processes, adversary and timing model,
 the kernel produces byte-identical traces.  All iteration is over
@@ -62,15 +66,16 @@ from typing import TYPE_CHECKING, Hashable, Mapping, Sequence
 
 from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.identity import IdentityAssignment
-from repro.core.messages import Inbox, Message, ensure_hashable
+from repro.core.messages import ensure_hashable
 from repro.core.params import SystemParams
+from repro.sim import fabric
 from repro.sim.adversary import (
     Adversary,
     AdversaryView,
     NullAdversary,
     normalize_emissions,
 )
-from repro.sim.metrics import RoundDeliveries, payload_size
+from repro.sim.metrics import RoundDeliveries
 from repro.sim.partial import DropSchedule, NoDrops
 from repro.sim.process import Process
 from repro.sim.topology import CompleteTopology, Topology
@@ -137,6 +142,37 @@ class TimingModel(ABC):
         """
         return ()
 
+    def removed_mask(
+        self, round_no: int, receivers: Sequence[int], senders: Sequence[int]
+    ):
+        """The round's removals as one ``(receivers, senders)`` bool mask.
+
+        The array fabric's batch query: ``mask[i, j]`` is True when
+        ``senders[j]``'s broadcast misses ``receivers[i]`` this round.
+        The default bridges to :meth:`removed_senders` row by row, so
+        scalar-only models participate in the array path unchanged;
+        models whose removal structure is expressible as array ops
+        (:class:`BasicPsync` over the vectorized topology/drop-schedule
+        masks, :class:`DelayBased` over the policy's delay matrix)
+        override it.  Only called on active rounds under the numpy
+        path -- self-delivery must never be reported, exactly as in
+        :meth:`removed_senders`.
+
+        Args:
+            round_no: The current round.
+            receivers: The correct receiving indices (ascending).
+            senders: This round's composing senders (ascending).
+
+        Returns:
+            A fresh, writable numpy bool array of shape
+            ``(len(receivers), len(senders))``.
+        """
+        return fabric.mask_from_rows(
+            lambda q: self.removed_senders(round_no, q, senders),
+            receivers,
+            senders,
+        )
+
     def ticks_executed(self, rounds: int) -> int:
         """Network ticks consumed by ``rounds`` executed rounds.
 
@@ -202,6 +238,16 @@ class BasicPsync(TimingModel):
         merged = set(blocked)
         return blocked + tuple(s for s in dropped if s not in merged)
 
+    def removed_mask(
+        self, round_no: int, receivers: Sequence[int], senders: Sequence[int]
+    ):
+        mask = self.topology.blocked_mask(receivers, senders)
+        if self.drop_schedule.active(round_no):
+            mask |= self.drop_schedule.dropped_mask(
+                round_no, receivers, senders
+            )
+        return mask
+
     def __repr__(self) -> str:
         return f"BasicPsync({self.drop_schedule!r}, {self.topology!r})"
 
@@ -262,6 +308,24 @@ class DelayBased(TimingModel):
                 removed.append(s)
         return tuple(removed)
 
+    def removed_mask(
+        self, round_no: int, receivers: Sequence[int], senders: Sequence[int]
+    ):
+        np = fabric.require_numpy()
+        policy = self.policy
+        delta = policy.delta
+        delays = policy.delay_matrix(round_no * delta, receivers, senders)
+        if (delays < 0).any():
+            raise SimulationError("negative delay from policy")
+        mask = delays >= delta
+        if mask.any():
+            # Self-delivery never traverses the network; guard against
+            # policies whose delay matrix fills the diagonal anyway.
+            recv = np.asarray(receivers, dtype=np.int64)
+            send = np.asarray(senders, dtype=np.int64)
+            mask &= recv[:, None] != send[None, :]
+        return mask
+
     def ticks_executed(self, rounds: int) -> int:
         return rounds * self.policy.delta
 
@@ -317,6 +381,15 @@ class ComposedTiming(TimingModel):
                     removed.append(s)
         return tuple(removed)
 
+    def removed_mask(
+        self, round_no: int, receivers: Sequence[int], senders: Sequence[int]
+    ):
+        mask = fabric.new_mask(len(receivers), len(senders))
+        for model in self.models:
+            if model.active(round_no):
+                mask |= model.removed_mask(round_no, receivers, senders)
+        return mask
+
     def ticks_executed(self, rounds: int) -> int:
         return max(m.ticks_executed(rounds) for m in self.models)
 
@@ -351,16 +424,20 @@ class EngineCheckpoint:
     """A restorable snapshot of an :class:`ExecutionKernel` mid-execution.
 
     Captures everything the kernel mutates round over round: the process
-    objects (deep-copied, so later rounds cannot leak into the
-    snapshot), the trace records, the delivery log, the loss log and the
+    objects, the trace records, the delivery log, the loss log and the
     round counter.  Static configuration (params, assignment, timing
     model) is shared with the live kernel, and **adversary state is
     deliberately not captured**: stateful adversaries are owned by the
     caller (the strategy explorer scripts its adversary externally and
     checkpoints its own ghost instances).
 
-    A checkpoint is immutable and reusable: :meth:`ExecutionKernel.restore`
-    copies *out* of it, so one snapshot can seed any number of branches.
+    Process snapshots are copy-on-write: :meth:`ExecutionKernel.checkpoint`
+    freezes the kernel's process list by *reference* and the kernel
+    deep-copies it only when (and if) the next round mutates process
+    state, so a checkpoint/restore round-trip costs one copy instead of
+    two -- the explorer-DFS hotspot.  The snapshot itself is frozen:
+    later rounds never leak into it, and one snapshot can seed any
+    number of divergent branches.
     """
 
     round_no: int
@@ -440,6 +517,13 @@ class ExecutionKernel:
         #: loss set, in (round, recipient, sender-order) order.
         self.losses: list[tuple[int, int, int]] = []
         self.round_no = 0
+        #: True while ``self.processes`` is aliased by a live
+        #: :class:`EngineCheckpoint`; the next mutation deep-copies
+        #: first (copy-on-write; see :meth:`checkpoint`).
+        self._processes_shared = False
+        #: Per-kernel payload-size memo (see
+        #: :func:`repro.sim.fabric.memoized_payload_size`).
+        self._size_cache: dict = {}
 
         byz_set = set(self.byzantine)
         self._correct: tuple[int, ...] = tuple(
@@ -510,6 +594,7 @@ class ExecutionKernel:
             ``correct index -> payload`` for this round (silent
             processes absent), in ascending index order.
         """
+        self._own_processes()
         r = self.round_no
         payloads: dict[int, Hashable] = {}
         for k in self._correct:
@@ -535,6 +620,7 @@ class ExecutionKernel:
         Returns:
             The appended :class:`~repro.sim.trace.RoundRecord`.
         """
+        self._own_processes()
         r = self.round_no
 
         # Phase 2: the (rushing) adversary emits Byzantine messages.
@@ -602,18 +688,23 @@ class ExecutionKernel:
     def checkpoint(self) -> EngineCheckpoint:
         """Snapshot the mutable kernel state for later :meth:`restore`.
 
-        Process objects are deep-copied; trace records, delivery records
-        and loss triples are immutable, so sharing their tuples is safe.
-        The attached adversary is *not* captured -- callers that branch
-        executions (the strategy explorer) either use stateless scripted
-        adversaries or checkpoint their adversary state themselves.
+        Copy-on-write: the snapshot aliases the live process objects and
+        the kernel deep-copies them only when the next round actually
+        mutates process state, so checkpoints taken at leaves (or
+        followed by :meth:`restore` before any step) never pay the copy.
+        Trace records, delivery records and loss triples are immutable,
+        so sharing their tuples is always safe.  The attached adversary
+        is *not* captured -- callers that branch executions (the
+        strategy explorer) either use stateless scripted adversaries or
+        checkpoint their adversary state themselves.
 
         Returns:
             An immutable, reusable :class:`EngineCheckpoint`.
         """
+        self._processes_shared = True
         return EngineCheckpoint(
             round_no=self.round_no,
-            processes=tuple(copy.deepcopy(self.processes)),
+            processes=tuple(self.processes),
             trace_records=self.trace.snapshot(),
             deliveries=tuple(self.deliveries),
             losses=tuple(self.losses),
@@ -622,10 +713,12 @@ class ExecutionKernel:
     def restore(self, checkpoint: EngineCheckpoint) -> None:
         """Rewind the kernel to a :meth:`checkpoint` snapshot.
 
-        The checkpoint itself is left untouched (its processes are
-        deep-copied back out), so the same snapshot can seed any number
-        of divergent continuations -- the primitive the bounded strategy
-        explorer's depth-first search is built on.
+        The checkpoint itself is left untouched: the kernel adopts its
+        process tuple by reference and deep-copies only when the next
+        round mutates process state (copy-on-write), so the same
+        snapshot can seed any number of divergent continuations -- the
+        primitive the bounded strategy explorer's depth-first search is
+        built on -- at one copy per branch instead of two.
 
         Args:
             checkpoint: A snapshot taken from *this* kernel (snapshots
@@ -633,10 +726,23 @@ class ExecutionKernel:
                 differently-configured kernel is undefined).
         """
         self.round_no = checkpoint.round_no
-        self.processes = list(copy.deepcopy(checkpoint.processes))
+        self.processes = list(checkpoint.processes)
+        self._processes_shared = True
         self.trace.restore(checkpoint.trace_records)
         self.deliveries = list(checkpoint.deliveries)
         self.losses = list(checkpoint.losses)
+
+    def _own_processes(self) -> None:
+        """Deep-copy the process list if a checkpoint still aliases it.
+
+        The copy-on-write half of :meth:`checkpoint`/:meth:`restore`:
+        called before any round phase that mutates process state, it
+        ensures snapshots stay frozen while a checkpoint/restore
+        round-trip costs one deep copy instead of two.
+        """
+        if self._processes_shared:
+            self.processes = list(copy.deepcopy(self.processes))
+            self._processes_shared = False
 
     # ------------------------------------------------------------------
     # Internals
@@ -662,75 +768,13 @@ class ExecutionKernel:
         payloads: Mapping[int, Hashable],
         emissions: Mapping[int, Mapping[int, tuple[Hashable, ...]]],
     ) -> RoundDeliveries:
-        """Deliver one round through the batched message fabric."""
-        numerate = self.params.numerate
-        ident_of = self.assignment.identifier_of
-        timing = self.timing
-        removable = timing.active(round_no)
-        log_losses = timing.logs_losses
+        """Deliver one round through the message fabric.
 
-        # The common base: one message per broadcast, canonicalised once.
-        senders = tuple(payloads)  # ascending (composed over sorted indices)
-        base = [Message(ident_of(s), payloads[s]) for s in senders]
-        sizes = {s: payload_size(payloads[s]) for s in senders}
-        base_bytes = sum(sizes.values())
-        canonical = Inbox(base, numerate=numerate).messages()
-
-        # Adversary delta: recipient -> delivered messages.
-        additions: dict[int, list[Message]] = {}
-        for b, per_recipient in emissions.items():
-            ident = ident_of(b)
-            for q, batch in per_recipient.items():
-                additions.setdefault(q, []).extend(
-                    Message(ident, p) for p in batch
-                )
-
-        correct_deliveries = 0
-        correct_bytes = 0
-        byz_deliveries = 0
-        byz_bytes = 0
-        for q in self._correct:
-            removed = (
-                timing.removed_senders(round_no, q, senders)
-                if removable else ()
-            )
-            extra = additions.get(q)
-            if not removed and extra is None:
-                # Empty delta: share the round's canonical base tuple.
-                correct_deliveries += len(senders)
-                correct_bytes += base_bytes
-                self.processes[q].deliver(
-                    round_no, Inbox.from_canonical(canonical, numerate)
-                )
-                continue
-            if removed:
-                if log_losses:
-                    self.losses.extend((round_no, s, q) for s in removed)
-                removed_set = set(removed)
-                messages = [
-                    m for s, m in zip(senders, base) if s not in removed_set
-                ]
-                correct_deliveries += len(messages)
-                correct_bytes += base_bytes - sum(sizes[s] for s in removed_set)
-            else:
-                messages = list(base)
-                correct_deliveries += len(senders)
-                correct_bytes += base_bytes
-            if extra:
-                messages.extend(extra)
-                byz_deliveries += len(extra)
-                byz_bytes += sum(payload_size(m.payload) for m in extra)
-            self.processes[q].deliver(
-                round_no, Inbox(messages, numerate=numerate)
-            )
-        return RoundDeliveries(
-            round_no=round_no,
-            correct_broadcasts=len(senders),
-            correct_deliveries=correct_deliveries,
-            byzantine_deliveries=byz_deliveries,
-            correct_payload_bytes=correct_bytes,
-            byzantine_payload_bytes=byz_bytes,
-        )
+        Delegates to :func:`repro.sim.fabric.deliver_round`, which picks
+        the numpy array path or the pure-Python scalar fallback (both
+        byte-identical; see the fabric module docs).
+        """
+        return fabric.deliver_round(self, round_no, payloads, emissions)
 
 
 # ----------------------------------------------------------------------

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Callable, Collection
+from typing import Callable, Collection, Sequence
 
 from repro.core.canonical import stable_seed
 from repro.core.errors import ConfigurationError
+from repro.sim import fabric
 
 
 class DropSchedule(ABC):
@@ -85,6 +86,36 @@ class DropSchedule(ABC):
             if s != recipient and self._drops_before_gst(round_no, s, recipient)
         )
 
+    def dropped_mask(
+        self, round_no: int, receivers: Sequence[int], senders: Sequence[int]
+    ):
+        """The round's losses as one ``(receivers, senders)`` bool mask.
+
+        The array fabric's batch form of :meth:`dropped_senders`:
+        ``mask[i, j]`` is True when ``senders[j]``'s message to
+        ``receivers[i]`` is lost this round.  The default bridges to
+        the scalar query row by row, so predicate- or RNG-backed
+        schedules (whose per-link decisions cannot be vectorized
+        byte-identically) participate unchanged; structural schedules
+        override it with real array ops.  Self-links are never
+        reported, and rounds at or past ``gst`` yield the empty mask.
+
+        Args:
+            round_no: The current round.
+            receivers: The receiving process indices (ascending).
+            senders: Candidate sender indices (ascending).
+
+        Returns:
+            A fresh, writable numpy bool array.
+        """
+        if round_no >= self._gst:
+            return fabric.new_mask(len(receivers), len(senders))
+        return fabric.mask_from_rows(
+            lambda q: self.dropped_senders(round_no, q, senders),
+            receivers,
+            senders,
+        )
+
     @abstractmethod
     def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
         """Drop decision for rounds strictly before ``gst``."""
@@ -99,6 +130,11 @@ class NoDrops(DropSchedule):
     def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
         return False  # pragma: no cover - unreachable (gst == 0)
 
+    def dropped_mask(
+        self, round_no: int, receivers: Sequence[int], senders: Sequence[int]
+    ):
+        return fabric.new_mask(len(receivers), len(senders))
+
 
 class SilenceUntil(DropSchedule):
     """Every inter-process message is lost before ``gst``.
@@ -110,6 +146,17 @@ class SilenceUntil(DropSchedule):
 
     def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
         return True
+
+    def dropped_mask(
+        self, round_no: int, receivers: Sequence[int], senders: Sequence[int]
+    ):
+        np = fabric.require_numpy()
+        if round_no >= self._gst:
+            return fabric.new_mask(len(receivers), len(senders))
+        recv = np.asarray(receivers, dtype=np.int64)
+        send = np.asarray(senders, dtype=np.int64)
+        # Everything but self-delivery is lost before gst.
+        return recv[:, None] != send[None, :]
 
 
 class PartitionSchedule(DropSchedule):
@@ -133,6 +180,26 @@ class PartitionSchedule(DropSchedule):
     def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
         return (sender in self.block_a and recipient in self.block_b) or (
             sender in self.block_b and recipient in self.block_a
+        )
+
+    def dropped_mask(
+        self, round_no: int, receivers: Sequence[int], senders: Sequence[int]
+    ):
+        np = fabric.require_numpy()
+        if round_no >= self._gst:
+            return fabric.new_mask(len(receivers), len(senders))
+        recv = np.asarray(receivers, dtype=np.int64)
+        send = np.asarray(senders, dtype=np.int64)
+        block_a = np.asarray(sorted(self.block_a), dtype=np.int64)
+        block_b = np.asarray(sorted(self.block_b), dtype=np.int64)
+        recv_a = np.isin(recv, block_a)
+        recv_b = np.isin(recv, block_b)
+        send_a = np.isin(send, block_a)
+        send_b = np.isin(send, block_b)
+        # Cross-block links lose; the blocks are disjoint, so a
+        # self-link never crosses and the diagonal stays False.
+        return (recv_a[:, None] & send_b[None, :]) | (
+            recv_b[:, None] & send_a[None, :]
         )
 
 
@@ -176,6 +243,23 @@ class ExplicitDrops(DropSchedule):
 
     def _drops_before_gst(self, round_no: int, sender: int, recipient: int) -> bool:
         return (round_no, sender, recipient) in self._drop_set
+
+    def dropped_mask(
+        self, round_no: int, receivers: Sequence[int], senders: Sequence[int]
+    ):
+        mask = fabric.new_mask(len(receivers), len(senders))
+        if round_no >= self._gst:
+            return mask
+        row_of = {q: i for i, q in enumerate(receivers)}
+        col_of = {s: j for j, s in enumerate(senders)}
+        for r, s, q in sorted(self._drop_set):
+            if r != round_no or s == q:
+                continue
+            i = row_of.get(q)
+            j = col_of.get(s)
+            if i is not None and j is not None:
+                mask[i, j] = True
+        return mask
 
 
 class PredicateDrops(DropSchedule):

@@ -18,6 +18,7 @@ from abc import ABC, abstractmethod
 from typing import Mapping, Sequence
 
 from repro.core.errors import ConfigurationError
+from repro.sim import fabric
 
 
 class Topology(ABC):
@@ -51,6 +52,26 @@ class Topology(ABC):
             if s != recipient and not self.delivers(s, recipient)
         )
 
+    def blocked_mask(self, receivers: Sequence[int], senders: Sequence[int]):
+        """All cut links as one ``(receivers, senders)`` bool mask.
+
+        The array fabric's batch form of :meth:`blocked_senders`:
+        ``mask[i, j]`` is True when the link ``senders[j] ->
+        receivers[i]`` is cut.  The default bridges to the scalar query
+        row by row; subclasses with structural knowledge override it
+        with real array ops.  Self-links are never reported.
+
+        Args:
+            receivers: The receiving process indices (ascending).
+            senders: Candidate sender indices (ascending).
+
+        Returns:
+            A fresh, writable numpy bool array.
+        """
+        return fabric.mask_from_rows(
+            lambda q: self.blocked_senders(q, senders), receivers, senders
+        )
+
 
 class CompleteTopology(Topology):
     """The paper's default: every process reaches every other."""
@@ -62,6 +83,9 @@ class CompleteTopology(Topology):
         self, recipient: int, senders: Sequence[int]
     ) -> tuple[int, ...]:
         return ()
+
+    def blocked_mask(self, receivers: Sequence[int], senders: Sequence[int]):
+        return fabric.new_mask(len(receivers), len(senders))
 
     def __repr__(self) -> str:
         return "CompleteTopology()"
@@ -99,6 +123,22 @@ class DirectedTopology(Topology):
         return tuple(
             s for s in senders if s != recipient and s not in allowed
         )
+
+    def blocked_mask(self, receivers: Sequence[int], senders: Sequence[int]):
+        np = fabric.require_numpy()
+        mask = fabric.new_mask(len(receivers), len(senders))
+        send = np.asarray(senders, dtype=np.int64)
+        for i, q in enumerate(receivers):
+            allowed = self._in.get(q)
+            if allowed is None:
+                continue
+            row = ~np.isin(
+                send, np.asarray(sorted(allowed), dtype=np.int64)
+            )
+            if q in senders:
+                row[senders.index(q)] = False  # self-link never blocked
+            mask[i] = row
+        return mask
 
     def in_neighbors(self, recipient: int) -> frozenset[int] | None:
         """The configured in-set, or ``None`` when the recipient is open."""

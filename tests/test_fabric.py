@@ -1,0 +1,535 @@
+"""The array fabric: path parity, mask builders, memoization, COW.
+
+Pins the three delivery implementations against each other:
+
+* the numpy **array** path (``repro.sim.fabric._deliver_round_array``),
+* the pure-Python **scalar** fallback (the pre-array dict/set loop),
+* the frozen pre-fabric oracle
+  (:class:`~repro.sim.network.ReferenceRoundEngine`),
+
+asserting byte-identical per-receiver inboxes,
+:class:`~repro.sim.metrics.RoundDeliveries`, traces and loss triples
+across random (topology x drop schedule x adversary x timing) draws --
+including n in the hundreds -- plus the unit seams the tentpole added:
+vectorized ``blocked_mask`` / ``dropped_mask`` / ``delay_matrix``
+builders vs their scalar queries, the per-kernel payload-size memo, and
+the copy-on-write checkpoint scheme.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.generic import RandomByzantineAdversary
+from repro.core.canonical import stable_seed
+from repro.core.errors import SimulationError
+from repro.core.identity import balanced_assignment
+from repro.core.params import SystemParams
+from repro.sim import fabric
+from repro.sim.delay import EventuallyBoundedDelays
+from repro.sim.kernel import (
+    BasicPsync,
+    ComposedTiming,
+    DelayBased,
+    ExecutionKernel,
+    LockStep,
+)
+from repro.sim.network import ReferenceRoundEngine
+from repro.sim.partial import (
+    ExplicitDrops,
+    NoDrops,
+    PartitionSchedule,
+    RandomDrops,
+    SilenceUntil,
+)
+from repro.sim.process import EchoProcess, Process
+from repro.sim.topology import CompleteTopology, DirectedTopology
+
+needs_numpy = pytest.mark.skipif(
+    not fabric.HAVE_NUMPY, reason="numpy unavailable (or REPRO_NO_NUMPY set)"
+)
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _build_kernel(n, ell, numerate, byzantine, adversary, timing):
+    assignment = balanced_assignment(n, ell)
+    params = SystemParams(
+        n=n, ell=ell, t=max(len(byzantine), 1), numerate=numerate
+    )
+    processes = [
+        None if k in byzantine else EchoProcess(
+            assignment.identifier_of(k), tag=("v", k % 3)
+        )
+        for k in range(n)
+    ]
+    return ExecutionKernel(
+        params=params,
+        assignment=assignment,
+        processes=processes,
+        byzantine=byzantine,
+        adversary=adversary(),
+        timing=timing(),
+    )
+
+
+def _build_reference(n, ell, numerate, byzantine, adversary, drop, topo):
+    assignment = balanced_assignment(n, ell)
+    params = SystemParams(
+        n=n, ell=ell, t=max(len(byzantine), 1), numerate=numerate
+    )
+    processes = [
+        None if k in byzantine else EchoProcess(
+            assignment.identifier_of(k), tag=("v", k % 3)
+        )
+        for k in range(n)
+    ]
+    return ReferenceRoundEngine(
+        params=params,
+        assignment=assignment,
+        processes=processes,
+        byzantine=byzantine,
+        adversary=adversary(),
+        drop_schedule=drop,
+        topology=topo,
+    )
+
+
+def _run(engine, rounds):
+    engine.run(max_rounds=rounds, stop_when_all_decided=False)
+    return engine
+
+
+def _assert_engines_identical(got, want, rounds, label):
+    assert got.deliveries == want.deliveries, label
+    assert got.losses == want.losses, label
+    assert got.trace.snapshot() == want.trace.snapshot(), label
+    for q in got.correct:
+        for r in range(rounds):
+            assert (
+                got.processes[q].received[r].messages()
+                == want.processes[q].received[r].messages()
+            ), f"{label}: inbox of process {q} differs in round {r}"
+
+
+def _compare_paths(n, ell, numerate, byzantine, adversary, timing, rounds,
+                   label, reference=None):
+    """Run array and scalar paths (and optionally the frozen oracle)."""
+    with fabric.forced_path(False):
+        scalar = _run(
+            _build_kernel(n, ell, numerate, byzantine, adversary, timing),
+            rounds,
+        )
+    if fabric.HAVE_NUMPY:
+        with fabric.forced_path(True):
+            array = _run(
+                _build_kernel(n, ell, numerate, byzantine, adversary, timing),
+                rounds,
+            )
+        _assert_engines_identical(array, scalar, rounds, f"{label}: array")
+    if reference is not None:
+        drop, topo = reference
+        oracle = _run(
+            _build_reference(
+                n, ell, numerate, byzantine, adversary, drop, topo
+            ),
+            rounds,
+        )
+        _assert_engines_identical(scalar, oracle, rounds, f"{label}: oracle")
+
+
+# ----------------------------------------------------------------------
+# Property tests: random draws, three-way parity
+# ----------------------------------------------------------------------
+def _schedule_from(draw_kind, gst, seed, n):
+    if draw_kind == "none":
+        return None
+    if draw_kind == "silence":
+        return SilenceUntil(gst)
+    if draw_kind == "partition":
+        half = n // 2
+        return PartitionSchedule(gst, tuple(range(half)), tuple(range(half, n)))
+    if draw_kind == "random":
+        return RandomDrops(gst=gst, p=0.5, seed=seed)
+    assert draw_kind == "explicit"
+    return ExplicitDrops({
+        (r, s, (s + r + 1) % n)
+        for r in range(gst)
+        for s in range(0, n, 3)
+    })
+
+
+def _topology_from(draw_kind, n, seed):
+    if draw_kind == "complete":
+        return None
+    wiring = {}
+    for q in range(0, n, 2):
+        allowed = {
+            s for s in range(n) if stable_seed((seed, q, s)) % 3 != 0
+        }
+        wiring[q] = allowed
+    return DirectedTopology(wiring)
+
+
+@given(
+    n=st.integers(3, 12),
+    ell=st.integers(2, 3),
+    numerate=st.booleans(),
+    sched_kind=st.sampled_from(
+        ["none", "silence", "partition", "random", "explicit"]
+    ),
+    topo_kind=st.sampled_from(["complete", "directed"]),
+    gst=st.integers(1, 4),
+    with_byz=st.booleans(),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_three_way_parity(
+    n, ell, numerate, sched_kind, topo_kind, gst, with_byz, seed
+):
+    """Array path == scalar fallback == ReferenceRoundEngine across
+    random basic-model draws: inboxes, deliveries, traces."""
+    ell = min(ell, n)
+    byzantine = (n - 1,) if with_byz else ()
+    sched = lambda: _schedule_from(sched_kind, gst, seed, n)  # noqa: E731
+    topo = lambda: _topology_from(topo_kind, n, seed)  # noqa: E731
+    adversary = (
+        (lambda: RandomByzantineAdversary(seed=seed)) if with_byz
+        else (lambda: None)
+    )
+    timing = lambda: BasicPsync(sched(), topo())  # noqa: E731
+    _compare_paths(
+        n, ell, numerate, byzantine, adversary, timing,
+        rounds=gst + 2,
+        label=f"{sched_kind}/{topo_kind}/n={n}",
+        reference=(sched(), topo()),
+    )
+
+
+@given(
+    n=st.sampled_from([100, 180, 256]),
+    numerate=st.booleans(),
+    sched_kind=st.sampled_from(["silence", "partition", "explicit"]),
+    seed=st.integers(0, 10),
+)
+@settings(max_examples=5, deadline=None)
+def test_property_three_way_parity_large_n(n, numerate, sched_kind, seed):
+    """The same three-way parity with n in the hundreds (structural
+    schedules, where the mask builders do real array work)."""
+    sched = lambda: _schedule_from(sched_kind, 2, seed, n)  # noqa: E731
+    timing = lambda: BasicPsync(sched(), None)  # noqa: E731
+    _compare_paths(
+        n, 3, numerate, (), lambda: None, timing,
+        rounds=3,
+        label=f"large-{sched_kind}/n={n}",
+        reference=(sched(), None),
+    )
+
+
+@given(
+    n=st.integers(3, 10),
+    numerate=st.booleans(),
+    gst_tick=st.integers(0, 12),
+    delta=st.integers(1, 4),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_delay_parity_with_losses(
+    n, numerate, gst_tick, delta, seed
+):
+    """Array vs scalar under ``DelayBased``: identical inboxes *and*
+    identical loss-triple logs (both paths log (receiver-ascending,
+    sender-ascending) per round)."""
+    timing = lambda: DelayBased(  # noqa: E731
+        EventuallyBoundedDelays(delta, gst_tick, seed=seed)
+    )
+    _compare_paths(
+        n, 3, numerate, (), lambda: None, timing,
+        rounds=gst_tick // delta + 2,
+        label=f"delay/n={n}/delta={delta}",
+    )
+
+
+def test_composed_timing_parity_with_losses():
+    """ComposedTiming (structural + delay layers) stays path-identical,
+    including the union mask and the merged loss log."""
+    timing = lambda: ComposedTiming(  # noqa: E731
+        BasicPsync(SilenceUntil(2), DirectedTopology({0: {1, 2}, 3: set()})),
+        DelayBased(EventuallyBoundedDelays(2, 8, seed=3)),
+    )
+    for numerate in (False, True):
+        _compare_paths(
+            9, 3, numerate, (8,),
+            lambda: RandomByzantineAdversary(seed=7), timing,
+            rounds=6, label=f"composed/numerate={numerate}",
+        )
+
+
+def test_large_n_deterministic_partition():
+    """n=256 under an always-active partition: the shared-row inbox
+    grouping (two distinct mask rows) stays oracle-identical."""
+    n = 256
+    half = n // 2
+    sched = lambda: PartitionSchedule(  # noqa: E731
+        10**9, tuple(range(half)), tuple(range(half, n))
+    )
+    timing = lambda: BasicPsync(sched(), None)  # noqa: E731
+    _compare_paths(
+        n, 4, True, (), lambda: None, timing,
+        rounds=3, label="partition-256", reference=(sched(), None),
+    )
+
+
+# ----------------------------------------------------------------------
+# Mask builders vs their scalar queries
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestMaskBuilders:
+    def _assert_mask_matches(self, mask, removed_of, receivers, senders):
+        for i, q in enumerate(receivers):
+            expected = set(removed_of(q))
+            got = {senders[j] for j in range(len(senders)) if mask[i, j]}
+            assert got == expected, f"receiver {q}"
+
+    def test_topology_masks(self):
+        n = 12
+        receivers = tuple(range(n))
+        senders = tuple(range(0, n, 2))
+        for topo in (
+            CompleteTopology(),
+            DirectedTopology({0: {2, 4}, 5: set(), 6: {6}}),
+        ):
+            mask = topo.blocked_mask(receivers, senders)
+            assert mask.shape == (len(receivers), len(senders))
+            self._assert_mask_matches(
+                mask, lambda q: topo.blocked_senders(q, senders),
+                receivers, senders,
+            )
+
+    def test_drop_schedule_masks(self):
+        n = 10
+        receivers = tuple(range(n))
+        senders = tuple(range(n))
+        schedules = [
+            NoDrops(),
+            SilenceUntil(3),
+            PartitionSchedule(3, (0, 1, 2), (5, 6)),
+            RandomDrops(gst=3, p=0.5, seed=9),
+            ExplicitDrops({(0, 1, 2), (1, 2, 2), (2, 0, 0), (1, 9, 0)}),
+        ]
+        for sched in schedules:
+            for round_no in range(5):
+                mask = sched.dropped_mask(round_no, receivers, senders)
+                self._assert_mask_matches(
+                    mask,
+                    lambda q: sched.dropped_senders(round_no, q, senders),
+                    receivers, senders,
+                )
+
+    def test_delay_matrix_matches_scalar_delay(self):
+        policy = EventuallyBoundedDelays(3, 9, seed=4)
+        receivers = tuple(range(8))
+        senders = tuple(range(0, 8, 2))
+        for send_tick in (0, 3, 9, 12):
+            delays = policy.delay_matrix(send_tick, receivers, senders)
+            for i, q in enumerate(receivers):
+                for j, s in enumerate(senders):
+                    if s == q:
+                        assert delays[i, j] == 0
+                    else:
+                        assert delays[i, j] == policy.delay(send_tick, s, q)
+
+    def test_removed_mask_never_reports_self(self):
+        timing = BasicPsync(SilenceUntil(5), None)
+        receivers = senders = tuple(range(6))
+        mask = timing.removed_mask(0, receivers, senders)
+        for k in range(6):
+            assert not mask[k, k]
+        assert mask.sum() == 30  # everything else dropped
+
+    def test_mask_from_rows_bridges_scalar_queries(self):
+        mask = fabric.mask_from_rows(
+            lambda q: (0, 2) if q == 1 else (),
+            receivers=(0, 1, 3),
+            senders=(0, 2, 3),
+        )
+        assert mask.tolist() == [
+            [False, False, False],
+            [True, True, False],
+            [False, False, False],
+        ]
+
+
+# ----------------------------------------------------------------------
+# Path selection
+# ----------------------------------------------------------------------
+def test_forced_path_restores_previous_mode():
+    before = fabric.array_path_enabled()
+    with fabric.forced_path(False):
+        assert not fabric.array_path_enabled()
+        if fabric.HAVE_NUMPY:
+            with fabric.forced_path(True):
+                assert fabric.array_path_enabled()
+            assert not fabric.array_path_enabled()
+    assert fabric.array_path_enabled() == before
+
+
+def test_forced_array_path_without_numpy_raises(monkeypatch):
+    monkeypatch.setattr(fabric, "np", None)
+    monkeypatch.setattr(fabric, "HAVE_NUMPY", False)
+    with pytest.raises(SimulationError):
+        with fabric.forced_path(True):
+            pass  # pragma: no cover - unreachable
+    with pytest.raises(SimulationError):
+        fabric.require_numpy()
+
+
+# ----------------------------------------------------------------------
+# Payload-size memoization
+# ----------------------------------------------------------------------
+class _ConstantProcess(Process):
+    """Broadcasts the same payload every round (memo-friendliest case)."""
+
+    def compose(self, round_no):
+        return ("const", self.identifier % 2)
+
+    def deliver(self, round_no, inbox):
+        pass
+
+
+def _counting_payload_size(monkeypatch):
+    from repro.sim import metrics
+
+    calls = []
+
+    def counted(payload):
+        calls.append(payload)
+        return len(repr(payload))
+
+    monkeypatch.setattr(fabric, "payload_size", counted)
+    return calls, metrics.payload_size
+
+
+def test_payload_size_memoized_across_rounds(monkeypatch):
+    """Regression: ``_deliver_round`` used to recompute ``payload_size``
+    for every sender every round; the memo computes once per distinct
+    payload per kernel."""
+    calls, _ = _counting_payload_size(monkeypatch)
+    n, rounds = 8, 5
+    assignment = balanced_assignment(n, 4)
+    params = SystemParams(n=n, ell=4, t=1)
+    processes = [
+        _ConstantProcess(assignment.identifier_of(k)) for k in range(n)
+    ]
+    kernel = ExecutionKernel(
+        params=params, assignment=assignment, processes=processes,
+        timing=LockStep(),
+    )
+    kernel.run(max_rounds=rounds, stop_when_all_decided=False)
+    # Two distinct payloads across all senders and rounds -> two calls,
+    # not n * rounds.
+    assert len(calls) == 2
+    assert sorted(set(calls), key=repr) == [("const", 0), ("const", 1)]
+
+
+def test_payload_size_memo_keys_by_type(monkeypatch):
+    """``1`` and ``True`` are equal but repr differently; the memo must
+    not conflate them."""
+    calls, real = _counting_payload_size(monkeypatch)
+    cache = {}
+    assert fabric.memoized_payload_size(cache, 1) == real(1)
+    assert fabric.memoized_payload_size(cache, True) == real(True)
+    assert fabric.memoized_payload_size(cache, 1) == real(1)
+    assert len(calls) == 2  # third call hit the memo
+    assert real(True) != real(1)
+
+
+def test_payload_size_memo_is_bounded(monkeypatch):
+    calls, _ = _counting_payload_size(monkeypatch)
+    cache = {}
+    limit = fabric._SIZE_CACHE_LIMIT
+    for i in range(limit + 10):
+        fabric.memoized_payload_size(cache, ("p", i))
+    assert len(cache) <= limit
+
+
+# ----------------------------------------------------------------------
+# Copy-on-write checkpoints
+# ----------------------------------------------------------------------
+def _cow_kernel():
+    n = 5
+    assignment = balanced_assignment(n, n)
+    params = SystemParams(n=n, ell=n, t=1)
+    processes = [
+        EchoProcess(assignment.identifier_of(k), tag=("v", k))
+        for k in range(n)
+    ]
+    return ExecutionKernel(
+        params=params, assignment=assignment, processes=processes,
+        timing=LockStep(),
+    )
+
+
+def test_checkpoint_is_frozen_after_later_rounds():
+    """Rounds executed after a snapshot never leak into it (the COW copy
+    happens before the mutation)."""
+    kernel = _cow_kernel()
+    kernel.run(2, stop_when_all_decided=False)
+    cp = kernel.checkpoint()
+    snapshot_received = {
+        q: dict(cp.processes[q].received) for q in kernel.correct
+    }
+    kernel.run(3, stop_when_all_decided=False)
+    for q in kernel.correct:
+        assert dict(cp.processes[q].received) == snapshot_received[q]
+        assert len(kernel.processes[q].received) == 5
+        assert kernel.processes[q] is not cp.processes[q]
+
+
+def test_checkpoint_restore_roundtrip_shares_until_mutation():
+    """A checkpoint/restore round-trip costs zero copies until the next
+    mutating phase; the first step after it copies exactly once."""
+    kernel = _cow_kernel()
+    kernel.run(2, stop_when_all_decided=False)
+    cp = kernel.checkpoint()
+    assert kernel.processes[0] is cp.processes[0]  # aliased, not copied
+    kernel.restore(cp)
+    assert kernel.processes[0] is cp.processes[0]  # still aliased
+    kernel.step()
+    assert kernel.processes[0] is not cp.processes[0]  # owned now
+
+
+def test_checkpoint_seeds_multiple_identical_branches():
+    """One snapshot replayed twice produces byte-identical branches."""
+    kernel = _cow_kernel()
+    kernel.run(2, stop_when_all_decided=False)
+    cp = kernel.checkpoint()
+
+    def branch():
+        kernel.restore(cp)
+        kernel.run(3, stop_when_all_decided=False)
+        return (
+            kernel.trace.snapshot(),
+            tuple(kernel.deliveries),
+            [
+                kernel.processes[q].received[4].messages()
+                for q in kernel.correct
+            ],
+        )
+
+    assert branch() == branch()
+
+
+def test_restore_then_finish_round_copies_before_delivery():
+    """The explorer's restore -> finish_round (no re-compose) pattern:
+    delivery must not mutate the snapshot's processes."""
+    kernel = _cow_kernel()
+    payloads = kernel.compose_round()
+    cp = kernel.checkpoint()
+    kernel.finish_round(payloads)
+    assert 0 in kernel.processes[0].received
+    assert 0 not in cp.processes[0].received  # snapshot untouched
+    kernel.restore(cp)
+    kernel.finish_round(payloads)
+    assert 0 not in cp.processes[0].received  # still untouched

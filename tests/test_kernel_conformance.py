@@ -447,6 +447,87 @@ class TestBroadcastConformance:
 
 
 # ----------------------------------------------------------------------
+# Large-n fabric cases: the array path's target range
+# ----------------------------------------------------------------------
+class TestLargeNConformance:
+    """The array fabric's raison d'etre is n in the hundreds; pin the
+    kernel against :class:`ReferenceRoundEngine` there too (whichever
+    delivery path is active -- both run under CI)."""
+
+    @pytest.mark.parametrize("sched_name,sched_fn", SCHEDULES, ids=SCHEDULE_IDS)
+    @pytest.mark.parametrize("n", [200])
+    def test_inboxes_and_deliveries_at_large_n(self, n, sched_name, sched_fn):
+        ell, rounds = 8, 4
+        params = SystemParams(n=n, ell=ell, t=1)
+        assignment = balanced_assignment(n, ell)
+
+        def procs():
+            return [
+                EchoProcess(assignment.identifier_of(k), tag=("v", k % 5))
+                for k in range(n)
+            ]
+
+        procs_k = procs()
+        kernel = ExecutionKernel(
+            params=params, assignment=assignment, processes=procs_k,
+            timing=BasicPsync(sched_fn(), None),
+        )
+        procs_r = procs()
+        reference = ReferenceRoundEngine(
+            params=params, assignment=assignment, processes=procs_r,
+            drop_schedule=sched_fn(),
+        )
+        kernel.run(max_rounds=rounds, stop_when_all_decided=False)
+        reference.run(max_rounds=rounds, stop_when_all_decided=False)
+        assert kernel.deliveries == reference.deliveries
+        for k in range(n):
+            for r in range(rounds):
+                got = procs_k[k].received[r]
+                want = procs_r[k].received[r]
+                assert got.messages() == want.messages(), (
+                    f"{sched_name}: inbox of process {k} differs in round {r}"
+                )
+
+    def test_delay_losses_at_large_n(self):
+        """n=128 under a delay policy vs the per-message tick loop."""
+        n, ell = 128, 8
+        policy_fn = lambda: dict(delay_policy_battery(5))[  # noqa: E731
+            "eventual-d2-gst24"
+        ]
+        params = SystemParams(n=n, ell=ell, t=1)
+        assignment = balanced_assignment(n, ell)
+
+        def procs():
+            return [
+                EchoProcess(assignment.identifier_of(k), tag=("v", k % 5))
+                for k in range(n)
+            ]
+
+        procs_k = procs()
+        kernel = ExecutionKernel(
+            params=params, assignment=assignment, processes=procs_k,
+            timing=DelayBased(policy_fn()),
+        )
+        kernel.run(max_rounds=14, stop_when_all_decided=False)
+
+        procs_r = procs()
+        reference = ReferenceDelaySimulator(
+            params, assignment, procs_r, policy_fn()
+        )
+        ref_result = reference.run(
+            max_rounds=14, stop_when_all_decided=False
+        )
+        assert canonical(kernel.trace) == canonical(ref_result.trace)
+        assert sorted(kernel.losses) == sorted(ref_result.dropped)
+        for k in range(n):
+            for r in range(14):
+                assert (
+                    procs_k[k].received[r].messages()
+                    == procs_r[k].received[r].messages()
+                ), f"inbox of process {k} differs in round {r}"
+
+
+# ----------------------------------------------------------------------
 # Property tests: seeded random configurations
 # ----------------------------------------------------------------------
 @given(gst=st.integers(0, 6), seed=st.integers(0, 40))

@@ -41,6 +41,7 @@ REQUIRED_README_SECTIONS = [
     "A worked CLI session",
     "The campaign engine",
     "The message fabric and exact metrics",
+    "The array fabric at large n",
     "The execution kernel and delay models",
     "The strategy explorer",
     "The solvability atlas",
@@ -58,6 +59,7 @@ REQUIRED_DOC_SECTIONS = {
         "The execution kernel",
         "Kernel coverage",
         "The message fabric",
+        "The array fabric",
         "The soak farm",
         "Static analysis",
     ],
