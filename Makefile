@@ -8,7 +8,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 .PHONY: test test-all lint bench-quick bench-fabric bench-delay \
 	bench-explore bench-atlas bench-soak bench-snapshot bench-diff \
 	docs-check api-docs campaign explore-frontier atlas-quick atlas \
-	soak-smoke clean
+	atlas-shard-smoke soak-smoke clean
 
 ## tier-1: docs consistency, the invariant linter, then the fast test
 ## suite (the bar every change must clear). The cheap static gates run
@@ -98,6 +98,24 @@ atlas-quick:
 	$(PYTHON) -m repro atlas --quick --workers 4 \
 	    --markdown atlas.md --json atlas.json
 
+## the sharded atlas pipeline end to end: 3 shard sweeps over a shared
+## unit cache, deterministic merge, byte-compare against an unsharded
+## sweep, incremental render, and a query-service smoke (what the CI
+## atlas-shard-smoke job runs and uploads)
+atlas-shard-smoke:
+	for i in 0 1 2; do \
+	    $(PYTHON) -m repro atlas --quick --shard $$i/3 \
+	        --cache-dir .atlas-cache --resume || exit 1; \
+	done
+	$(PYTHON) -m repro atlas merge atlas-0-of-3.jsonl \
+	    atlas-1-of-3.jsonl atlas-2-of-3.jsonl --out atlas.jsonl
+	$(PYTHON) -m repro atlas --quick --log atlas-unsharded.jsonl \
+	    --cache-dir .atlas-cache --resume
+	cmp atlas.jsonl atlas-unsharded.jsonl
+	$(PYTHON) -m repro atlas render --log atlas.jsonl \
+	    --markdown atlas.md --json atlas.json
+	$(PYTHON) tools/atlas_service_smoke.py atlas.jsonl
+
 ## the default atlas sweep, resumable, on all local cores
 atlas:
 	$(PYTHON) -m repro atlas --workers 4 --resume \
@@ -112,4 +130,5 @@ clean:
 	rm -rf .campaign-cache .atlas-cache .soak-cache .pytest_cache \
 	    bench-snapshots
 	rm -f atlas.jsonl atlas.md atlas.json soak.jsonl soak-report.json
+	rm -f atlas-*-of-*.jsonl atlas-unsharded.jsonl atlas.jsonl.cursor.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -150,3 +150,63 @@ def test_canonical_rows_are_stable(benchmark):
 
     first, second = run_once(benchmark, body)
     assert first == second
+
+
+def test_shard_merge_throughput(benchmark, tmp_path):
+    """Stripe the synthetic lattice over 3 shard logs, then time the
+    merge back into the canonical log -- cross-checking every row's
+    verdict against its own evidence is part of the measured cost."""
+    from repro.atlas import merge_shards
+
+    shards = 3
+    logs = [AtlasLog(tmp_path / f"atlas-{i}-of-{shards}.jsonl")
+            for i in range(shards)]
+    striped: list[list[dict]] = [[] for _ in range(shards)]
+    rows = list(_synthetic_rows())
+    for row in rows:
+        striped[row["index"] % shards].append(row)
+    for log, batch in zip(logs, striped):
+        log.reset()
+        log.append_many(batch)
+
+    reference = AtlasLog(tmp_path / "reference.jsonl")
+    reference.reset()
+    reference.append_many(rows)
+
+    fused = tmp_path / "atlas.jsonl"
+
+    def body():
+        t0 = time.perf_counter()
+        outcome = merge_shards([log.path for log in logs], fused)
+        return outcome, time.perf_counter() - t0
+
+    outcome, merge_s = run_once(benchmark, body)
+
+    cells = len(rows)
+    assert outcome.rows == cells
+    assert outcome.ok
+    assert fused.read_bytes() == reference.path.read_bytes(), (
+        "merged shard logs must be byte-identical to the unsharded log"
+    )
+
+    rate = cells / merge_s
+    benchmark.extra_info["merge rows/s"] = round(rate, 1)
+    emit(f"Atlas shard merge throughput ({cells} cells, "
+         f"{shards} shards)", [
+        ("stage", "wall s", "rows/s"),
+        ("parse + cross-check + fuse + write",
+         f"{merge_s:.2f}", f"{rate:.0f}"),
+    ])
+
+    snapshot(
+        "atlas_merge",
+        {"cells": cells, "shards": shards},
+        ops_per_s=rate,
+        extra={"log_mb": round(fused.stat().st_size / 1e6, 2)},
+    )
+
+    floor = float(os.environ.get("ATLAS_MERGE_MIN_ROWS_PER_S", "500"))
+    if floor > 0:
+        assert rate >= floor, (
+            f"shard merge {rate:.0f} rows/s below the {floor:.0f}/s floor"
+        )

@@ -27,6 +27,15 @@ boundary maps (:mod:`repro.atlas.render`).  Entry points: the
 ``python -m repro atlas`` subcommand and :func:`~repro.atlas.driver.
 run_atlas`; cells execute as ``kind="atlas"`` campaign units sharing
 the campaign engine's worker pool and content-hash cache.
+
+At lattice scale the atlas distributes: ``run_atlas(...,
+shard=(index, count))`` stripes cells across machines into per-shard
+logs, :func:`~repro.atlas.merge.merge_shards` fuses them back into the
+canonical ``atlas.jsonl`` byte-identically, renders re-fold only
+appended rows via a persisted cursor
+(:func:`~repro.atlas.render.aggregate_incremental`), and
+:mod:`repro.atlas.service` serves the fused dataset as a stdlib-only
+JSON query API (``python -m repro atlas serve``).
 """
 
 from repro.atlas.driver import AtlasOutcome, run_atlas
@@ -35,6 +44,7 @@ from repro.atlas.evidence import (
     CONSISTENT,
     PROVED_SOLVABLE,
     WITNESSED_UNSOLVABLE,
+    budget_skipped_evidence,
     closed_form_evidence,
     fuse_evidence,
     known_violation_fixture,
@@ -46,32 +56,42 @@ from repro.atlas.lattice import (
     default_lattice,
     quick_lattice,
 )
+from repro.atlas.merge import MergeOutcome, merge_shards
 from repro.atlas.render import (
     AtlasAggregates,
     aggregate,
+    aggregate_incremental,
     render_json,
     render_markdown,
 )
+from repro.atlas.service import AtlasIndex, AtlasServer, serve_atlas
 from repro.atlas.stream import AtlasLog
 
 __all__ = [
     "AtlasAggregates",
     "AtlasCell",
+    "AtlasIndex",
     "AtlasLog",
     "AtlasOutcome",
+    "AtlasServer",
     "CONFLICT",
     "CONSISTENT",
     "LatticeSpec",
+    "MergeOutcome",
     "PROVED_SOLVABLE",
     "WITNESSED_UNSOLVABLE",
     "aggregate",
+    "aggregate_incremental",
+    "budget_skipped_evidence",
     "closed_form_evidence",
     "default_lattice",
     "fuse_evidence",
     "known_violation_fixture",
+    "merge_shards",
     "quick_lattice",
     "render_json",
     "render_markdown",
     "run_atlas",
     "run_atlas_unit",
+    "serve_atlas",
 ]

@@ -130,6 +130,7 @@ def _fuse_row(
         "predicted": evidence[0]["claim"],
         "verdict": verdict,
         "algorithm": result.get("algorithm", ""),
+        "demonstration_kind": result.get("demonstration_kind", ""),
         "runs": len(records),
         "failures": sum(1 for r in records if not r.get("ok", True)),
         "evidence": evidence,
@@ -147,6 +148,7 @@ def run_atlas(
     inject: Mapping[str, Sequence[Mapping]] | None = None,
     strict: bool = True,
     progress: Callable[[str], None] | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> AtlasOutcome:
     """Sweep a lattice, fuse every cell's evidence, stream the rows.
 
@@ -169,6 +171,13 @@ def run_atlas(
             first conflicting cell (the default); ``False`` records
             ``CONFLICT`` rows and keeps sweeping (render/debug path).
         progress: Optional callback receiving one line per cell.
+        shard: Optional ``(index, count)`` stripe: sweep only the cells
+            whose lattice position is congruent to ``index`` mod
+            ``count`` (the same position-striping as
+            :func:`repro.experiments.campaign.shard_units`).  Rows keep
+            their **global** lattice index, which is what lets
+            :func:`repro.atlas.merge.merge_shards` reassemble shard
+            logs byte-identically to an unsharded sweep.
 
     Returns:
         The :class:`AtlasOutcome` (per-cell rows are in the log).
@@ -178,7 +187,8 @@ def run_atlas(
             the closed form (strict mode).
         ProvenanceError: A cell fused without any non-symbolic
             evidence (indicates a broken evidence plan).
-        ConfigurationError: ``inject`` combined with ``resume``.
+        ConfigurationError: ``inject`` combined with ``resume``, or an
+            out-of-range shard selector.
     """
     start = time.perf_counter()  # reprolint: disable=RL002 -- diagnostic timing only
     cells = lattice.cells()
@@ -186,6 +196,19 @@ def run_atlas(
         [(c.label, c.params, c.variant) for c in cells],
         seed=seed, quick=quick,
     )
+    if shard is None:
+        selected = list(range(len(units)))
+    else:
+        shard_index, shard_count = shard
+        if shard_count < 1 or not 0 <= shard_index < shard_count:
+            raise ConfigurationError(
+                f"bad shard {shard_index}/{shard_count}: "
+                f"need 0 <= index < count"
+            )
+        selected = [
+            pos for pos in range(len(units))
+            if pos % shard_count == shard_index
+        ]
     inject = dict(inject or {})
     if inject and resume:
         # Resumed rows (and cached unit results) were fused without the
@@ -199,10 +222,12 @@ def run_atlas(
 
     log = AtlasLog(log_path)
     outcome = AtlasOutcome(
-        lattice=lattice, log_path=log.path, cells_total=len(cells)
+        lattice=lattice, log_path=log.path, cells_total=len(selected)
     )
     if resume:
-        outcome.resumed = log.resume_prefix([u.unit_id for u in units])
+        outcome.resumed = log.resume_prefix(
+            [units[pos].unit_id for pos in selected]
+        )
         for row in log.rows(limit=outcome.resumed):
             outcome.verdicts[row["verdict"]] += 1
             if row["verdict"] == CONFLICT:
@@ -212,21 +237,23 @@ def run_atlas(
     else:
         log.reset()
 
-    next_index = outcome.resumed
+    # ``slot`` is a position within ``selected`` (the shard's own row
+    # order); the row itself carries the *global* lattice index.
+    next_slot = outcome.resumed
     reorder: dict[int, dict] = {}
 
     def flush(buffered: dict[int, dict]) -> None:
         """Write every row whose predecessors are all written."""
-        nonlocal next_index
-        while next_index in buffered:
-            index = next_index
+        nonlocal next_slot
+        while next_slot in buffered:
+            index = selected[next_slot]
             cell, unit = cells[index], units[index]
             row = _fuse_row(
-                index, cell, unit, buffered.pop(index),
+                index, cell, unit, buffered.pop(next_slot),
                 inject.get(cell.label, ()), strict,
             )
             log.append(row)
-            next_index += 1
+            next_slot += 1
             outcome.written += 1
             outcome.verdicts[row["verdict"]] += 1
             if row["verdict"] == CONFLICT:
@@ -235,31 +262,31 @@ def run_atlas(
                 progress(f"fused    {row['label']} [{row['verdict']}]")
 
     pending: list[tuple[int, CampaignUnit]] = []
-    for index in range(outcome.resumed, len(units)):
-        unit = units[index]
+    for slot in range(outcome.resumed, len(selected)):
+        unit = units[selected[slot]]
         hit = cache.load(unit) if (cache is not None and resume) else None
         if hit is not None:
             outcome.cached += 1
-            reorder[index] = hit
+            reorder[slot] = hit
         else:
-            pending.append((index, unit))
+            pending.append((slot, unit))
     flush(reorder)
 
-    def finish(index: int, unit: CampaignUnit, result: dict) -> None:
+    def finish(slot: int, unit: CampaignUnit, result: dict) -> None:
         if cache is not None:
             cache.store(unit, result)
         outcome.executed += 1
-        reorder[index] = result
+        reorder[slot] = result
 
     try:
         if workers <= 1:
-            for index, unit in pending:
-                finish(index, unit, execute_unit(unit))
+            for slot, unit in pending:
+                finish(slot, unit, execute_unit(unit))
                 flush(reorder)
         elif pending:
             # Bounded-window fan-out in LATTICE order (not the campaign
             # engine's heaviest-first): a unit is only submitted while
-            # its index is within ``window`` of the write frontier, so
+            # its slot is within ``window`` of the write frontier, so
             # in-flight futures plus reorder-buffered results never
             # exceed the window -- even when the frontier cell is the
             # slowest of the batch, workers go idle instead of buffering
@@ -273,19 +300,19 @@ def run_atlas(
                         while (
                             pos < len(pending)
                             and len(futures) < window
-                            and pending[pos][0] < next_index + window
+                            and pending[pos][0] < next_slot + window
                         ):
-                            index, unit = pending[pos]
+                            slot, unit = pending[pos]
                             futures[pool.submit(
                                 execute_unit, unit.to_dict()
-                            )] = (index, unit)
+                            )] = (slot, unit)
                             pos += 1
                         done, _ = wait(
                             set(futures), return_when=FIRST_COMPLETED
                         )
                         for future in done:
-                            index, unit = futures.pop(future)
-                            finish(index, unit, future.result())
+                            slot, unit = futures.pop(future)
+                            finish(slot, unit, future.result())
                         flush(reorder)
                 except BaseException:
                     # Abort means abort: a conflict (or any failure)

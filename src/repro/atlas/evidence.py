@@ -266,12 +266,39 @@ def _explorer_evidence(
     )]
 
 
+def budget_skipped_evidence(params: SystemParams) -> dict:
+    """The explicit placeholder item for cells outside the cost envelope.
+
+    Cells beyond a lattice's ``campaign_max_n`` never run workloads, but
+    they must not vanish from the provenance either: this grade-
+    ``inconclusive`` item records that the empirical stack was skipped
+    by budget policy, which satisfies :func:`fuse_evidence`'s
+    non-symbolic-presence requirement and grades the cell
+    ``consistent``.
+
+    Args:
+        params: The cell's parameters.
+
+    Returns:
+        The grade-``inconclusive`` budget-skipped evidence item.
+    """
+    return _item(
+        CAMPAIGN,
+        "campaign budget envelope",
+        None,
+        "inconclusive",
+        f"budget-skipped: n={params.n} exceeds the campaign cost "
+        f"envelope; closed form only, no empirical workloads ran",
+    )
+
+
 def run_atlas_unit(
     params: SystemParams,
     seed: int = 0,
     quick: bool = True,
     problem: AgreementProblem = BINARY,
     with_explorer: bool = False,
+    budget_skipped: bool = False,
 ) -> dict:
     """Collect all of one cell's non-symbolic evidence; worker entry point.
 
@@ -288,6 +315,10 @@ def run_atlas_unit(
         with_explorer: Also run bounded strategy exploration (small
             scopes only -- the caller gates this via
             :meth:`repro.atlas.lattice.LatticeSpec.in_explorer_scope`).
+        budget_skipped: The cell is outside the lattice's campaign cost
+            envelope: skip all workloads and emit the explicit
+            :func:`budget_skipped_evidence` note instead (``with_explorer``
+            is ignored -- the envelope gates the whole empirical stack).
 
     Returns:
         ``{"algorithm", "records", "demonstration",
@@ -297,11 +328,15 @@ def run_atlas_unit(
         then explorer; the closed-form item is added at fusion time by
         the driver).
     """
-    algorithm, records, demonstration, kind, evidence = _campaign_evidence(
-        params, problem, seed, quick
-    )
-    if with_explorer:
-        evidence.extend(_explorer_evidence(params, problem))
+    if budget_skipped:
+        algorithm, records, demonstration, kind = "", [], "", ""
+        evidence = [budget_skipped_evidence(params)]
+    else:
+        algorithm, records, demonstration, kind, evidence = (
+            _campaign_evidence(params, problem, seed, quick)
+        )
+        if with_explorer:
+            evidence.extend(_explorer_evidence(params, problem))
     return {
         "algorithm": algorithm,
         "records": [asdict(r) for r in records],

@@ -24,6 +24,7 @@ from repro.core.params import Synchrony, SystemParams, model_space
 #: Unit variant markers carried by ``kind="atlas"`` campaign units.
 WITH_EXPLORER = "campaign+explorer"
 CAMPAIGN_ONLY = "campaign"
+BUDGET_SKIPPED = "budget-skipped"
 
 
 @dataclass(frozen=True)
@@ -39,15 +40,23 @@ class AtlasCell:
     with_explorer:
         Whether bounded strategy exploration contributes evidence for
         this cell (small-scope cells only).
+    with_campaign:
+        Whether the cell is inside the campaign cost envelope.  Cells
+        outside it never run workloads: their unit emits an explicit
+        ``budget-skipped`` evidence note instead, so the exclusion is
+        visible in the provenance rather than silent.
     """
 
     label: str
     params: SystemParams
     with_explorer: bool = False
+    with_campaign: bool = True
 
     @property
     def variant(self) -> str:
         """The campaign-unit variant string for this cell."""
+        if not self.with_campaign:
+            return BUDGET_SKIPPED
         return WITH_EXPLORER if self.with_explorer else CAMPAIGN_ONLY
 
 
@@ -80,6 +89,14 @@ class LatticeSpec:
         Largest ``n`` for which cells get explorer evidence (``0``
         disables exploration entirely).  Restricted+numerate cells are
         always outside explorer scope regardless of size.
+    campaign_max_n:
+        The campaign cost envelope: largest ``n`` for which cells run
+        empirical workload batteries.  ``None`` (the default) places no
+        envelope.  Cells beyond it still appear in the atlas -- closed
+        form everywhere -- but carry an explicit ``budget-skipped``
+        evidence note and fuse to ``consistent`` instead of silently
+        vanishing, which is what lets lattices reach ``n`` in the tens
+        without the sweep cost exploding.
     """
 
     n_min: int = 3
@@ -89,6 +106,7 @@ class LatticeSpec:
         default_factory=lambda: tuple(model_space())
     )
     explore_max_n: int = 3
+    campaign_max_n: int | None = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.n_min <= self.n_max:
@@ -102,6 +120,11 @@ class LatticeSpec:
             )
         if not self.models:
             raise ConfigurationError("lattice needs at least one model")
+        if self.campaign_max_n is not None and self.campaign_max_n < 1:
+            raise ConfigurationError(
+                f"campaign_max_n must be >= 1 (or None for no envelope), "
+                f"got {self.campaign_max_n}"
+            )
 
     def in_explorer_scope(self, params: SystemParams) -> bool:
         """Whether a cell's evidence plan includes the explorer.
@@ -116,6 +139,21 @@ class LatticeSpec:
         if params.restricted and params.numerate:
             return False
         return params.n <= self.explore_max_n
+
+    def in_campaign_budget(self, params: SystemParams) -> bool:
+        """Whether a cell's evidence plan includes empirical workloads.
+
+        Args:
+            params: The cell's parameters.
+
+        Returns:
+            True when no campaign cost envelope is set or the cell is
+            inside it.  Cells outside the envelope are never silently
+            skipped -- they carry an explicit ``budget-skipped``
+            evidence note instead (see
+            :func:`repro.atlas.evidence.budget_skipped_evidence`).
+        """
+        return self.campaign_max_n is None or params.n <= self.campaign_max_n
 
     def cells(self) -> list[AtlasCell]:
         """Enumerate the lattice in its canonical, resume-stable order.
@@ -137,19 +175,29 @@ class LatticeSpec:
                             n=n, ell=ell, t=t, synchrony=synchrony,
                             numerate=numerate, restricted=restricted,
                         )
+                        with_campaign = self.in_campaign_budget(params)
                         out.append(AtlasCell(
                             label=_cell_label(params),
                             params=params,
-                            with_explorer=self.in_explorer_scope(params),
+                            with_explorer=(
+                                with_campaign
+                                and self.in_explorer_scope(params)
+                            ),
+                            with_campaign=with_campaign,
                         ))
         return out
 
     def describe(self) -> str:
         """One-line human-readable description of the sweep."""
         t_part = ",".join(str(t) for t in self.t_values)
+        budget = (
+            "" if self.campaign_max_n is None
+            else f", campaign budget n<={self.campaign_max_n}"
+        )
         return (
             f"n={self.n_min}..{self.n_max}, t={{{t_part}}}, ell=1..n, "
             f"{len(self.models)} models, explorer scope n<={self.explore_max_n}"
+            f"{budget}"
         )
 
 
@@ -160,17 +208,20 @@ def quick_lattice() -> LatticeSpec:
 
 
 def default_lattice(n_max: int = 6, t_values: tuple[int, ...] = (1,),
-                    explore_max_n: int = 4) -> LatticeSpec:
+                    explore_max_n: int = 4,
+                    campaign_max_n: int | None = None) -> LatticeSpec:
     """The default CLI lattice (override the bounds via CLI flags).
 
     Args:
         n_max: Largest process count swept.
         t_values: Fault budgets swept.
         explore_max_n: Explorer scope bound.
+        campaign_max_n: Campaign cost envelope (None for no envelope).
 
     Returns:
         The lattice specification.
     """
     return LatticeSpec(
-        n_min=3, n_max=n_max, t_values=t_values, explore_max_n=explore_max_n
+        n_min=3, n_max=n_max, t_values=t_values, explore_max_n=explore_max_n,
+        campaign_max_n=campaign_max_n,
     )

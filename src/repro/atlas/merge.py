@@ -1,0 +1,231 @@
+"""Deterministic fusion of per-shard atlas logs into one canonical log.
+
+A sharded sweep (``run_atlas(..., shard=(index, count))``) leaves one
+JSONL log per shard, each carrying the **global** lattice index on
+every row.  :func:`merge_shards` reassembles them into the single
+canonical ``atlas.jsonl`` an unsharded sweep would have written --
+byte-for-byte identical, because rows are canonical JSON on both paths
+and merging is a pure sort-by-index.
+
+The merge is also a trust boundary, so it re-checks instead of
+concatenating blindly:
+
+* every row's recorded verdict is re-derived from the row's own
+  evidence with :func:`repro.atlas.evidence.fuse_evidence`; a mismatch
+  means a tampered or schema-skewed log
+  (:class:`~repro.core.errors.AtlasMergeError`);
+* overlapping rows (the same global index in two shards -- overlapping
+  stripes, or one shard re-run into a second log) must be
+  byte-identical; divergent duplicates raise
+  :class:`~repro.core.errors.AtlasConflict` with *both* provenance
+  rows attached;
+* the merged index set must be exactly ``0..N-1``: a gap means an
+  incomplete shard (kill it mid-sweep and it resumes; merge it
+  unfinished and it fails loudly rather than silently shipping a
+  partial atlas).
+
+``strict=False`` relaxes only the conflict policy (recorded
+``CONFLICT`` rows pass through for rendering); structural failures are
+always hard errors.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.atlas.evidence import CONFLICT, fuse_evidence
+from repro.atlas.stream import AtlasLog
+from repro.core.canonical import canonical_json
+from repro.core.errors import AtlasConflict, AtlasMergeError
+from repro.core.params import Synchrony, SystemParams
+
+_SYNCHRONY = {s.short: s for s in Synchrony}
+
+
+@dataclass
+class MergeOutcome:
+    """Aggregate outcome of one shard merge.
+
+    Attributes
+    ----------
+    out_path:
+        The fused canonical log.
+    shards:
+        Number of shard logs read.
+    rows:
+        Rows in the fused log (the lattice size).
+    overlaps:
+        Duplicate rows that were cross-checked and deduplicated.
+    verdicts:
+        Fused-verdict tally of the merged rows.
+    """
+
+    out_path: Path
+    shards: int = 0
+    rows: int = 0
+    overlaps: int = 0
+    verdicts: Counter = field(default_factory=Counter)
+
+    @property
+    def ok(self) -> bool:
+        """True when no merged row carries a ``CONFLICT`` verdict."""
+        return self.verdicts.get(CONFLICT, 0) == 0
+
+    def summary(self) -> str:
+        """One-line human-readable tally."""
+        tally = ", ".join(
+            f"{self.verdicts[v]} {v}" for v in sorted(self.verdicts)
+        )
+        return (
+            f"merged {self.rows} rows from {self.shards} shard log(s) "
+            f"({self.overlaps} overlapping) into {self.out_path}: "
+            f"{tally or 'no rows'}"
+        )
+
+
+def _row_params(row: Mapping) -> SystemParams:
+    """Rebuild a row's :class:`SystemParams` from its ``cell`` block."""
+    cell = row["cell"]
+    return SystemParams(
+        n=cell["n"], ell=cell["ell"], t=cell["t"],
+        synchrony=_SYNCHRONY[cell["synchrony"]],
+        numerate=cell["numerate"], restricted=cell["restricted"],
+    )
+
+
+def _cross_check(row: Mapping, source: str, strict: bool) -> None:
+    """Re-derive a row's verdict from its own evidence.
+
+    Args:
+        row: The parsed log row.
+        source: The shard log the row came from (for error messages).
+        strict: Conflicts raise instead of passing through.
+
+    Raises:
+        AtlasMergeError: The row is structurally unusable or its
+            recorded verdict is not what its evidence fuses to.
+        AtlasConflict: The evidence fuses to a conflict (strict mode);
+            the row is attached via ``rows``.
+    """
+    try:
+        params = _row_params(row)
+        evidence = row["evidence"]
+        recorded = row["verdict"]
+    except (KeyError, TypeError) as exc:
+        raise AtlasMergeError(
+            f"{source}: row {row.get('index')!r} is missing required "
+            f"fields ({exc}); not a fused atlas row"
+        ) from None
+    try:
+        rederived = fuse_evidence(params, evidence, strict=strict)
+    except AtlasConflict as exc:
+        raise AtlasConflict(
+            f"{source}: row {row['index']} ({row.get('label', '?')}) "
+            f"conflicts at merge time: {exc}",
+            rows=(dict(row),),
+        ) from None
+    if rederived != recorded:
+        raise AtlasMergeError(
+            f"{source}: row {row['index']} ({row.get('label', '?')}) "
+            f"records verdict {recorded!r} but its evidence fuses to "
+            f"{rederived!r}; the log was tampered with or written by an "
+            f"incompatible schema"
+        )
+
+
+def merge_shards(
+    shard_paths: Sequence[str | os.PathLike],
+    out_path: str | os.PathLike,
+    strict: bool = True,
+) -> MergeOutcome:
+    """Fuse per-shard atlas logs into the canonical unsharded log.
+
+    Args:
+        shard_paths: The shard JSONL logs, in any order.
+        out_path: Destination for the fused canonical log
+            (overwritten).  Must not be one of the inputs.
+        strict: Raise :class:`~repro.core.errors.AtlasConflict` on any
+            conflicting row (recorded or re-fused); ``False`` lets
+            recorded ``CONFLICT`` rows pass through for rendering.
+
+    Returns:
+        The :class:`MergeOutcome`; the fused rows are in ``out_path``,
+        byte-identical to what an unsharded sweep writes.
+
+    Raises:
+        AtlasMergeError: No input rows, a gap in the global index
+            sequence (an incomplete shard), a structurally unusable
+            row, a verdict its evidence does not reproduce, or
+            ``out_path`` colliding with an input.
+        AtlasConflict: Divergent duplicate rows for one global index
+            (both rows attached via ``rows``), or a conflicting cell
+            in strict mode.
+        AtlasLogCorrupt: A shard log is corrupt mid-file (a torn
+            *final* line is tolerated wear; the row it would have held
+            then surfaces as a gap).
+    """
+    out = Path(out_path)
+    resolved_out = out.resolve()
+    merged: dict[int, dict] = {}
+    origin: dict[int, str] = {}
+    outcome = MergeOutcome(out_path=out, shards=len(shard_paths))
+    for path in shard_paths:
+        source = str(path)
+        if Path(path).resolve() == resolved_out:
+            raise AtlasMergeError(
+                f"merge output {out} collides with input {source}"
+            )
+        for row in AtlasLog(path).rows():
+            index = row.get("index")
+            if not isinstance(index, int) or index < 0:
+                raise AtlasMergeError(
+                    f"{source}: row with unusable global index "
+                    f"{index!r}; shard logs must come from "
+                    f"run_atlas(..., shard=...)"
+                )
+            if index in merged:
+                outcome.overlaps += 1
+                kept = merged[index]
+                if canonical_json(kept) != canonical_json(row):
+                    raise AtlasConflict(
+                        f"divergent duplicate rows for global index "
+                        f"{index} ({row.get('label', '?')}): "
+                        f"{origin[index]} and {source} disagree; the "
+                        f"shards were swept from different lattices, "
+                        f"seeds, or code",
+                        rows=(dict(kept), dict(row)),
+                    )
+                # Identical bytes: re-run the cell-level fusion anyway
+                # -- overlap is the one place two machines vouch for
+                # the same cell, so it gets the full cross-check.
+                _cross_check(row, source, strict)
+            else:
+                _cross_check(row, source, strict)
+                merged[index] = row
+                origin[index] = source
+    if not merged:
+        raise AtlasMergeError(
+            f"nothing to merge: no complete rows in {len(shard_paths)} "
+            f"shard log(s)"
+        )
+    missing = [i for i in range(len(merged)) if i not in merged]
+    if missing or max(merged) != len(merged) - 1:
+        gaps = missing or sorted(set(range(max(merged) + 1)) - set(merged))
+        preview = ", ".join(str(i) for i in gaps[:8])
+        raise AtlasMergeError(
+            f"shard logs do not cover the lattice: missing global "
+            f"indices [{preview}{', ...' if len(gaps) > 8 else ''}] "
+            f"({len(gaps)} gap(s) over 0..{max(merged)}); resume the "
+            f"incomplete shard(s) to completion before merging"
+        )
+    fused = AtlasLog(out)
+    fused.reset()
+    fused.append_many([merged[i] for i in range(len(merged))])
+    outcome.rows = len(merged)
+    for row in merged.values():
+        outcome.verdicts[row["verdict"]] += 1
+    return outcome

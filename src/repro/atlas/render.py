@@ -19,8 +19,11 @@ Outputs:
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from collections import Counter
+from pathlib import Path
 from typing import Iterable, Mapping
 
 from repro.analysis.tables import condition_strings
@@ -30,6 +33,7 @@ from repro.atlas.evidence import (
     PROVED_SOLVABLE,
     WITNESSED_UNSOLVABLE,
 )
+from repro.core.errors import AtlasLogCorrupt
 
 #: One glyph per verdict, used by the boundary maps.
 GLYPHS = {
@@ -100,6 +104,66 @@ class AtlasAggregates:
         """No conflicts and every cell carries non-symbolic evidence."""
         return not self.conflicts and not self.symbolic_only
 
+    def to_dict(self) -> dict:
+        """Serialise the fold state (the render cursor's payload).
+
+        Returns:
+            A JSON-compatible dict :meth:`from_dict` round-trips
+            exactly, so an incremental re-render resumes the fold from
+            persisted state instead of re-reading old rows.
+        """
+        return {
+            "cells": self.cells,
+            "verdicts": dict(self.verdicts),
+            "families": [
+                [synchrony, numerate, dict(tally)]
+                for (synchrony, numerate), tally in sorted(
+                    self.families.items()
+                )
+            ],
+            "maps": [
+                [n, t, {
+                    label: {str(ell): glyph
+                            for ell, glyph in sorted(per_ell.items())}
+                    for label, per_ell in sorted(per_model.items())
+                }]
+                for (n, t), per_model in sorted(self.maps.items())
+            ],
+            "evidence_kinds": dict(self.evidence_kinds),
+            "symbolic_only": list(self.symbolic_only),
+            "conflicts": list(self.conflicts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AtlasAggregates":
+        """Rebuild fold state from :meth:`to_dict` output.
+
+        Args:
+            data: The serialised fold state.
+
+        Returns:
+            The reconstructed aggregates, ready for further
+            :meth:`fold` calls.
+        """
+        state = cls()
+        state.cells = data["cells"]
+        state.verdicts = Counter(data["verdicts"])
+        state.families = {
+            (synchrony, bool(numerate)): Counter(tally)
+            for synchrony, numerate, tally in data["families"]
+        }
+        state.maps = {
+            (n, t): {
+                label: {int(ell): glyph for ell, glyph in per_ell.items()}
+                for label, per_ell in per_model.items()
+            }
+            for n, t, per_model in data["maps"]
+        }
+        state.evidence_kinds = Counter(data["evidence_kinds"])
+        state.symbolic_only = list(data["symbolic_only"])
+        state.conflicts = list(data["conflicts"])
+        return state
+
 
 def aggregate(rows: Iterable[Mapping]) -> AtlasAggregates:
     """Fold a row stream into the render aggregates.
@@ -114,6 +178,154 @@ def aggregate(rows: Iterable[Mapping]) -> AtlasAggregates:
     for row in rows:
         state.fold(row)
     return state
+
+
+#: Render-cursor sidecar schema tag; bump when the cursor shape (or the
+#: aggregate payload it embeds) changes so stale cursors refold.
+CURSOR_SCHEMA = "atlas-render-cursor/1"
+
+
+def _parse_line(raw: bytes) -> dict | None:
+    """Parse one raw log line; ``None`` for torn/corrupt lines."""
+    if not raw.endswith(b"\n"):
+        return None
+    try:
+        row = json.loads(raw)
+    except ValueError:
+        return None
+    return row if isinstance(row, dict) else None
+
+
+def _fold_from(path: Path, agg: AtlasAggregates,
+               start_bytes: int) -> tuple[int, int]:
+    """Fold complete rows from a byte offset onward.
+
+    Args:
+        path: The JSONL log.
+        agg: Fold state to accumulate into.
+        start_bytes: Offset of the first unfolded row.
+
+    Returns:
+        ``(rows_folded, end_bytes)`` where ``end_bytes`` is the offset
+        just past the last complete row (the next cursor position).
+
+    Raises:
+        AtlasLogCorrupt: A bad line with well-formed rows after it
+            (same contract as :meth:`AtlasLog.rows
+            <repro.atlas.stream.AtlasLog.rows>`).
+    """
+    folded = 0
+    offset = start_bytes
+    torn_at = None
+    with path.open("rb") as fh:
+        fh.seek(start_bytes)
+        for raw in fh:
+            row = _parse_line(raw)
+            if torn_at is not None:
+                if row is not None:
+                    raise AtlasLogCorrupt(
+                        f"{path}: corrupt line at byte {torn_at} is "
+                        f"followed by a well-formed row; a torn append "
+                        f"can only damage the final line, so this file "
+                        f"was corrupted mid-stream"
+                    )
+                continue
+            if row is None:
+                torn_at = offset
+                continue
+            agg.fold(row)
+            folded += 1
+            offset += len(raw)
+    return folded, offset
+
+
+def _prefix_sha256(path: Path, length: int) -> str:
+    """Content hash of the log's first ``length`` bytes."""
+    digest = hashlib.sha256()
+    remaining = length
+    with path.open("rb") as fh:
+        while remaining > 0:
+            chunk = fh.read(min(1 << 20, remaining))
+            if not chunk:
+                break
+            digest.update(chunk)
+            remaining -= len(chunk)
+    return digest.hexdigest()
+
+
+def aggregate_incremental(
+    log_path: str | os.PathLike,
+    cursor_path: str | os.PathLike,
+) -> tuple[AtlasAggregates, int, bool]:
+    """Fold a log into aggregates, reusing a persisted render cursor.
+
+    The cursor sidecar records how many bytes and rows a previous
+    render folded, the SHA-256 of that byte prefix, and the serialised
+    :class:`AtlasAggregates`.  When the log still starts with the same
+    bytes, only rows appended since are folded -- O(new rows) -- and
+    the cursor is advanced; any mismatch (rewritten log, truncated
+    resume, schema bump) falls back to a full refold.  The cursor is
+    rewritten after every call, so renders chain.
+
+    Args:
+        log_path: The JSONL atlas log.
+        cursor_path: The cursor sidecar (created if missing).
+
+    Returns:
+        ``(aggregates, new_rows, incremental)`` -- the full fold state,
+        how many rows this call folded, and whether the cursor was
+        reused (``False`` means full refold).
+
+    Raises:
+        AtlasLogCorrupt: Mid-file corruption in the log.
+    """
+    log = Path(log_path)
+    cursor_file = Path(cursor_path)
+    cursor = None
+    try:
+        data = json.loads(cursor_file.read_text())
+        if (
+            isinstance(data, dict)
+            and data.get("schema") == CURSOR_SCHEMA
+            and isinstance(data.get("bytes"), int)
+            and data["bytes"] >= 0
+        ):
+            cursor = data
+    except (OSError, ValueError):
+        cursor = None
+
+    incremental = False
+    agg = AtlasAggregates()
+    start_bytes = 0
+    size = log.stat().st_size if log.exists() else 0
+    if (
+        cursor is not None
+        and cursor["bytes"] <= size
+        and _prefix_sha256(log, cursor["bytes"]) == cursor["prefix_sha256"]
+    ):
+        try:
+            agg = AtlasAggregates.from_dict(cursor["aggregates"])
+            start_bytes = cursor["bytes"]
+            incremental = True
+        except (KeyError, TypeError, ValueError):
+            agg = AtlasAggregates()
+            start_bytes = 0
+            incremental = False
+
+    if log.exists():
+        folded, end_bytes = _fold_from(log, agg, start_bytes)
+    else:
+        folded, end_bytes = 0, 0
+    cursor_file.parent.mkdir(parents=True, exist_ok=True)
+    cursor_file.write_text(json.dumps({
+        "schema": CURSOR_SCHEMA,
+        "bytes": end_bytes,
+        "rows": agg.cells,
+        "prefix_sha256": _prefix_sha256(log, end_bytes) if log.exists()
+        else hashlib.sha256().hexdigest(),
+        "aggregates": agg.to_dict(),
+    }, sort_keys=True))
+    return agg, folded, incremental
 
 
 def _family_cell(agg: AtlasAggregates, synchrony: str, numerate: bool) -> str:

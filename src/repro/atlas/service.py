@@ -1,0 +1,337 @@
+"""Stdlib-only query service over a fused atlas log.
+
+``python -m repro atlas serve`` loads the canonical ``atlas.jsonl``
+once into an in-memory :class:`AtlasIndex` and serves precomputed
+per-cell verdicts the way an open-data snapshot API would: every
+response body is canonical JSON (:func:`repro.core.canonical.
+canonical_json`, so bytes are stable across processes and hash seeds),
+cached after first render, and stamped with an ETag derived from the
+log's SHA-256 content hash -- the dataset version.  A client replaying
+``If-None-Match`` gets ``304 Not Modified`` without a body.
+
+Routes:
+
+* ``/health`` -- liveness plus the dataset fingerprint;
+* ``/cells?n=&t=&ell=&model=`` -- row summaries (no evidence payload),
+  optionally filtered; ``model`` takes a ``synchrony-numeracy-
+  restriction`` slug such as ``sync-innum-unres``;
+* ``/cell/<unit_id>`` -- one full row: verdict, complete evidence
+  provenance, demonstration kind;
+* ``/boundary/<n>/<t>`` -- the boundary map at one lattice point:
+  per-model ``ell -> verdict`` (plus the render glyph).
+
+Unknown routes and unit ids are ``404``; malformed filters are
+``400``.  Everything is the Python standard library --
+:mod:`http.server` with the threading mixin -- so the service runs
+anywhere the repo does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Mapping
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.atlas.render import GLYPHS
+from repro.atlas.stream import AtlasLog
+from repro.core.canonical import canonical_json
+from repro.core.errors import ConfigurationError
+
+#: Query parameters ``/cells`` accepts.
+CELL_FILTERS = ("n", "t", "ell", "model")
+
+
+class QueryError(ValueError):
+    """A malformed request (HTTP 400): bad filter value or name."""
+
+
+def model_slug(cell: Mapping) -> str:
+    """The compact model identifier used by ``/cells?model=``.
+
+    Args:
+        cell: A row's ``cell`` block.
+
+    Returns:
+        ``"<synchrony>-<num|innum>-<res|unres>"``, e.g.
+        ``"psync-num-res"``.
+    """
+    num = "num" if cell["numerate"] else "innum"
+    res = "res" if cell["restricted"] else "unres"
+    return f"{cell['synchrony']}-{num}-{res}"
+
+
+def _summary(row: Mapping) -> dict:
+    """A row without its evidence payload (the ``/cells`` shape)."""
+    summary = {k: v for k, v in row.items() if k != "evidence"}
+    summary["model"] = model_slug(row["cell"])
+    return summary
+
+
+class AtlasIndex:
+    """In-memory index over one fused atlas log.
+
+    Attributes
+    ----------
+    log_path:
+        The log the index was loaded from.
+    etag:
+        The dataset version: SHA-256 of the log file's bytes, used as
+        the HTTP ETag for every response.
+    rows:
+        The parsed rows in global lattice order.
+    """
+
+    def __init__(self, log_path: Path, etag: str, rows: list[dict]):
+        self.log_path = log_path
+        self.etag = etag
+        self.rows = rows
+        self._by_unit = {row["unit_id"]: row for row in rows}
+        self._by_nt: dict[tuple[int, int], list[dict]] = {}
+        for row in rows:
+            cell = row["cell"]
+            self._by_nt.setdefault((cell["n"], cell["t"]), []).append(row)
+
+    @classmethod
+    def load(cls, log_path: str | os.PathLike) -> "AtlasIndex":
+        """Load a fused log into an index.
+
+        Args:
+            log_path: The canonical ``atlas.jsonl``.
+
+        Returns:
+            The populated index.
+
+        Raises:
+            ConfigurationError: Missing or empty log.
+            AtlasLogCorrupt: Mid-file corruption.
+        """
+        path = Path(log_path)
+        if not path.exists():
+            raise ConfigurationError(f"atlas log {path} does not exist")
+        etag = hashlib.sha256(path.read_bytes()).hexdigest()
+        rows = list(AtlasLog(path).rows())
+        if not rows:
+            raise ConfigurationError(
+                f"atlas log {path} holds no complete rows; nothing to serve"
+            )
+        return cls(path, etag, rows)
+
+    # -- query bodies --------------------------------------------------
+    def health(self) -> dict:
+        """The ``/health`` payload."""
+        return {
+            "status": "ok",
+            "rows": len(self.rows),
+            "log": self.log_path.name,
+            "etag": self.etag,
+        }
+
+    def cells(self, query: str) -> dict:
+        """The ``/cells`` payload for a raw query string.
+
+        Args:
+            query: The request's query string.
+
+        Returns:
+            ``{"count", "filters", "cells"}`` with row summaries.
+
+        Raises:
+            QueryError: Unknown filter name, repeated filter, or a
+                non-integer ``n``/``t``/``ell``.
+        """
+        filters: dict[str, object] = {}
+        for name, value in parse_qsl(query, keep_blank_values=True):
+            if name not in CELL_FILTERS:
+                raise QueryError(
+                    f"unknown filter {name!r}; expected one of "
+                    f"{', '.join(CELL_FILTERS)}"
+                )
+            if name in filters:
+                raise QueryError(f"filter {name!r} given more than once")
+            if name == "model":
+                filters[name] = value
+            else:
+                try:
+                    filters[name] = int(value)
+                except ValueError:
+                    raise QueryError(
+                        f"filter {name!r} must be an integer, "
+                        f"got {value!r}"
+                    ) from None
+        selected = []
+        for row in self.rows:
+            cell = row["cell"]
+            if any(
+                cell[key] != filters[key]
+                for key in ("n", "t", "ell") if key in filters
+            ):
+                continue
+            if "model" in filters and model_slug(cell) != filters["model"]:
+                continue
+            selected.append(_summary(row))
+        return {
+            "count": len(selected),
+            "filters": filters,
+            "cells": selected,
+        }
+
+    def cell(self, unit_id: str) -> dict | None:
+        """The full row for one unit id, or ``None`` when unknown."""
+        row = self._by_unit.get(unit_id)
+        return dict(row) if row is not None else None
+
+    def boundary(self, n: int, t: int) -> dict | None:
+        """The ``/boundary/<n>/<t>`` payload, or ``None`` when empty."""
+        rows = self._by_nt.get((n, t))
+        if not rows:
+            return None
+        models: dict[str, dict[str, dict]] = {}
+        for row in rows:
+            cell = row["cell"]
+            models.setdefault(model_slug(cell), {})[str(cell["ell"])] = {
+                "verdict": row["verdict"],
+                "glyph": GLYPHS.get(row["verdict"], "?"),
+                "unit_id": row["unit_id"],
+            }
+        return {"n": n, "t": t, "models": models}
+
+
+class AtlasRequestHandler(BaseHTTPRequestHandler):
+    """Routes GET requests over the server's :class:`AtlasIndex`."""
+
+    server_version = "repro-atlas"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing ------------------------------------------------------
+    def _send(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("ETag", f'"{self.server.index.etag}"')
+        self.send_header("Cache-Control", "max-age=0, must-revalidate")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_not_modified(self) -> None:
+        self.send_response(304)
+        self.send_header("ETag", f'"{self.server.index.etag}"')
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, canonical_json(
+            {"error": message, "status": status}
+        ).encode() + b"\n")
+
+    # -- routing -------------------------------------------------------
+    def _resolve(self, path: str, query: str) -> dict:
+        """Build the payload for one route.
+
+        Raises:
+            QueryError: 400-class problems.
+            LookupError: 404-class problems.
+        """
+        index = self.server.index
+        parts = [p for p in path.split("/") if p]
+        if path == "/health":
+            return index.health()
+        if path == "/cells":
+            return index.cells(query)
+        if len(parts) == 2 and parts[0] == "cell":
+            row = index.cell(parts[1])
+            if row is None:
+                raise LookupError(f"no cell with unit id {parts[1]!r}")
+            return row
+        if len(parts) == 3 and parts[0] == "boundary":
+            try:
+                n, t = int(parts[1]), int(parts[2])
+            except ValueError:
+                raise QueryError(
+                    f"boundary coordinates must be integers, got "
+                    f"/{parts[1]}/{parts[2]}"
+                ) from None
+            payload = index.boundary(n, t)
+            if payload is None:
+                raise LookupError(f"no atlas cells at n={n}, t={t}")
+            return payload
+        raise LookupError(f"unknown route {path!r}")
+
+    def do_GET(self) -> None:  # noqa: N802
+        split = urlsplit(self.path)
+        path, query = split.path.rstrip("/") or "/", split.query
+        cache_key = f"{path}?{query}"
+        body = self.server.response_cache.get(cache_key)
+        if body is None:
+            try:
+                payload = self._resolve(path, query)
+            except QueryError as exc:
+                self._error(400, str(exc))
+                return
+            except LookupError as exc:
+                self._error(404, str(exc))
+                return
+            body = canonical_json(payload).encode() + b"\n"
+            self.server.response_cache[cache_key] = body
+        # Conditional requests only short-circuit successful routes --
+        # errors above always carry their JSON body.
+        if f'"{self.server.index.etag}"' in self.client_etags():
+            self._send_not_modified()
+            return
+        self._send(200, body)
+
+    def client_etags(self) -> list[str]:
+        """The request's ``If-None-Match`` values (quoted, stripped)."""
+        raw = self.headers.get("If-None-Match", "")
+        return [tag.strip() for tag in raw.split(",") if tag.strip()]
+
+
+class AtlasServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`AtlasIndex`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], index: AtlasIndex,
+                 verbose: bool = False):
+        super().__init__(address, AtlasRequestHandler)
+        self.index = index
+        self.verbose = verbose
+        #: path?query -> rendered canonical-JSON body.
+        self.response_cache: dict[str, bytes] = {}
+
+
+def serve_atlas(
+    log_path: str | os.PathLike,
+    host: str = "127.0.0.1",
+    port: int = 8008,
+    verbose: bool = False,
+) -> AtlasServer:
+    """Load a fused log and bind the query service.
+
+    The server is returned unstarted so callers (and tests, which bind
+    ``port=0`` for an ephemeral port) control its lifetime; call
+    ``serve_forever()`` to run it.
+
+    Args:
+        log_path: The canonical ``atlas.jsonl``.
+        host: Bind address.
+        port: Bind port (``0`` picks an ephemeral one).
+        verbose: Log one line per request to stderr.
+
+    Returns:
+        The bound, unstarted server; ``server_address`` carries the
+        resolved port.
+
+    Raises:
+        ConfigurationError: Missing or empty log.
+        AtlasLogCorrupt: Mid-file corruption.
+        OSError: The address cannot be bound.
+    """
+    index = AtlasIndex.load(log_path)
+    return AtlasServer((host, port), index, verbose=verbose)

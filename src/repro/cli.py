@@ -23,7 +23,10 @@ Subcommands:
   cell, the closed-form Table 1 predicate with campaign verdicts and
   explorer certificates into a provenance-annotated verdict, streamed
   to a resumable JSONL log and rendered as the machine-derived Table 1
-  plus per-``(n, t)`` boundary maps.
+  plus per-``(n, t)`` boundary maps; ``atlas merge`` fuses per-shard
+  logs into the canonical ``atlas.jsonl``, ``atlas render`` re-renders
+  incrementally via a persisted cursor, and ``atlas serve`` exposes a
+  fused log as a stdlib JSON query API.
 
 ``run`` executes on the unified kernel and accepts a timing model:
 ``--timing rounds`` (lock-step, the default), ``--timing eventual``
@@ -46,6 +49,11 @@ Examples::
     python -m repro campaign --delay --workers 4
     python -m repro atlas --quick --workers 4
     python -m repro atlas --max-n 8 --resume --markdown atlas.md
+    python -m repro atlas --quick --shard 0/3 --workers 4
+    python -m repro atlas merge atlas-0-of-3.jsonl atlas-1-of-3.jsonl \\
+        atlas-2-of-3.jsonl --out atlas.jsonl
+    python -m repro atlas render --log atlas.jsonl --markdown atlas.md
+    python -m repro atlas serve --log atlas.jsonl --port 8008
 """
 
 from __future__ import annotations
@@ -73,7 +81,11 @@ from repro.core.canonical import canonical_json
 from repro.core.params import SystemParams, Synchrony
 from repro.core.problem import BINARY
 from repro.core.errors import ConfigurationError
-from repro.experiments.campaign import CampaignCache, run_campaign
+from repro.experiments.campaign import (
+    CampaignCache,
+    parse_shard,
+    run_campaign,
+)
 from repro.experiments.harness import algorithm_for
 from repro.experiments.report import cell_grid_report, failures_report
 from repro.homonyms.transform import transform_factory, transform_horizon
@@ -441,29 +453,6 @@ def cmd_explore(args) -> int:
     return 0 if consistent else 1
 
 
-def _parse_shard(text: str | None) -> tuple[int, int] | None:
-    """Parse an ``INDEX/COUNT`` shard selector.
-
-    Args:
-        text: The raw flag value, or ``None``.
-
-    Returns:
-        The ``(index, count)`` pair, or ``None`` when unset.
-
-    Raises:
-        ConfigurationError: On malformed selectors.
-    """
-    if text is None:
-        return None
-    try:
-        index_text, count_text = text.split("/", 1)
-        return int(index_text), int(count_text)
-    except ValueError:
-        raise ConfigurationError(
-            f"--shard wants INDEX/COUNT (e.g. 0/4), got {text!r}"
-        ) from None
-
-
 def cmd_campaign(args) -> int:
     """``campaign``: validate the Table 1 battery via the campaign engine.
 
@@ -482,7 +471,7 @@ def cmd_campaign(args) -> int:
         0 when every evaluated cell is consistent with the paper,
         1 otherwise.
     """
-    shard = _parse_shard(args.shard)
+    shard = parse_shard(args.shard) if args.shard is not None else None
     cache_dir = args.cache_dir
     if args.resume and cache_dir is None:
         cache_dir = ".campaign-cache"
@@ -528,45 +517,46 @@ def cmd_campaign(args) -> int:
     return 0 if report.all_consistent else 1
 
 
-def cmd_atlas(args) -> int:
-    """``atlas``: evidence-fused solvability sweep over the lattice.
+def _atlas_lattice(args):
+    """Build the sweep lattice from the atlas CLI flags."""
+    import dataclasses
 
-    Walks the requested ``(n, t, ell)`` x model lattice through
-    :func:`repro.atlas.driver.run_atlas` -- campaign-pooled, unit-cached
-    and resumable, streaming one provenance row per cell into the JSONL
-    log -- then folds the stream into the machine-derived Table 1 and
-    boundary maps, writing the Markdown/JSON reports when requested.
+    from repro.atlas import default_lattice, quick_lattice
 
-    Args:
-        args: Parsed namespace (lattice bounds, ``workers``, ``seed``,
-            ``full``, ``resume``, ``cache_dir``, ``log``, ``markdown``,
-            ``json``, ``inject_conflict``, ``verbose``).
+    if args.quick:
+        lattice = quick_lattice()
+        if args.campaign_max_n is not None:
+            lattice = dataclasses.replace(
+                lattice, campaign_max_n=args.campaign_max_n
+            )
+        return lattice
+    return default_lattice(
+        n_max=args.max_n,
+        t_values=tuple(args.t),
+        explore_max_n=args.explore_max_n,
+        campaign_max_n=args.campaign_max_n,
+    )
 
-    Returns:
-        0 when the sweep fused cleanly (zero conflicts and every cell
-        carrying non-symbolic evidence), 1 on a conflict or coverage
-        gap.
-    """
+
+def _atlas_sweep(args) -> int:
+    """The ``atlas sweep`` action (also the default with no action)."""
     from repro.atlas import (
         AtlasLog,
         aggregate,
-        default_lattice,
         known_violation_fixture,
-        quick_lattice,
         render_json,
         render_markdown,
         run_atlas,
     )
     from repro.core.errors import AtlasConflict
 
-    if args.quick:
-        lattice = quick_lattice()
-    else:
-        lattice = default_lattice(
-            n_max=args.max_n,
-            t_values=tuple(args.t),
-            explore_max_n=args.explore_max_n,
-        )
+    lattice = _atlas_lattice(args)
+    shard = parse_shard(args.shard) if args.shard is not None else None
+    log_path = args.log
+    if shard is not None and log_path == "atlas.jsonl":
+        # The canonical per-shard log name; merge fuses them back into
+        # the unsharded atlas.jsonl.
+        log_path = f"atlas-{shard[0]}-of-{shard[1]}.jsonl"
     cache_dir = args.cache_dir
     if args.resume and cache_dir is None:
         cache_dir = ".atlas-cache"
@@ -588,11 +578,12 @@ def cmd_atlas(args) -> int:
         print(f"injecting known-violation fixture into solvable cell "
               f"{target!r}")
 
-    print(f"atlas over {lattice.describe()}")
+    stripe = f" (shard {shard[0]}/{shard[1]})" if shard else ""
+    print(f"atlas over {lattice.describe()}{stripe}")
     try:
         outcome = run_atlas(
             lattice,
-            log_path=args.log,
+            log_path=log_path,
             seed=args.seed,
             quick=not args.full,
             workers=args.workers,
@@ -600,14 +591,15 @@ def cmd_atlas(args) -> int:
             resume=args.resume,
             inject=inject,
             progress=print if args.verbose else None,
+            shard=shard,
         )
     except AtlasConflict as exc:
         print(f"ATLAS CONFLICT (hard error): {exc}", file=sys.stderr)
-        print(f"partial rows remain in {args.log}; the conflicting cell "
+        print(f"partial rows remain in {log_path}; the conflicting cell "
               f"was not recorded", file=sys.stderr)
         return 1
 
-    agg = aggregate(AtlasLog(args.log).rows())
+    agg = aggregate(AtlasLog(log_path).rows())
     print(outcome.summary())
     for (synchrony, numerate), tally in sorted(agg.families.items()):
         name = (f"{synchrony:<5} "
@@ -620,17 +612,123 @@ def cmd_atlas(args) -> int:
         else f"{len(agg.symbolic_only)} cells are symbolic-only"
     )
     print(f"{coverage}; {len(agg.conflicts)} CONFLICT cells")
-    print(f"per-cell provenance streamed to {args.log}")
+    print(f"per-cell provenance streamed to {log_path}")
 
     if args.markdown:
         with open(args.markdown, "w") as fh:
-            fh.write(render_markdown(agg, lattice.describe(), args.log) + "\n")
+            fh.write(render_markdown(agg, lattice.describe(), log_path)
+                     + "\n")
         print(f"Markdown atlas written to {args.markdown}")
     if args.json:
         with open(args.json, "w") as fh:
-            fh.write(render_json(agg, lattice.describe(), args.log) + "\n")
+            fh.write(render_json(agg, lattice.describe(), log_path) + "\n")
         print(f"JSON atlas written to {args.json}")
     return 0 if agg.ok else 1
+
+
+def _atlas_merge(args) -> int:
+    """The ``atlas merge`` action: fuse shard logs canonically."""
+    from repro.atlas import merge_shards
+    from repro.core.errors import AtlasConflict, AtlasMergeError
+
+    if not args.inputs:
+        raise ConfigurationError(
+            "atlas merge needs at least one shard log, e.g. "
+            "`python -m repro atlas merge atlas-*-of-3.jsonl --out "
+            "atlas.jsonl`"
+        )
+    try:
+        outcome = merge_shards(args.inputs, args.out)
+    except AtlasConflict as exc:
+        print(f"ATLAS CONFLICT at merge time (hard error): {exc}",
+              file=sys.stderr)
+        for row in exc.rows:
+            print(f"  provenance row: {canonical_json(row)}",
+                  file=sys.stderr)
+        return 1
+    except AtlasMergeError as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 1
+    print(outcome.summary())
+    return 0 if outcome.ok else 1
+
+
+def _atlas_render(args) -> int:
+    """The ``atlas render`` action: cursor-backed incremental re-render."""
+    from repro.atlas import (
+        aggregate_incremental,
+        render_json,
+        render_markdown,
+    )
+
+    cursor = args.cursor or f"{args.log}.cursor.json"
+    agg, new_rows, incremental = aggregate_incremental(args.log, cursor)
+    mode = "incremental" if incremental else "full refold"
+    print(f"rendered {agg.cells} cells from {args.log} "
+          f"({mode}: {new_rows} rows folded this call; cursor {cursor})")
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(render_markdown(agg, f"rows of {args.log}", args.log)
+                     + "\n")
+        print(f"Markdown atlas written to {args.markdown}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(render_json(agg, f"rows of {args.log}", args.log)
+                     + "\n")
+        print(f"JSON atlas written to {args.json}")
+    return 0 if agg.ok else 1
+
+
+def _atlas_serve(args) -> int:
+    """The ``atlas serve`` action: bind the stdlib query service."""
+    from repro.atlas import serve_atlas
+
+    server = serve_atlas(
+        args.log, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(f"serving {args.log} ({len(server.index.rows)} cells, "
+          f"etag {server.index.etag[:12]}...) on http://{host}:{port}")
+    print("routes: /health /cells /cell/<unit_id> /boundary/<n>/<t>")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def cmd_atlas(args) -> int:
+    """``atlas``: the sharded, mergeable, queryable solvability atlas.
+
+    Four actions share the subcommand:
+
+    * ``sweep`` (the default) walks the ``(n, t, ell)`` x model lattice
+      through :func:`repro.atlas.driver.run_atlas` -- campaign-pooled,
+      unit-cached, resumable, optionally one ``--shard`` stripe --
+      streaming one provenance row per cell into the JSONL log and
+      rendering the machine-derived Table 1;
+    * ``merge`` fuses per-shard logs into the canonical ``atlas.jsonl``
+      (byte-identical to an unsharded sweep, conflicts are hard
+      errors);
+    * ``render`` re-renders a log incrementally via a persisted cursor
+      (O(new rows));
+    * ``serve`` binds the stdlib JSON query service over a fused log.
+
+    Args:
+        args: Parsed namespace (``action`` plus the flags of the
+            selected action).
+
+    Returns:
+        0 on success, 1 on conflicts/gaps, 2 on configuration errors.
+    """
+    return {
+        "sweep": _atlas_sweep,
+        "merge": _atlas_merge,
+        "render": _atlas_render,
+        "serve": _atlas_serve,
+    }[args.action](args)
 
 
 def cmd_soak(args) -> int:
@@ -865,8 +963,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "atlas",
         help="evidence-fused solvability sweep over the (n, t, ell) "
-             "x model lattice",
+             "x model lattice -- shardable, mergeable, queryable",
     )
+    p.add_argument("action", nargs="?", default="sweep",
+                   choices=("sweep", "merge", "render", "serve"),
+                   help="sweep the lattice (default), merge shard logs "
+                        "into the canonical atlas.jsonl, re-render a "
+                        "log incrementally, or serve the fused log as "
+                        "a JSON query API")
+    p.add_argument("inputs", nargs="*", metavar="SHARD_LOG",
+                   help="shard logs to fuse (merge action only)")
     p.add_argument("--quick", action="store_true",
                    help="sweep the small CI lattice (n=3..5, t=1)")
     p.add_argument("--max-n", type=int, default=6,
@@ -878,6 +984,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="largest n getting explorer evidence (ignored "
                         "with --quick; restricted+numerate cells are "
                         "always outside explorer scope)")
+    p.add_argument("--campaign-max-n", type=int, default=None,
+                   help="campaign cost envelope: cells with larger n "
+                        "skip the empirical workloads and carry an "
+                        "explicit budget-skipped evidence note instead "
+                        "(default: no envelope)")
+    p.add_argument("--shard", default=None, metavar="INDEX/COUNT",
+                   help="sweep only this stripe of the lattice; the "
+                        "default log becomes atlas-INDEX-of-COUNT.jsonl")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (<=1 runs inline)")
     p.add_argument("--seed", type=int, default=0,
@@ -893,6 +1007,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "when --resume is set)")
     p.add_argument("--log", default="atlas.jsonl", metavar="PATH",
                    help="streaming JSONL result log (one row per cell)")
+    p.add_argument("--out", default="atlas.jsonl", metavar="PATH",
+                   help="merge action: destination for the fused "
+                        "canonical log")
+    p.add_argument("--cursor", default=None, metavar="PATH",
+                   help="render action: cursor sidecar (default "
+                        "LOG.cursor.json)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="serve action: bind address")
+    p.add_argument("--port", type=int, default=8008,
+                   help="serve action: bind port (0 picks an ephemeral "
+                        "one)")
     p.add_argument("--markdown", default=None, metavar="PATH",
                    help="write the Markdown atlas here")
     p.add_argument("--json", default=None, metavar="PATH",
@@ -901,7 +1026,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed a known-violation witness into a solvable "
                         "cell to demonstrate that conflicts fail the run")
     p.add_argument("--verbose", action="store_true",
-                   help="print one line per fused cell")
+                   help="print one line per fused cell (sweep) or per "
+                        "request (serve)")
     p.set_defaults(func=cmd_atlas)
 
     p = sub.add_parser(

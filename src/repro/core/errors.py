@@ -87,4 +87,27 @@ class AtlasConflict(ReproError):
     declares solvable, or the symmetric disagreement.  This is never a
     tolerable data point -- it means either the implementation or the
     reproduction of the paper's characterisation is wrong.
+
+    When the conflict is detected while merging shard logs, the
+    exception's ``rows`` attribute carries the full provenance rows
+    involved (see :func:`repro.atlas.merge.merge_shards`).
+    """
+
+    def __init__(self, message: str, rows: tuple = ()):  # noqa: D107
+        super().__init__(message)
+        #: Provenance rows attached at merge time (empty elsewhere).
+        self.rows = rows
+
+
+class AtlasMergeError(ReproError):
+    """A set of shard logs cannot be fused into one canonical atlas.
+
+    Raised by :func:`repro.atlas.merge.merge_shards` when the shard
+    rows do not partition the lattice: a missing global index (a shard
+    log is incomplete -- resume that shard to completion first), a row
+    without a usable ``index``, or a recorded verdict that re-fusion of
+    the row's own evidence no longer reproduces (a tampered or
+    schema-skewed log).  Divergent duplicate rows are a conflict, not a
+    merge error -- they raise :class:`AtlasConflict` with both rows
+    attached.
     """

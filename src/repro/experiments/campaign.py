@@ -519,6 +519,41 @@ def shard_units(
     return [u for pos, u in enumerate(units) if pos % count == index]
 
 
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse an ``INDEX/COUNT`` shard selector.
+
+    The CLI-facing twin of :func:`shard_units`: both the campaign and
+    the atlas ``--shard`` flags accept a zero-based stripe selector and
+    validate it here, so a bad selector fails before any work starts.
+
+    Args:
+        text: A selector such as ``"0/3"``.
+
+    Returns:
+        The validated ``(index, count)`` pair,
+        ``0 <= index < count``, ``count >= 1``.
+
+    Raises:
+        ConfigurationError: Malformed text or an out-of-range pair
+            (e.g. ``"0/0"``, ``"3/2"``, ``"x/y"``).
+    """
+    index_part, sep, count_part = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        index, count = int(index_part), int(count_part)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad shard selector {text!r}: expected INDEX/COUNT, "
+            f"e.g. 0/3"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ConfigurationError(
+            f"bad shard {index}/{count}: need 0 <= index < count"
+        )
+    return index, count
+
+
 # ----------------------------------------------------------------------
 # Worker entry point
 # ----------------------------------------------------------------------
@@ -595,11 +630,12 @@ def execute_unit(unit: CampaignUnit | Mapping) -> dict:
         }
     elif unit.kind == "atlas":
         from repro.atlas.evidence import run_atlas_unit
-        from repro.atlas.lattice import WITH_EXPLORER
+        from repro.atlas.lattice import BUDGET_SKIPPED, WITH_EXPLORER
 
         outcome = run_atlas_unit(
             params, seed=unit.seed, quick=unit.quick, problem=problem,
             with_explorer=unit.variant == WITH_EXPLORER,
+            budget_skipped=unit.variant == BUDGET_SKIPPED,
         )
         return {
             "unit_id": unit.unit_id,

@@ -17,6 +17,7 @@ import json
 
 import pytest
 
+from repro.analysis.bounds import governing_condition, solvable
 from repro.atlas import (
     CONFLICT,
     CONSISTENT,
@@ -25,6 +26,8 @@ from repro.atlas import (
     AtlasLog,
     LatticeSpec,
     aggregate,
+    aggregate_incremental,
+    budget_skipped_evidence,
     closed_form_evidence,
     fuse_evidence,
     known_violation_fixture,
@@ -567,3 +570,246 @@ class TestAppendMany:
         log.reset()
         log.append_many([{"unit_id": f"u{i}"} for i in range(50)])
         assert len(synced) == 1
+
+
+class TestClosedFormT2:
+    """Table 1 regressions at ``t = 2``: the n = 3t and 3t + 1 walls."""
+
+    def test_n_equals_3t_is_unsolvable_in_every_model(self):
+        # n = 6 = 3t: the universal PSL requirement fails, so every
+        # model family is unsolvable regardless of ell.
+        for synchrony in (Synchrony.SYNCHRONOUS, PSYNC):
+            for numerate in (False, True):
+                for restricted in (False, True):
+                    params = SystemParams(
+                        n=6, ell=6, t=2, synchrony=synchrony,
+                        numerate=numerate, restricted=restricted,
+                    )
+                    assert not solvable(params)
+                    assert "n > 3t" in governing_condition(params)
+                    item = closed_form_evidence(params)
+                    assert item["claim"] == "unsolvable"
+                    assert item["grade"] == "theorem"
+
+    def test_sync_boundary_at_n_3t_plus_1(self):
+        # n = 7 > 3t: synchronous solvability turns exactly at
+        # ell > 3t = 6.
+        assert solvable(SystemParams(n=7, ell=7, t=2))
+        assert not solvable(SystemParams(n=7, ell=6, t=2))
+
+    def test_psync_boundary_at_n_3t_plus_1(self):
+        # n = 7, t = 2: partially synchronous needs 2*ell > n + 3t
+        # = 13, so ell = 7 squeaks through and ell = 6 does not.
+        assert solvable(SystemParams(n=7, ell=7, t=2, synchrony=PSYNC))
+        assert not solvable(
+            SystemParams(n=7, ell=6, t=2, synchrony=PSYNC)
+        )
+
+    def test_restricted_numerate_boundary_is_ell_over_t(self):
+        # Theorems 14/15 at t = 2: ell > t in both synchrony models.
+        for synchrony in (Synchrony.SYNCHRONOUS, PSYNC):
+            assert solvable(SystemParams(
+                n=7, ell=3, t=2, synchrony=synchrony,
+                numerate=True, restricted=True,
+            ))
+            assert not solvable(SystemParams(
+                n=7, ell=2, t=2, synchrony=synchrony,
+                numerate=True, restricted=True,
+            ))
+
+    def test_t2_lattice_predictions_match_the_predicate(self, tmp_path):
+        # A t = 2 lattice spanning both walls, swept entirely outside
+        # the campaign envelope: every row's closed-form prediction
+        # must reproduce the Table 1 predicate cell by cell.
+        spec = LatticeSpec(
+            n_min=6, n_max=7, t_values=(2,), explore_max_n=0,
+            campaign_max_n=3,
+        )
+        path = tmp_path / "t2.jsonl"
+        outcome = run_atlas(spec, path, quick=True)
+        assert outcome.ok
+        rows = list(AtlasLog(path).rows())
+        assert len(rows) == len(spec.cells()) == (6 + 7) * 8
+        for row, cell in zip(rows, spec.cells()):
+            expected = "solvable" if solvable(cell.params) else "unsolvable"
+            assert row["predicted"] == expected
+
+
+class TestBudgetTiers:
+    """The campaign cost envelope: explicit, provenance-visible skips."""
+
+    def test_cells_beyond_the_envelope_lose_workloads(self):
+        spec = LatticeSpec(
+            n_min=3, n_max=4, t_values=(1,), explore_max_n=4,
+            campaign_max_n=3,
+        )
+        inside = [c for c in spec.cells() if c.params.n == 3]
+        beyond = [c for c in spec.cells() if c.params.n == 4]
+        assert beyond and all(not c.with_campaign for c in beyond)
+        assert all(c.variant == "budget-skipped" for c in beyond)
+        # Outside the campaign envelope the explorer is off too.
+        assert all(not c.with_explorer for c in beyond)
+        assert all(c.with_campaign for c in inside)
+
+    def test_no_envelope_means_every_cell_runs(self):
+        spec = LatticeSpec(n_min=3, n_max=4, t_values=(1,),
+                           explore_max_n=0)
+        assert all(c.with_campaign for c in spec.cells())
+
+    def test_envelope_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            LatticeSpec(n_min=3, n_max=4, campaign_max_n=0)
+
+    def test_describe_names_the_envelope(self):
+        spec = LatticeSpec(n_min=3, n_max=8, campaign_max_n=4)
+        assert "campaign budget n<=4" in spec.describe()
+
+    def test_budget_skipped_evidence_is_inconclusive(self):
+        item = budget_skipped_evidence(SystemParams(n=9, ell=9, t=2))
+        assert item["kind"] == "campaign"
+        assert item["claim"] is None
+        assert item["grade"] == "inconclusive"
+        assert "budget-skipped" in item["detail"]
+        assert "n=9" in item["detail"]
+
+    def test_budget_skipped_unit_runs_no_workloads(self):
+        result = run_atlas_unit(
+            SystemParams(n=9, ell=9, t=2), quick=True,
+            budget_skipped=True,
+        )
+        assert result["records"] == []
+        assert result["algorithm"] == ""
+        assert result["demonstration_kind"] == ""
+        (item,) = result["evidence"]
+        assert "budget-skipped" in item["detail"]
+
+    def test_budget_rows_fuse_consistent_with_explicit_note(
+        self, tmp_path
+    ):
+        spec = LatticeSpec(
+            n_min=3, n_max=4, t_values=(1,), explore_max_n=0,
+            campaign_max_n=3,
+        )
+        path = tmp_path / "budget.jsonl"
+        outcome = run_atlas(spec, path, quick=True)
+        assert outcome.ok
+        skipped = [r for r in AtlasLog(path).rows()
+                   if r["cell"]["n"] == 4]
+        assert skipped
+        for row in skipped:
+            # Never silently absent: the cell is in the atlas, graded
+            # ``consistent``, and says *why* nothing empirical ran.
+            assert row["verdict"] == CONSISTENT
+            assert row["runs"] == 0
+            notes = [e for e in row["evidence"]
+                     if "budget-skipped" in e.get("detail", "")]
+            assert notes, "budget exclusion missing from provenance"
+
+    def test_budget_rows_are_never_symbolic_only(self, tmp_path):
+        spec = LatticeSpec(
+            n_min=3, n_max=4, t_values=(1,), explore_max_n=0,
+            campaign_max_n=3,
+        )
+        path = tmp_path / "budget.jsonl"
+        run_atlas(spec, path, quick=True)
+        agg = aggregate(AtlasLog(path).rows())
+        assert agg.symbolic_only == []
+
+
+class TestIncrementalRender:
+    """Cursor-backed re-rendering: O(new rows), never O(log)."""
+
+    def _log(self, tmp_path):
+        path, _ = TestDriver()._fresh(tmp_path, "atlas.jsonl")
+        return path
+
+    def test_first_fold_is_full_then_zero_incremental(self, tmp_path):
+        path = self._log(tmp_path)
+        cursor = tmp_path / "cursor.json"
+        agg, folded, incremental = aggregate_incremental(path, cursor)
+        assert (folded, incremental) == (agg.cells, False)
+        agg2, folded2, incremental2 = aggregate_incremental(path, cursor)
+        assert (folded2, incremental2) == (0, True)
+        assert agg2.cells == agg.cells
+
+    def test_appended_rows_fold_incrementally(self, tmp_path):
+        path = self._log(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:10]))
+        cursor = tmp_path / "cursor.json"
+        aggregate_incremental(path, cursor)
+        with path.open("ab") as fh:
+            fh.write(b"".join(lines[10:]))
+        agg, folded, incremental = aggregate_incremental(path, cursor)
+        assert incremental
+        assert folded == len(lines) - 10
+        assert agg.cells == len(lines)
+
+    def test_incremental_fold_equals_the_full_aggregate(self, tmp_path):
+        path = self._log(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:7]))
+        cursor = tmp_path / "cursor.json"
+        aggregate_incremental(path, cursor)
+        with path.open("ab") as fh:
+            fh.write(b"".join(lines[7:]))
+        agg, _, _ = aggregate_incremental(path, cursor)
+        full = aggregate(AtlasLog(path).rows())
+        assert agg.to_dict() == full.to_dict()
+
+    def test_rewritten_log_falls_back_to_full_refold(self, tmp_path):
+        path = self._log(tmp_path)
+        cursor = tmp_path / "cursor.json"
+        aggregate_incremental(path, cursor)
+        # Rewrite the log with a different prefix (drop the first row):
+        # the prefix hash no longer matches, so the cursor is unusable.
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[1:]))
+        agg, folded, incremental = aggregate_incremental(path, cursor)
+        assert not incremental
+        assert folded == agg.cells == len(lines) - 1
+
+    def test_garbage_cursor_is_ignored(self, tmp_path):
+        path = self._log(tmp_path)
+        cursor = tmp_path / "cursor.json"
+        cursor.write_text("not json{")
+        agg, folded, incremental = aggregate_incremental(path, cursor)
+        assert not incremental
+        assert folded == agg.cells
+
+    def test_torn_final_line_stays_unfolded(self, tmp_path):
+        path = self._log(tmp_path)
+        cursor = tmp_path / "cursor.json"
+        total, _, _ = aggregate_incremental(path, cursor)
+        with path.open("ab") as fh:
+            fh.write(b'{"unit_id": "torn')
+        agg, folded, incremental = aggregate_incremental(path, cursor)
+        assert incremental
+        assert folded == 0
+        assert agg.cells == total.cells
+
+    def test_aggregates_round_trip_through_the_cursor_dict(
+        self, tmp_path
+    ):
+        path = self._log(tmp_path)
+        full = aggregate(AtlasLog(path).rows())
+        from repro.atlas import AtlasAggregates
+
+        clone = AtlasAggregates.from_dict(full.to_dict())
+        assert clone.to_dict() == full.to_dict()
+        assert clone.maps == full.maps
+        assert clone.families == full.families
+
+    def test_cli_render_is_incremental_on_the_second_call(
+        self, tmp_path, capsys
+    ):
+        path = self._log(tmp_path)
+        args = ["atlas", "render", "--log", str(path),
+                "--markdown", str(tmp_path / "atlas.md")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "full refold" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "incremental: 0 rows folded" in second
+        assert (tmp_path / "atlas.md").exists()

@@ -1,0 +1,237 @@
+"""The atlas query service: canonical bodies, ETags, error paths.
+
+Runs the real :class:`~repro.atlas.service.AtlasServer` on an
+ephemeral port over the committed mini-atlas fixture
+(``tests/data/mini-atlas.jsonl`` -- the 24-cell ``n=3`` lattice) and
+speaks plain :mod:`urllib` at it.  Pinned here:
+
+* every body is canonical JSON, byte-stable across processes, and a
+  repeat request serves the identical cached bytes;
+* the ETag is the SHA-256 of the log file -- the dataset version -- so
+  it survives server restarts, and a matching ``If-None-Match``
+  replays as ``304 Not Modified`` with no body;
+* malformed filters are ``400`` and unknown routes/ids/boundaries are
+  ``404``, both with JSON error bodies (never a 304).
+"""
+
+import hashlib
+import json
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.atlas import AtlasIndex, AtlasLog, serve_atlas
+from repro.atlas.service import QueryError, model_slug
+from repro.core.canonical import canonical_json
+from repro.core.errors import ConfigurationError
+
+FIXTURE = Path(__file__).parent / "data" / "mini-atlas.jsonl"
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = serve_atlas(FIXTURE, port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return list(AtlasLog(FIXTURE).rows())
+
+
+def _get(server, path, headers=None):
+    """One GET against the test server: (status, headers, body)."""
+    host, port = server.server_address[:2]
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}", headers=headers or {}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        with exc:
+            return exc.code, dict(exc.headers), exc.read()
+
+
+def _expected_etag() -> str:
+    return f'"{hashlib.sha256(FIXTURE.read_bytes()).hexdigest()}"'
+
+
+class TestBodies:
+    def test_health_reports_the_dataset_fingerprint(self, server):
+        status, headers, body = _get(server, "/health")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["rows"] == 24
+        assert payload["log"] == "mini-atlas.jsonl"
+        assert f'"{payload["etag"]}"' == _expected_etag()
+
+    def test_bodies_are_canonical_json(self, server):
+        for path in ("/health", "/cells", "/cells?n=3",
+                     "/boundary/3/1"):
+            _, _, body = _get(server, path)
+            assert body == canonical_json(
+                json.loads(body)
+            ).encode() + b"\n"
+
+    def test_cells_unfiltered_lists_every_row(self, server, rows):
+        _, _, body = _get(server, "/cells")
+        payload = json.loads(body)
+        assert payload["count"] == len(rows) == 24
+        assert payload["filters"] == {}
+        assert [c["unit_id"] for c in payload["cells"]] == [
+            r["unit_id"] for r in rows
+        ]
+
+    def test_cell_summaries_drop_evidence_and_add_model(
+        self, server, rows
+    ):
+        _, _, body = _get(server, "/cells?ell=1")
+        for summary in json.loads(body)["cells"]:
+            assert "evidence" not in summary
+            assert summary["model"] == model_slug(summary["cell"])
+
+    def test_cells_filters_compose(self, server, rows):
+        _, _, body = _get(
+            server, "/cells?n=3&t=1&ell=2&model=psync-num-res"
+        )
+        payload = json.loads(body)
+        assert payload["filters"] == {
+            "n": 3, "t": 1, "ell": 2, "model": "psync-num-res",
+        }
+        (cell,) = payload["cells"]
+        assert cell["cell"]["ell"] == 2
+        assert cell["cell"]["synchrony"] == "psync"
+        assert cell["cell"]["numerate"] is True
+        assert cell["cell"]["restricted"] is True
+
+    def test_full_cell_route_round_trips_the_fixture_row(
+        self, server, rows
+    ):
+        row = rows[5]
+        _, _, body = _get(server, f"/cell/{row['unit_id']}")
+        assert json.loads(body) == row
+
+    def test_boundary_maps_every_model_and_ell(self, server, rows):
+        _, _, body = _get(server, "/boundary/3/1")
+        payload = json.loads(body)
+        assert payload["n"] == 3 and payload["t"] == 1
+        assert len(payload["models"]) == 8
+        for per_ell in payload["models"].values():
+            assert set(per_ell) == {"1", "2", "3"}
+            for entry in per_ell.values():
+                assert entry["verdict"] in (
+                    "consistent", "witnessed-unsolvable"
+                )
+                assert entry["glyph"]
+                assert entry["unit_id"]
+
+    def test_repeat_requests_serve_identical_cached_bytes(self, server):
+        first = _get(server, "/cells?n=3")
+        second = _get(server, "/cells?n=3")
+        assert first == second
+
+    def test_trailing_slash_is_normalized(self, server):
+        assert _get(server, "/health/")[0] == 200
+
+
+class TestConditional:
+    def test_etag_is_the_log_content_hash(self, server):
+        _, headers, _ = _get(server, "/health")
+        assert headers["ETag"] == _expected_etag()
+
+    def test_matching_if_none_match_replays_as_304(self, server):
+        status, headers, body = _get(
+            server, "/cells", headers={"If-None-Match": _expected_etag()}
+        )
+        assert status == 304
+        assert body == b""
+        assert headers["ETag"] == _expected_etag()
+
+    def test_stale_etag_gets_a_full_response(self, server):
+        status, _, body = _get(
+            server, "/cells", headers={"If-None-Match": '"stale"'}
+        )
+        assert status == 200
+        assert body
+
+    def test_errors_never_replay_as_304(self, server):
+        status, _, body = _get(
+            server, "/no-such-route",
+            headers={"If-None-Match": _expected_etag()},
+        )
+        assert status == 404
+        assert json.loads(body)["status"] == 404
+
+    def test_etag_survives_a_server_restart(self, server):
+        restarted = serve_atlas(FIXTURE, port=0)
+        try:
+            assert restarted.index.etag == server.index.etag
+        finally:
+            restarted.server_close()
+
+
+class TestErrorPaths:
+    @pytest.mark.parametrize("path", [
+        "/no-such-route",
+        "/cell/not-a-unit-id",
+        "/boundary/9/9",
+        "/cell",
+        "/boundary/3",
+    ])
+    def test_unknown_things_are_404_with_json_bodies(self, server, path):
+        status, _, body = _get(server, path)
+        assert status == 404
+        payload = json.loads(body)
+        assert payload["status"] == 404
+        assert payload["error"]
+
+    @pytest.mark.parametrize("path", [
+        "/cells?bogus=1",
+        "/cells?n=three",
+        "/cells?n=3&n=4",
+        "/boundary/x/y",
+    ])
+    def test_malformed_requests_are_400_with_json_bodies(
+        self, server, path
+    ):
+        status, _, body = _get(server, path)
+        assert status == 400
+        payload = json.loads(body)
+        assert payload["status"] == 400
+        assert payload["error"]
+
+
+class TestIndex:
+    def test_missing_log_is_a_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            AtlasIndex.load(tmp_path / "absent.jsonl")
+
+    def test_empty_log_is_a_configuration_error(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        AtlasLog(path).reset()
+        with pytest.raises(ConfigurationError, match="no complete rows"):
+            AtlasIndex.load(path)
+
+    def test_query_errors_surface_without_a_server(self):
+        index = AtlasIndex.load(FIXTURE)
+        with pytest.raises(QueryError):
+            index.cells("nope=1")
+        with pytest.raises(QueryError):
+            index.cells("ell=two")
+
+    def test_model_slug_covers_all_four_axes(self):
+        assert model_slug({"synchrony": "psync", "numerate": True,
+                           "restricted": True}) == "psync-num-res"
+        assert model_slug({"synchrony": "sync", "numerate": False,
+                           "restricted": False}) == "sync-innum-unres"

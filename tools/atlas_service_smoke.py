@@ -1,0 +1,79 @@
+"""Smoke the atlas query service against a fused log, then exit.
+
+Binds :func:`repro.atlas.serve_atlas` on an ephemeral port, issues one
+request per route family with plain :mod:`urllib`, checks the
+conditional-request contract (a matching ``If-None-Match`` must come
+back ``304``), and exits non-zero on any surprise.  Pure standard
+library; used by ``make atlas-shard-smoke`` and the CI job of the same
+name.
+
+Usage: ``python tools/atlas_service_smoke.py <atlas.jsonl>``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+
+def _get(base: str, path: str, headers: dict | None = None):
+    request = urllib.request.Request(base + path, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        with exc:
+            return exc.code, dict(exc.headers), exc.read()
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    from repro.atlas import serve_atlas
+
+    server = serve_atlas(argv[1], port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    try:
+        status, headers, body = _get(base, "/health")
+        health = json.loads(body)
+        assert status == 200 and health["status"] == "ok", health
+        etag = headers["ETag"]
+
+        row = server.index.rows[0]
+        cell = row["cell"]
+        checks = [
+            ("/cells", 200),
+            (f"/cells?n={cell['n']}&t={cell['t']}", 200),
+            (f"/cell/{row['unit_id']}", 200),
+            (f"/boundary/{cell['n']}/{cell['t']}", 200),
+            ("/cells?bogus=1", 400),
+            ("/cell/absent", 404),
+        ]
+        for path, expected in checks:
+            status, _, body = _get(base, path)
+            assert status == expected, (path, status, expected)
+            json.loads(body)  # every body is JSON, errors included
+        status, _, body = _get(
+            base, "/cells", headers={"If-None-Match": etag}
+        )
+        assert (status, body) == (304, b""), (status, body)
+        print(
+            f"atlas service smoke ok: {health['rows']} cells, "
+            f"{len(checks)} routes, etag {health['etag'][:12]}..., "
+            f"conditional replay 304"
+        )
+        return 0
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -60,8 +60,19 @@ REQUIRED_DOC_SECTIONS = {
         "Kernel coverage",
         "The message fabric",
         "The array fabric",
+        "The solvability atlas",
         "The soak farm",
         "Static analysis",
+    ],
+    "docs/ATLAS.md": [
+        "Evidence kinds and grades",
+        "Cell verdicts",
+        "The conflict policy",
+        "Streaming at lattice scale",
+        "Sharding and deterministic merge",
+        "The campaign budget envelope",
+        "Incremental re-rendering",
+        "The query service",
     ],
 }
 
